@@ -1,0 +1,32 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so the
+modules can import them by name regardless of pytest's import mode)."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Workload scale for the harness (REPRO_BENCH_SCALE, default 0.1)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def bench_cache_sizes() -> tuple[int, ...]:
+    if bench_scale() >= 0.5:
+        return (32, 64, 128, 256, 512)  # the paper's full x-axis
+    return (32, 128, 512)
+
+
+def publish(results_dir: pathlib.Path, name: str, report) -> None:
+    """Print an experiment report and persist it under results/."""
+    text = f"{report.text}\n\n{report.render_checks()}\n"
+    print(f"\n{text}")
+    (results_dir / f"{name}.txt").write_text(text)
+
+
+def once(benchmark, fn):
+    """Time ``fn`` exactly once (simulations are long and deterministic)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

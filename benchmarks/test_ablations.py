@@ -1,0 +1,34 @@
+"""Ablations the paper discusses without plotting.
+
+A — access times 2 and 3 "showed similar results" (section 6);
+B — true off-chip prefetch vs the original guaranteed-execution policy
+    (the paper calls the original "non-optimal");
+C — instruction-first vs data-first priority at the memory interface
+    (the queues make the choice low-impact, section 2.2);
+D — native 16/32-bit parcel format vs the fixed 32-bit format
+    (simulation parameter 1).
+"""
+
+from _harness import once, publish
+
+from repro.analysis.experiments import run_experiment
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate
+
+
+def test_ablations(context, results_dir, benchmark):
+    report = run_experiment("ablations", context)
+    publish(results_dir, "ablations", report)
+    assert report.all_passed, report.render_checks()
+
+    # Timing unit: the guaranteed-execution fetch policy (ablation B).
+    result = once(
+        benchmark,
+        lambda: simulate(
+            MachineConfig.pipe(
+                "16-16", 128, memory_access_time=6, true_prefetch=False
+            ),
+            context.program,
+        ),
+    )
+    assert result.halted

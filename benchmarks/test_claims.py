@@ -1,0 +1,30 @@
+"""The headline claim: 'up to twice as fast' with a small cache.
+
+Section 7 of the paper.  Prints the conventional-vs-best-PIPE speedup
+at a 32-byte cache with 6-cycle memory and a 4-byte bus, and the
+conventional cache size a 32-byte PIPE cache is comparable to.
+"""
+
+from _harness import once, publish
+
+from repro.analysis.experiments import run_experiment
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate
+
+
+def test_headline_claim(context, results_dir, benchmark):
+    report = run_experiment("headline", context)
+    publish(results_dir, "headline", report)
+    assert report.all_passed, report.render_checks()
+
+    # Timing unit: the winning PIPE point behind the headline number.
+    result = once(
+        benchmark,
+        lambda: simulate(
+            MachineConfig.pipe(
+                "16-16", 32, memory_access_time=6, input_bus_width=4
+            ),
+            context.program,
+        ),
+    )
+    assert result.halted

@@ -1,0 +1,51 @@
+"""Extension experiments beyond the paper's figures.
+
+* ``hill`` — re-verifies the prefetch-strategy ranking the paper adopts
+  from Hill's thesis (section 4.1);
+* ``tib`` — measures the Target Instruction Buffer trade-off the paper
+  summarises in section 2.1;
+* ``queues`` — IQ/IQB size sensitivity (simulation parameters 7/8);
+* ``assoc`` — what associativity would have bought over the paper's
+  direct-mapped organisation (answer: nothing, for loop code).
+"""
+
+import pytest
+
+from _harness import once, publish
+
+from repro.analysis.experiments import run_experiment
+from repro.core.config import MachineConfig, PrefetchPolicy
+from repro.core.simulator import simulate
+
+
+@pytest.mark.parametrize("experiment_id", ["hill", "tib", "queues", "assoc", "delays"])
+def test_extension_experiment(experiment_id, context, results_dir, benchmark):
+    report = run_experiment(experiment_id, context)
+    publish(results_dir, experiment_id, report)
+    assert report.all_passed, report.render_checks()
+
+    timing_units = {
+        "hill": lambda: simulate(
+            MachineConfig.conventional(
+                128, prefetch_policy=PrefetchPolicy.TAGGED, memory_access_time=6
+            ),
+            context.program,
+        ),
+        "tib": lambda: simulate(
+            MachineConfig.tib(4, 16, memory_access_time=6), context.program
+        ),
+        "queues": lambda: simulate(
+            MachineConfig.pipe("16-16", 128).with_overrides(iq_size=4),
+            context.program,
+        ),
+        "assoc": lambda: simulate(
+            MachineConfig.pipe("16-16", 64, cache_associativity=4),
+            context.program,
+        ),
+        "delays": lambda: simulate(
+            MachineConfig.pipe("16-16", 512, memory_access_time=1),
+            context.program,
+        ),
+    }
+    result = once(benchmark, timing_units[experiment_id])
+    assert result.halted

@@ -1,0 +1,31 @@
+"""Regenerate Figure 4 — 1-cycle memory, 4B vs 8B input bus.
+
+Prints cycles-vs-cache-size for the four PIPE configurations and the
+conventional cache (panels 4a and 4b) and checks the paper's findings:
+this is the only design point where the conventional cache beats some
+PIPE configuration, and 8-8/16-16 are nearly flat with the wide bus.
+"""
+
+from _harness import once, publish
+
+from repro.analysis.experiments import run_experiment
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate
+
+
+def test_figure4(context, results_dir, benchmark):
+    report = run_experiment("figure4", context)
+    publish(results_dir, "figure4", report)
+    assert report.all_passed, report.render_checks()
+
+    # Timing unit: the paper's Figure 4a smallest-cache PIPE point.
+    result = once(
+        benchmark,
+        lambda: simulate(
+            MachineConfig.pipe(
+                "8-8", 32, memory_access_time=1, input_bus_width=4
+            ),
+            context.program,
+        ),
+    )
+    assert result.halted

@@ -1,0 +1,35 @@
+"""Regenerate Figure 6 — 8B bus, 6-cycle memory, pipelining on/off.
+
+Checks that pipelined memory shifts every curve down and compresses
+them, that PIPE keeps beating the conventional cache, and the line-size
+reversal between fast and slow memory (8-byte lines win at T=1; 16/32
+at T=6).
+"""
+
+from _harness import once, publish
+
+from repro.analysis.experiments import run_experiment
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate
+
+
+def test_figure6(context, results_dir, benchmark):
+    report = run_experiment("figure6", context)
+    publish(results_dir, "figure6", report)
+    assert report.all_passed, report.render_checks()
+
+    # Timing unit: the best Figure 6b point (pipelined memory, 32-32).
+    result = once(
+        benchmark,
+        lambda: simulate(
+            MachineConfig.pipe(
+                "32-32",
+                512,
+                memory_access_time=6,
+                input_bus_width=8,
+                memory_pipelined=True,
+            ),
+            context.program,
+        ),
+    )
+    assert result.halted

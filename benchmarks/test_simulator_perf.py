@@ -1,0 +1,39 @@
+"""Performance of the simulator itself (not a paper experiment).
+
+Measures simulated-cycles-per-second for each fetch strategy and for
+the functional simulator, so regressions in the simulator's own speed
+are visible in benchmark history.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate
+from repro.cpu.functional import run_functional
+
+CONFIGS = {
+    "pipe-16-16": lambda: MachineConfig.pipe("16-16", 128, memory_access_time=6),
+    "pipe-8-8-narrow": lambda: MachineConfig.pipe(
+        "8-8", 32, memory_access_time=6, input_bus_width=4
+    ),
+    "conventional": lambda: MachineConfig.conventional(128, memory_access_time=6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_cycle_simulation_speed(name, context, benchmark):
+    config = CONFIGS[name]()
+    result = benchmark.pedantic(
+        lambda: simulate(config, context.program), rounds=1, iterations=1
+    )
+    assert result.halted
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    benchmark.extra_info["instructions"] = result.instructions
+
+
+def test_functional_simulation_speed(context, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_functional(context.program), rounds=1, iterations=1
+    )
+    assert result.halted
+    benchmark.extra_info["instructions"] = result.instructions

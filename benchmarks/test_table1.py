@@ -1,0 +1,17 @@
+"""Regenerate Table I — Lawrence Livermore Loop inner-loop sizes."""
+
+from _harness import once, publish
+
+from repro.analysis.experiments import run_experiment
+from repro.cpu.functional import run_functional
+
+
+def test_table1(context, results_dir, benchmark):
+    report = run_experiment("table1", context)
+    publish(results_dir, "table1", report)
+    assert report.all_passed, report.render_checks()
+
+    # Timing unit: the functional run behind the table's calibration
+    # (section 5's 150,575-instruction benchmark program).
+    result = once(benchmark, lambda: run_functional(context.program))
+    assert result.halted

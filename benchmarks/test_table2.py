@@ -1,0 +1,20 @@
+"""Regenerate Table II — the simulated IQ and IQB configurations."""
+
+from _harness import once, publish
+
+from repro.analysis.experiments import run_experiment
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate
+
+
+def test_table2(context, results_dir, benchmark):
+    report = run_experiment("table2", context)
+    publish(results_dir, "table2", report)
+    assert report.all_passed, report.render_checks()
+
+    # Timing unit: one run of the default Table II machine (16-16).
+    result = once(
+        benchmark,
+        lambda: simulate(MachineConfig.pipe("16-16", 128), context.program),
+    )
+    assert result.halted

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fetch-policy and priority ablations.
+
+Reproduces two of the paper's side discussions:
+
+1. **True prefetch vs guaranteed execution** (section 6): the original
+   PIPE I-fetch logic only requested a line from off-chip memory when
+   it was guaranteed to contain an instruction that would execute — a
+   leftover from the dual-processor PIPE project.  The paper calls this
+   "non-optimal" for a single-chip processor and presents all results
+   with true prefetch.  Measure the penalty yourself.
+
+2. **Instruction vs data priority at the memory interface** (sections
+   2.2 and 5): architectural queues let instruction requests take
+   precedence over data requests "with a limited impact on performance"
+   because data is requested long before it is needed.
+
+Run with::
+
+    python examples/fetch_policies.py [scale]
+"""
+
+import sys
+
+from repro.core import MachineConfig, simulate
+from repro.kernels import build_livermore_program
+from repro.memory.requests import RequestPriority
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print(f"building the 14-loop benchmark (scale {scale}) ...\n")
+    program = build_livermore_program(scale=scale)
+
+    print("1. fetch policy (PIPE 16-16, 6-cycle memory, 8-byte bus)")
+    print(f"   {'cache':>6}  {'true prefetch':>14}  {'guaranteed only':>16}  penalty")
+    for cache_size in (32, 64, 128):
+        true_prefetch = simulate(
+            MachineConfig.pipe("16-16", cache_size, true_prefetch=True), program
+        ).cycles
+        guaranteed = simulate(
+            MachineConfig.pipe("16-16", cache_size, true_prefetch=False), program
+        ).cycles
+        penalty = (guaranteed - true_prefetch) / true_prefetch
+        print(
+            f"   {cache_size:>5}B  {true_prefetch:>14}  {guaranteed:>16}"
+            f"  {penalty:+.1%}"
+        )
+
+    print("\n2. memory-interface priority (PIPE 16-16, 128B cache)")
+    print(f"   {'memory':>10}  {'instr first':>12}  {'data first':>11}  delta")
+    for access_time in (1, 3, 6):
+        instruction_first = simulate(
+            MachineConfig.pipe(
+                "16-16",
+                128,
+                memory_access_time=access_time,
+                priority=RequestPriority.INSTRUCTION_FIRST,
+            ),
+            program,
+        ).cycles
+        data_first = simulate(
+            MachineConfig.pipe(
+                "16-16",
+                128,
+                memory_access_time=access_time,
+                priority=RequestPriority.DATA_FIRST,
+            ),
+            program,
+        ).cycles
+        delta = (instruction_first - data_first) / data_first
+        print(
+            f"   {'T=' + str(access_time):>10}  {instruction_first:>12}"
+            f"  {data_first:>11}  {delta:+.1%}"
+        )
+    print(
+        "\nThe queues keep both choices close — the paper's point about\n"
+        "tolerating (rather than eliminating) memory latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

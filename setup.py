@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package (offline
+
+editable installs via `pip install -e . --no-use-pep517`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of Farrens & Pleszkun (ISCA 1989).
+
+*Improving Performance of Small On-Chip Instruction Caches* evaluates the
+PIPE single-chip processor's instruction-fetch strategy — a small
+direct-mapped I-cache backed by an Instruction Queue (IQ) and an
+Instruction Queue Buffer (IQB) — against a conventional always-prefetch
+cache, using cycle-level simulation of the first 14 Lawrence Livermore
+Loops.
+
+This package contains everything needed to rerun that study:
+
+* :mod:`repro.isa` — the PIPE-like instruction set;
+* :mod:`repro.asm` — a two-pass assembler;
+* :mod:`repro.kernels` — a kernel DSL, code generator, and the 14
+  Livermore Loops;
+* :mod:`repro.cpu` — architectural queues and the pipeline back-end;
+* :mod:`repro.memory` — external memory, buses, and the memory-mapped FPU;
+* :mod:`repro.frontend` — the PIPE and conventional fetch strategies;
+* :mod:`repro.core` — configuration, the cycle-level simulator, sweeps;
+* :mod:`repro.analysis` — table/figure regeneration for the paper's
+  evaluation section.
+
+Quickstart::
+
+    from repro import simulate, MachineConfig
+    from repro.kernels import build_livermore_program
+
+    program = build_livermore_program()
+    result = simulate(MachineConfig(), program)
+    print(result.cycles)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# The public names are imported lazily (PEP 562) so that light-weight uses
+# of one subpackage (e.g. just the assembler) do not pay for the rest.
+_EXPORTS = {
+    "FetchStrategy": ("repro.core.config", "FetchStrategy"),
+    "MachineConfig": ("repro.core.config", "MachineConfig"),
+    "PIPE_CONFIGURATIONS": ("repro.core.config", "PIPE_CONFIGURATIONS"),
+    "PipeConfiguration": ("repro.core.config", "PipeConfiguration"),
+    "PrefetchPolicy": ("repro.core.config", "PrefetchPolicy"),
+    "SimulationResult": ("repro.core.results", "SimulationResult"),
+    "Simulator": ("repro.core.simulator", "Simulator"),
+    "simulate": ("repro.core.simulator", "simulate"),
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

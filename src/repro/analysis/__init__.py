@@ -1,0 +1,65 @@
+"""Analysis layer: regeneration of the paper's tables and figures.
+
+* :mod:`repro.analysis.tables` — Table I/II and sweep-table rendering;
+* :mod:`repro.analysis.figures` — Figure 4/5/6 specifications, sweeps,
+  and text/ASCII rendering;
+* :mod:`repro.analysis.claims` — the paper's qualitative findings as
+  executable checks;
+* :mod:`repro.analysis.experiments` — one runnable module per experiment
+  (used by the benchmark harness and the EXPERIMENTS.md generator).
+"""
+
+from .claims import (
+    ClaimCheck,
+    by_label,
+    check_figure4a,
+    check_figure4b,
+    check_figure5,
+    check_figure6,
+    check_headline,
+    check_line_size_reversal,
+)
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    ExperimentReport,
+    run_experiment,
+)
+from .figures import FIGURES, FigureSpec, ascii_plot, render_figure, run_figure
+from .profile import LoopProfile, ProfileReport, profile_program, render_profile
+from .tables import (
+    render_series_csv,
+    render_series_table,
+    render_table1,
+    render_table2,
+    table1_rows,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ClaimCheck",
+    "ExperimentContext",
+    "ExperimentReport",
+    "FIGURES",
+    "FigureSpec",
+    "LoopProfile",
+    "ProfileReport",
+    "ascii_plot",
+    "by_label",
+    "check_figure4a",
+    "check_figure4b",
+    "check_figure5",
+    "check_figure6",
+    "check_headline",
+    "check_line_size_reversal",
+    "profile_program",
+    "render_figure",
+    "render_profile",
+    "render_series_csv",
+    "render_series_table",
+    "render_table1",
+    "render_table2",
+    "run_experiment",
+    "run_figure",
+    "table1_rows",
+]

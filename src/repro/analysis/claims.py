@@ -1,0 +1,253 @@
+"""The paper's qualitative claims, as executable checks.
+
+Absolute cycle counts cannot be expected to match a 1989 simulator fed
+by a compiler we do not have; what must reproduce is the *shape* of the
+results (section 6).  Each function here turns one of the paper's
+stated findings into a predicate over sweep results, returning
+:class:`ClaimCheck` records the tests assert on and EXPERIMENTS.md
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.sweep import SweepSeries
+
+__all__ = [
+    "ClaimCheck",
+    "by_label",
+    "check_figure4a",
+    "check_figure4b",
+    "check_figure5",
+    "check_figure6",
+    "check_headline",
+    "check_line_size_reversal",
+]
+
+_PIPE_LABELS = ("PIPE 8-8", "PIPE 16-16", "PIPE 16-32", "PIPE 32-32")
+_BEST_PIPE = ("PIPE 16-16", "PIPE 16-32", "PIPE 32-32")
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified (or failed) claim."""
+
+    figure: str
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.figure}: {self.claim} — {self.detail}"
+
+
+def by_label(series: Sequence[SweepSeries]) -> dict[str, SweepSeries]:
+    return {curve.label: curve for curve in series}
+
+
+def _common_sizes(curves: dict[str, SweepSeries], labels: Sequence[str]) -> list[int]:
+    sizes: set[int] | None = None
+    for label in labels:
+        here = set(curves[label].cache_sizes)
+        sizes = here if sizes is None else sizes & here
+    return sorted(sizes or ())
+
+
+def check_figure4a(series: Sequence[SweepSeries]) -> list[ClaimCheck]:
+    """T=1, bus=4B: the only case where the conventional cache beats
+    *some* PIPE configuration (section 6)."""
+    curves = by_label(series)
+    conv = curves["conventional"].as_dict()
+    beaten = [
+        label
+        for label in _PIPE_LABELS
+        if any(
+            conv.get(size, 1 << 62) < cycles
+            for size, cycles in curves[label].as_dict().items()
+        )
+    ]
+    return [
+        ClaimCheck(
+            figure="4a",
+            claim="conventional beats some PIPE configuration",
+            passed=bool(beaten),
+            detail=f"conventional wins against {beaten or 'none'}",
+        )
+    ]
+
+
+def check_figure4b(series: Sequence[SweepSeries]) -> list[ClaimCheck]:
+    """T=1, bus=8B: 8-8 and 16-16 are nearly flat across cache size, and
+    a small PIPE cache comes close to 512-byte performance."""
+    curves = by_label(series)
+    checks = []
+    for label in ("PIPE 8-8", "PIPE 16-16"):
+        flatness = curves[label].flatness
+        checks.append(
+            ClaimCheck(
+                figure="4b",
+                claim=f"{label} performs uniformly across cache sizes",
+                passed=flatness <= 1.25,
+                detail=f"max/min cycles = {flatness:.3f} (threshold 1.25)",
+            )
+        )
+    best_512 = min(
+        curve.as_dict().get(512, 1 << 62) for curve in series
+    )
+    small = min(
+        curves[label].as_dict().get(32, 1 << 62) for label in ("PIPE 8-8", "PIPE 16-16")
+    )
+    ratio = small / best_512
+    checks.append(
+        ClaimCheck(
+            figure="4b",
+            claim="a 32-byte PIPE cache approaches 512-byte performance",
+            passed=ratio <= 1.25,
+            detail=f"PIPE@32B / best@512B = {ratio:.3f} (threshold 1.25)",
+        )
+    )
+    return checks
+
+
+def check_figure5(
+    series: Sequence[SweepSeries],
+    series_narrow_bus: Sequence[SweepSeries] | None = None,
+    figure: str = "5",
+) -> list[ClaimCheck]:
+    """T=6: every PIPE configuration beats the conventional cache at
+    every cache size; PIPE is less sensitive to bus width."""
+    curves = by_label(series)
+    conv = curves["conventional"].as_dict()
+    checks = []
+    all_better = True
+    worst = ""
+    for label in _PIPE_LABELS:
+        for size, cycles in curves[label].as_dict().items():
+            if size in conv and cycles >= conv[size]:
+                all_better = False
+                worst = f"{label}@{size}B: {cycles} >= conventional {conv[size]}"
+    checks.append(
+        ClaimCheck(
+            figure=figure,
+            claim="all PIPE configurations beat the conventional cache",
+            passed=all_better,
+            detail=worst or "PIPE faster at every common cache size",
+        )
+    )
+    if series_narrow_bus is not None:
+        narrow = by_label(series_narrow_bus)
+        size = 32
+        conv_ratio = narrow["conventional"].as_dict()[size] / conv[size]
+        pipe_ratio = (
+            narrow["PIPE 16-16"].as_dict()[size]
+            / curves["PIPE 16-16"].as_dict()[size]
+        )
+        checks.append(
+            ClaimCheck(
+                figure=figure,
+                claim="PIPE is less sensitive to bus width than conventional",
+                passed=pipe_ratio < conv_ratio,
+                detail=(
+                    f"slowdown from 8B→4B bus at {size}B cache: "
+                    f"PIPE 16-16 ×{pipe_ratio:.2f} vs conventional ×{conv_ratio:.2f}"
+                ),
+            )
+        )
+    return checks
+
+
+def check_figure6(
+    non_pipelined: Sequence[SweepSeries], pipelined: Sequence[SweepSeries]
+) -> list[ClaimCheck]:
+    """Pipelined memory shifts every curve down (same shapes, compressed)."""
+    base = by_label(non_pipelined)
+    piped = by_label(pipelined)
+    regressions = []
+    for label, curve in piped.items():
+        base_cycles = base[label].as_dict()
+        for size, cycles in curve.as_dict().items():
+            if size in base_cycles and cycles > base_cycles[size]:
+                regressions.append(f"{label}@{size}B")
+    checks = [
+        ClaimCheck(
+            figure="6",
+            claim="pipelined memory never hurts",
+            passed=not regressions,
+            detail=f"regressions: {regressions or 'none'}",
+        )
+    ]
+    curves = by_label(pipelined)
+    conv = curves["conventional"].as_dict()
+    still_better = all(
+        cycles < conv[size]
+        for label in _PIPE_LABELS
+        for size, cycles in curves[label].as_dict().items()
+        if size in conv
+    )
+    checks.append(
+        ClaimCheck(
+            figure="6b",
+            claim="PIPE still beats conventional with pipelined memory",
+            passed=still_better,
+            detail="checked at every common cache size",
+        )
+    )
+    return checks
+
+
+def check_headline(series_t6_bus4: Sequence[SweepSeries]) -> list[ClaimCheck]:
+    """Section 7: 'the processor performs up to twice as fast as a
+    processor using the conventional cache-only approach with a small
+    cache size'."""
+    curves = by_label(series_t6_bus4)
+    conv = curves["conventional"].as_dict()
+    best_pipe = min(
+        curves[label].as_dict().get(32, 1 << 62) for label in _PIPE_LABELS
+    )
+    speedup = conv[32] / best_pipe
+    return [
+        ClaimCheck(
+            figure="headline",
+            claim="PIPE up to ~2x faster at a 32-byte cache (T=6, 4B bus)",
+            passed=speedup >= 1.5,
+            detail=f"speedup = {speedup:.2f}x (threshold 1.5, paper: 'up to twice')",
+        )
+    ]
+
+
+def check_line_size_reversal(
+    series_t1: Sequence[SweepSeries], series_t6: Sequence[SweepSeries]
+) -> list[ClaimCheck]:
+    """Section 6: with fast memory a line size of 8 wins; with slow
+    memory the 16/32-byte-line configurations win (Figures 4 vs 6)."""
+    fast = by_label(series_t1)
+    slow = by_label(series_t6)
+    sizes_fast = _common_sizes(fast, _PIPE_LABELS)
+    fast_wins = sum(
+        1
+        for size in sizes_fast
+        if fast["PIPE 8-8"].as_dict()[size]
+        <= min(fast[label].as_dict()[size] for label in _BEST_PIPE)
+    )
+    slow_better = all(
+        min(slow[label].as_dict()[size] for label in _BEST_PIPE)
+        <= slow["PIPE 8-8"].as_dict()[size]
+        for size in _common_sizes(slow, _PIPE_LABELS)
+    )
+    return [
+        ClaimCheck(
+            figure="4/6",
+            claim="8-byte lines win with 1-cycle memory",
+            passed=fast_wins >= len(sizes_fast) - 1,
+            detail=f"8-8 best at {fast_wins}/{len(sizes_fast)} cache sizes",
+        ),
+        ClaimCheck(
+            figure="4/6",
+            claim="16/32-byte lines win with 6-cycle memory",
+            passed=slow_better,
+            detail="best of 16-16/16-32/32-32 <= 8-8 at every size",
+        ),
+    ]

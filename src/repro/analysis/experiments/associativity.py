@@ -1,0 +1,91 @@
+"""Extension experiment: cache associativity.
+
+The paper's caches are direct mapped (section 3.2) — the cheap choice
+for a transistor-starved chip.  This experiment measures what 2-/4-way
+LRU associativity would have bought each strategy at small sizes, where
+the benchmark's loop-after-loop layout causes conflict misses.
+"""
+
+from __future__ import annotations
+
+from ...core.config import MachineConfig
+from ...core.simulator import simulate
+from ..claims import ClaimCheck
+from . import ExperimentContext, ExperimentReport
+
+_MEMORY = {"memory_access_time": 6, "input_bus_width": 8}
+_WAYS = (1, 2, 4)
+_SIZES = (64, 128)
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    table: dict[tuple[str, int, int], int] = {}
+    for size in _SIZES:
+        for ways in _WAYS:
+            pipe = MachineConfig.pipe(
+                "16-16", size, cache_associativity=ways, **_MEMORY
+            )
+            table[("PIPE 16-16", size, ways)] = simulate(
+                pipe, context.program
+            ).cycles
+            conventional = MachineConfig.conventional(
+                size, cache_associativity=ways, **_MEMORY
+            )
+            table[("conventional", size, ways)] = simulate(
+                conventional, context.program
+            ).cycles
+
+    lines = [
+        "Cache associativity (LRU) at small sizes (T=6, 8B bus):",
+        "",
+        f"{'strategy':<14}{'cache':>7}" + "".join(f"{w}-way".rjust(9) for w in _WAYS),
+    ]
+    for strategy in ("PIPE 16-16", "conventional"):
+        for size in _SIZES:
+            row = "".join(
+                f"{table[(strategy, size, ways)]:>9}" for ways in _WAYS
+            )
+            lines.append(f"{strategy:<14}{size:>6}B{row}")
+
+    # Contiguous loop code is direct mapping's best case: a loop that
+    # fits the cache has zero conflicts, while LRU associativity halves
+    # the set count and exhibits the classic cyclic-reuse pathology (a
+    # loop of N+1 lines over an N-line set evicts exactly the line it
+    # needs next).  The paper's direct-mapped choice is therefore not
+    # just cheap but *right* for this workload.
+    checks = []
+    direct_never_worse = all(
+        table[(strategy, size, 1)] <= table[(strategy, size, ways)] * 1.02
+        for strategy in ("PIPE 16-16", "conventional")
+        for size in _SIZES
+        for ways in _WAYS[1:]
+    )
+    checks.append(
+        ClaimCheck(
+            figure="associativity",
+            claim="direct mapping is at least as good as LRU associativity "
+            "for contiguous loop code",
+            passed=direct_never_worse,
+            detail="1-way <= k-way (within 2%) for every strategy and size",
+        )
+    )
+    pipe_direct = table[("PIPE 16-16", 64, 1)]
+    pipe_assoc = table[("PIPE 16-16", 64, 4)]
+    delta = abs(pipe_assoc - pipe_direct) / pipe_direct
+    checks.append(
+        ClaimCheck(
+            figure="associativity",
+            claim="the mapping choice is second-order next to the IQ/IQB",
+            passed=delta < 0.15,
+            detail=(
+                f"4-way changes PIPE@64B by {delta:.1%} — the queues, not "
+                "the mapping, dominate"
+            ),
+        )
+    )
+    return ExperimentReport(
+        experiment_id="associativity",
+        text="\n".join(lines),
+        series={},
+        checks=checks,
+    )

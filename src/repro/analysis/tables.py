@@ -1,0 +1,85 @@
+"""Text rendering of the paper's tables and sweep results.
+
+Everything renders to plain text (and CSV) so the benchmark harness can
+print the same rows the paper reports without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.config import PIPE_CONFIGURATIONS
+from ..core.sweep import SweepSeries
+from ..kernels.loops import PAPER_INNER_LOOP_BYTES
+from ..kernels.suite import LivermoreSuite
+
+__all__ = [
+    "render_series_csv",
+    "render_series_table",
+    "render_table1",
+    "render_table2",
+    "table1_rows",
+]
+
+
+def table1_rows(suite: LivermoreSuite) -> list[tuple[int, int, int]]:
+    """(loop number, our inner-loop bytes, paper inner-loop bytes)."""
+    return [
+        (number, suite.inner_loop_bytes(number), PAPER_INNER_LOOP_BYTES[number])
+        for number in range(1, 15)
+    ]
+
+
+def render_table1(suite: LivermoreSuite) -> str:
+    """Our regeneration of Table I, side by side with the paper's."""
+    lines = [
+        "Table I — Lawrence Livermore Loop inner-loop sizes (bytes)",
+        f"{'Loop':>4}  {'ours':>6}  {'paper':>6}",
+    ]
+    ours_total = 0
+    paper_total = 0
+    for number, ours, paper in table1_rows(suite):
+        ours_total += ours
+        paper_total += paper
+        lines.append(f"{number:>4}  {ours:>6}  {paper:>6}")
+    lines.append(f"{'sum':>4}  {ours_total:>6}  {paper_total:>6}")
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table II — the simulated IQ and IQB configurations."""
+    lines = [
+        "Table II — Simulated IQ and IQB configurations",
+        f"{'Configuration':<14}{'Line size':>10}{'IQ size':>9}{'IQB size':>10}",
+    ]
+    for config in PIPE_CONFIGURATIONS.values():
+        lines.append(
+            f"{config.name:<14}{config.line_size:>9}B{config.iq_size:>8}B"
+            f"{config.iqb_size:>9}B"
+        )
+    return "\n".join(lines)
+
+
+def render_series_table(
+    title: str, series: Sequence[SweepSeries], cache_sizes: Sequence[int]
+) -> str:
+    """One figure as a text table: rows = strategies, columns = sizes."""
+    header = f"{'strategy':<14}" + "".join(f"{size:>9}" for size in cache_sizes)
+    lines = [title, header]
+    for curve in series:
+        cycles_by_size = curve.as_dict()
+        cells = "".join(
+            f"{cycles_by_size.get(size, '—'):>9}" for size in cache_sizes
+        )
+        lines.append(f"{curve.label:<14}{cells}")
+    return "\n".join(lines)
+
+
+def render_series_csv(series: Sequence[SweepSeries], cache_sizes: Sequence[int]) -> str:
+    """CSV export (strategy, then one column per cache size)."""
+    rows = ["strategy," + ",".join(str(size) for size in cache_sizes)]
+    for curve in series:
+        cycles_by_size = curve.as_dict()
+        cells = ",".join(str(cycles_by_size.get(size, "")) for size in cache_sizes)
+        rows.append(f"{curve.label},{cells}")
+    return "\n".join(rows)

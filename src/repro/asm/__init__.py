@@ -1,0 +1,21 @@
+"""Assembler for the PIPE-like ISA.
+
+The main entry point is :func:`repro.asm.assemble`, which turns assembly
+source text into a :class:`repro.asm.program.Program` memory image ready to
+run on either the functional simulator or the cycle-level simulator.
+"""
+
+from .assembler import Assembler, assemble
+from .errors import AsmError
+from .parser import parse_expression, parse_source
+from .program import WORD_BYTES, Program
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "Program",
+    "WORD_BYTES",
+    "assemble",
+    "parse_expression",
+    "parse_source",
+]

@@ -1,0 +1,482 @@
+"""A two-pass assembler for the PIPE-like ISA.
+
+Pass 1 walks the statement list, sizing instructions and assigning
+addresses to labels; pass 2 evaluates operand expressions against the
+completed symbol table and encodes instructions and data into the image.
+
+Besides the real instruction set (see :mod:`repro.isa.opcodes`) the
+assembler accepts a few pseudo-instructions that expand to single real
+instructions:
+
+=========== ======================= ======================================
+pseudo      expansion               meaning
+=========== ======================= ======================================
+``mov``     ``or rd, rs, rs``       register copy
+``pushq``   ``or r7, rs, rs``       push a register onto the SDQ
+``popq``    ``or rd, r7, r7``       pop the LDQ head into a register
+``qtoq``    ``or r7, r7, r7``       move the LDQ head onto the SDQ
+``la``      ``li rd, value``        load an address (must fit 15 bits)
+=========== ======================= ======================================
+
+Directives: ``.org``, ``.word``, ``.float``, ``.space``, ``.align``,
+``.equ``, ``.marker``, ``.entry``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..isa.encoding import PARCEL_BYTES, InstructionFormat, encode_instruction
+from ..isa.instruction import Instruction
+from ..isa.opcodes import MAX_BRANCH_DELAY, OpClass, Opcode
+from ..isa.registers import QUEUE_REGISTER
+from .errors import AsmError
+from .parser import (
+    DirectiveStmt,
+    ExprOperand,
+    FloatOperand,
+    InstructionStmt,
+    LabelDef,
+    Operand,
+    RegisterOperand,
+    Statement,
+    parse_source,
+)
+from .program import WORD_BYTES, Program
+
+__all__ = ["Assembler", "assemble"]
+
+_PSEUDO_MNEMONICS = {"mov", "pushq", "popq", "qtoq", "la"}
+
+_OPCODES_BY_MNEMONIC = {op.mnemonic: op for op in Opcode}
+
+
+def _mnemonic_parcels(mnemonic: str) -> int:
+    """Number of parcels the (possibly pseudo) mnemonic occupies."""
+    if mnemonic in _PSEUDO_MNEMONICS:
+        return 2 if mnemonic == "la" else 1
+    op = _OPCODES_BY_MNEMONIC.get(mnemonic)
+    if op is None:
+        raise KeyError(mnemonic)
+    return 2 if op.is_two_parcel else 1
+
+
+@dataclass
+class _EvaluatedOperands:
+    """Operands of one instruction after expression evaluation."""
+
+    data_regs: list[int]
+    branch_regs: list[int]
+    ints: list[int]
+
+
+class Assembler:
+    """Assembles source text into a :class:`~repro.asm.program.Program`.
+
+    Parameters
+    ----------
+    fmt:
+        Instruction format to encode with.  The paper's presented results
+        use :attr:`InstructionFormat.FIXED32`.
+    memory_size:
+        Size of the produced memory image in bytes.  Defaults to the
+        smallest multiple of 4 KiB that covers everything emitted, with at
+        least 4 KiB of headroom.
+    """
+
+    def __init__(
+        self,
+        fmt: InstructionFormat = InstructionFormat.FIXED32,
+        memory_size: int | None = None,
+    ):
+        self.fmt = fmt
+        self.memory_size = memory_size
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def assemble(self, source: str, source_name: str = "<asm>") -> Program:
+        statements = parse_source(source, source_name)
+        symbols, markers, highest = self._pass_one(statements)
+        return self._pass_two(statements, symbols, markers, highest)
+
+    # ------------------------------------------------------------------
+    # Pass 1: layout
+    # ------------------------------------------------------------------
+    def _instruction_size(self, stmt: InstructionStmt) -> int:
+        try:
+            parcels = _mnemonic_parcels(stmt.mnemonic)
+        except KeyError:
+            raise AsmError(
+                f"unknown mnemonic {stmt.mnemonic!r}", stmt.source, stmt.line
+            ) from None
+        if self.fmt is InstructionFormat.FIXED32:
+            return 2 * PARCEL_BYTES
+        return parcels * PARCEL_BYTES
+
+    def _code_alignment(self) -> int:
+        return 2 * PARCEL_BYTES if self.fmt is InstructionFormat.FIXED32 else PARCEL_BYTES
+
+    def _pass_one(
+        self, statements: list[Statement]
+    ) -> tuple[dict[str, int], dict[str, int], int]:
+        symbols: dict[str, int] = {}
+        markers: dict[str, int] = {}
+        location = 0
+        highest = 0
+
+        def define(name: str, value: int, stmt: Statement) -> None:
+            if name in symbols:
+                raise AsmError(f"duplicate symbol {name!r}", stmt.source, stmt.line)
+            symbols[name] = value
+
+        for stmt in statements:
+            if isinstance(stmt, LabelDef):
+                location = _align_up(location, self._code_alignment())
+                define(stmt.name, location, stmt)
+            elif isinstance(stmt, InstructionStmt):
+                location = _align_up(location, self._code_alignment())
+                location += self._instruction_size(stmt)
+            elif isinstance(stmt, DirectiveStmt):
+                location = self._pass_one_directive(stmt, symbols, markers, location, define)
+            else:  # pragma: no cover - parser produces only the above
+                raise AssertionError(f"unknown statement {stmt!r}")
+            highest = max(highest, location)
+        return symbols, markers, highest
+
+    def _pass_one_directive(self, stmt, symbols, markers, location, define) -> int:
+        name = stmt.name
+        if name == ".org":
+            target = self._const_expr(stmt, 0, symbols)
+            if target < location:
+                raise AsmError(
+                    f".org {target:#x} moves backwards past {location:#x}",
+                    stmt.source,
+                    stmt.line,
+                )
+            return target
+        if name == ".align":
+            return _align_up(location, self._const_expr(stmt, 0, symbols))
+        if name == ".space":
+            return location + self._const_expr(stmt, 0, symbols)
+        if name == ".word":
+            location = _align_up(location, WORD_BYTES)
+            return location + WORD_BYTES * len(stmt.operands)
+        if name == ".float":
+            location = _align_up(location, WORD_BYTES)
+            return location + WORD_BYTES * len(stmt.operands)
+        if name == ".equ":
+            if len(stmt.operands) != 2 or not isinstance(stmt.operands[0], ExprOperand):
+                raise AsmError(".equ needs a name and a value", stmt.source, stmt.line)
+            sym_expr = stmt.operands[0].expr
+            from .parser import SymbolExpr
+
+            if not isinstance(sym_expr, SymbolExpr):
+                raise AsmError(".equ first operand must be a name", stmt.source, stmt.line)
+            define(sym_expr.name, self._const_expr(stmt, 1, symbols), stmt)
+            return location
+        if name == ".marker":
+            if len(stmt.operands) != 1 or not isinstance(stmt.operands[0], ExprOperand):
+                raise AsmError(".marker needs a name", stmt.source, stmt.line)
+            from .parser import SymbolExpr
+
+            marker_expr = stmt.operands[0].expr
+            if not isinstance(marker_expr, SymbolExpr):
+                raise AsmError(".marker operand must be a name", stmt.source, stmt.line)
+            if marker_expr.name in markers:
+                raise AsmError(
+                    f"duplicate marker {marker_expr.name!r}", stmt.source, stmt.line
+                )
+            markers[marker_expr.name] = _align_up(location, self._code_alignment())
+            return location
+        if name == ".entry":
+            return location  # handled in pass 2
+        raise AsmError(f"unknown directive {name!r}", stmt.source, stmt.line)
+
+    def _const_expr(self, stmt: DirectiveStmt, index: int, symbols: dict[str, int]) -> int:
+        """Evaluate a directive operand that must be resolvable in pass 1.
+
+        Layout-affecting directives (``.org``, ``.space``, ``.align``,
+        ``.equ``) may only reference symbols defined *before* them.
+        """
+        if index >= len(stmt.operands):
+            raise AsmError(
+                f"{stmt.name} missing operand {index + 1}", stmt.source, stmt.line
+            )
+        operand = stmt.operands[index]
+        if not isinstance(operand, ExprOperand):
+            raise AsmError(
+                f"{stmt.name} operand must be an expression", stmt.source, stmt.line
+            )
+        try:
+            return operand.expr.evaluate(symbols)
+        except KeyError as exc:
+            raise AsmError(
+                f"{stmt.name} references undefined symbol {exc.args[0]!r} "
+                "(layout directives cannot use forward references)",
+                stmt.source,
+                stmt.line,
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Pass 2: encoding
+    # ------------------------------------------------------------------
+    def _pass_two(
+        self,
+        statements: list[Statement],
+        symbols: dict[str, int],
+        markers: dict[str, int],
+        highest: int,
+    ) -> Program:
+        size = self.memory_size
+        if size is None:
+            size = max(_align_up(highest + 4096, 4096), 4096)
+        if highest > size:
+            raise AsmError(
+                f"program needs {highest} bytes but memory_size is only {size}"
+            )
+        image = bytearray(size)
+        layout: list[tuple[int, Instruction]] = []
+        entry_point = 0
+        saw_entry = False
+        location = 0
+
+        for stmt in statements:
+            if isinstance(stmt, LabelDef):
+                location = _align_up(location, self._code_alignment())
+            elif isinstance(stmt, InstructionStmt):
+                location = _align_up(location, self._code_alignment())
+                instruction = self._encode_statement(stmt, symbols)
+                raw = encode_instruction(instruction, self.fmt)
+                image[location : location + len(raw)] = raw
+                layout.append((location, instruction))
+                location += len(raw)
+            elif isinstance(stmt, DirectiveStmt):
+                if stmt.name == ".entry":
+                    entry_point = self._eval_expr_operand(stmt, 0, symbols)
+                    saw_entry = True
+                elif stmt.name == ".org":
+                    location = self._const_expr(stmt, 0, symbols)
+                elif stmt.name == ".align":
+                    location = _align_up(location, self._const_expr(stmt, 0, symbols))
+                elif stmt.name == ".space":
+                    location += self._const_expr(stmt, 0, symbols)
+                elif stmt.name == ".word":
+                    location = _align_up(location, WORD_BYTES)
+                    for index in range(len(stmt.operands)):
+                        value = self._eval_expr_operand(stmt, index, symbols)
+                        image[location : location + WORD_BYTES] = (
+                            value & 0xFFFFFFFF
+                        ).to_bytes(WORD_BYTES, "little")
+                        location += WORD_BYTES
+                elif stmt.name == ".float":
+                    location = _align_up(location, WORD_BYTES)
+                    for operand in stmt.operands:
+                        if isinstance(operand, FloatOperand):
+                            value = operand.value
+                        elif isinstance(operand, ExprOperand):
+                            value = float(operand.expr.evaluate(symbols))
+                        else:
+                            raise AsmError(
+                                ".float operands must be numbers", stmt.source, stmt.line
+                            )
+                        image[location : location + WORD_BYTES] = struct.pack("<f", value)
+                        location += WORD_BYTES
+                # .equ and .marker fully handled in pass 1
+
+        if not saw_entry and "start" in symbols:
+            entry_point = symbols["start"]
+        return Program(
+            image=image,
+            entry_point=entry_point,
+            fmt=self.fmt,
+            symbols=dict(symbols),
+            markers=dict(markers),
+            layout=layout,
+        )
+
+    def _eval_expr_operand(
+        self, stmt: DirectiveStmt, index: int, symbols: dict[str, int]
+    ) -> int:
+        if index >= len(stmt.operands):
+            raise AsmError(
+                f"{stmt.name} missing operand {index + 1}", stmt.source, stmt.line
+            )
+        operand = stmt.operands[index]
+        if not isinstance(operand, ExprOperand):
+            raise AsmError(
+                f"{stmt.name} operand {index + 1} must be an expression",
+                stmt.source,
+                stmt.line,
+            )
+        try:
+            return operand.expr.evaluate(symbols)
+        except KeyError as exc:
+            raise AsmError(
+                f"undefined symbol {exc.args[0]!r}", stmt.source, stmt.line
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Instruction encoding
+    # ------------------------------------------------------------------
+    def _operand_values(
+        self, stmt: InstructionStmt, symbols: dict[str, int]
+    ) -> list[tuple[str, int]]:
+        values: list[tuple[str, int]] = []
+        for operand in stmt.operands:
+            if isinstance(operand, RegisterOperand):
+                values.append((operand.kind, operand.index))
+            elif isinstance(operand, ExprOperand):
+                try:
+                    values.append(("int", operand.expr.evaluate(symbols)))
+                except KeyError as exc:
+                    raise AsmError(
+                        f"undefined symbol {exc.args[0]!r}", stmt.source, stmt.line
+                    ) from None
+            else:
+                raise AsmError(
+                    "floating-point literals are only legal in .float",
+                    stmt.source,
+                    stmt.line,
+                )
+        return values
+
+    def _expect(
+        self, stmt: InstructionStmt, values: list[tuple[str, int]], pattern: str
+    ) -> list[int]:
+        """Check operand kinds against ``pattern`` (d/b/i) and return values."""
+        kind_names = {"d": "data", "b": "branch", "i": "int"}
+        if len(values) != len(pattern):
+            raise AsmError(
+                f"{stmt.mnemonic} expects {len(pattern)} operands, got {len(values)}",
+                stmt.source,
+                stmt.line,
+            )
+        out = []
+        for position, (want, (kind, value)) in enumerate(zip(pattern, values), start=1):
+            if kind != kind_names[want]:
+                raise AsmError(
+                    f"{stmt.mnemonic} operand {position} must be a "
+                    f"{kind_names[want]} register"
+                    if want != "i"
+                    else f"{stmt.mnemonic} operand {position} must be an expression",
+                    stmt.source,
+                    stmt.line,
+                )
+            out.append(value)
+        return out
+
+    def _encode_statement(
+        self, stmt: InstructionStmt, symbols: dict[str, int]
+    ) -> Instruction:
+        mnemonic = stmt.mnemonic
+        values = self._operand_values(stmt, symbols)
+        try:
+            return self._build_instruction(stmt, mnemonic, values)
+        except ValueError as exc:
+            raise AsmError(str(exc), stmt.source, stmt.line) from None
+
+    def _build_instruction(
+        self, stmt: InstructionStmt, mnemonic: str, values: list[tuple[str, int]]
+    ) -> Instruction:
+        # Pseudo-instructions first.
+        if mnemonic == "mov":
+            rd, rs = self._expect(stmt, values, "dd")
+            return Instruction.alu_rr(Opcode.OR, rd, rs, rs)
+        if mnemonic == "pushq":
+            (rs,) = self._expect(stmt, values, "d")
+            return Instruction.alu_rr(Opcode.OR, QUEUE_REGISTER, rs, rs)
+        if mnemonic == "popq":
+            (rd,) = self._expect(stmt, values, "d")
+            return Instruction.alu_rr(Opcode.OR, rd, QUEUE_REGISTER, QUEUE_REGISTER)
+        if mnemonic == "qtoq":
+            self._expect(stmt, values, "")
+            return Instruction.alu_rr(
+                Opcode.OR, QUEUE_REGISTER, QUEUE_REGISTER, QUEUE_REGISTER
+            )
+        if mnemonic == "la":
+            rd, value = self._expect(stmt, values, "di")
+            if not 0 <= value <= 0x7FFF:
+                raise AsmError(
+                    f"la value {value:#x} does not fit in 15 bits; "
+                    "use li/lih explicitly",
+                    stmt.source,
+                    stmt.line,
+                )
+            return Instruction.alu_ri(Opcode.LI, rd, 0, value)
+
+        op = _OPCODES_BY_MNEMONIC.get(mnemonic)
+        if op is None:
+            raise AsmError(f"unknown mnemonic {mnemonic!r}", stmt.source, stmt.line)
+        cls = op.op_class
+        if cls == OpClass.SYSTEM:
+            self._expect(stmt, values, "")
+            return Instruction(op)
+        if cls == OpClass.ALU_RR:
+            rd, rs1, rs2 = self._expect(stmt, values, "ddd")
+            return Instruction.alu_rr(op, rd, rs1, rs2)
+        if cls == OpClass.ALU_RI:
+            if op in (Opcode.LI, Opcode.LIH):
+                rd, imm = self._expect(stmt, values, "di")
+                return Instruction.alu_ri(op, rd, 0, imm)
+            rd, rs1, imm = self._expect(stmt, values, "ddi")
+            return Instruction.alu_ri(op, rd, rs1, imm)
+        if op == Opcode.LD:
+            base, disp = self._expect(stmt, values, "di")
+            return Instruction.load(base, disp)
+        if op == Opcode.ST:
+            base, disp = self._expect(stmt, values, "di")
+            return Instruction.store(base, disp)
+        if op == Opcode.LDX:
+            base, index = self._expect(stmt, values, "dd")
+            return Instruction.load_indexed(base, index)
+        if op == Opcode.STX:
+            base, index = self._expect(stmt, values, "dd")
+            return Instruction.store_indexed(base, index)
+        if op == Opcode.LBR:
+            breg, address = self._expect(stmt, values, "bi")
+            if not 0 <= address <= 0xFFFF:
+                raise AsmError(
+                    f"lbr target {address:#x} does not fit in 16 bits",
+                    stmt.source,
+                    stmt.line,
+                )
+            return Instruction.load_branch_register(breg, address)
+        if op == Opcode.LBRR:
+            breg, rs1 = self._expect(stmt, values, "bd")
+            return Instruction(Opcode.LBRR, a=breg, b=rs1)
+        if op == Opcode.PBRA:
+            breg, delay = self._expect(stmt, values, "bi")
+            self._check_delay(stmt, delay)
+            return Instruction.branch(op, breg, 0, delay)
+        if cls == OpClass.BRANCH:
+            breg, cond_reg, delay = self._expect(stmt, values, "bdi")
+            self._check_delay(stmt, delay)
+            return Instruction.branch(op, breg, cond_reg, delay)
+        raise AssertionError(f"unhandled opcode {op!r}")  # pragma: no cover
+
+    def _check_delay(self, stmt: InstructionStmt, delay: int) -> None:
+        if not 0 <= delay <= MAX_BRANCH_DELAY:
+            raise AsmError(
+                f"branch delay {delay} out of range 0..{MAX_BRANCH_DELAY}",
+                stmt.source,
+                stmt.line,
+            )
+
+
+def _align_up(value: int, alignment: int) -> int:
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    remainder = value % alignment
+    return value if remainder == 0 else value + alignment - remainder
+
+
+def assemble(
+    source: str,
+    fmt: InstructionFormat = InstructionFormat.FIXED32,
+    memory_size: int | None = None,
+    source_name: str = "<asm>",
+) -> Program:
+    """Assemble ``source`` and return the :class:`Program` image."""
+    return Assembler(fmt=fmt, memory_size=memory_size).assemble(source, source_name)

@@ -1,0 +1,21 @@
+"""Assembler error types.
+
+All assembler-facing failures raise :class:`AsmError`, which carries the
+source name and line number so callers (and test suites) can pinpoint the
+offending statement.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AsmError"]
+
+
+class AsmError(Exception):
+    """An error in assembly source, with location information."""
+
+    def __init__(self, message: str, source: str = "<asm>", line: int | None = None):
+        self.message = message
+        self.source = source
+        self.line = line
+        location = source if line is None else f"{source}:{line}"
+        super().__init__(f"{location}: {message}")

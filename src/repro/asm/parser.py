@@ -1,0 +1,372 @@
+"""Lexing and parsing of assembly source.
+
+The surface syntax is deliberately small::
+
+    ; full-line or trailing comment (also '#')
+    label:                       ; define a label at the current address
+    loop:   add r1, r2, r3       ; instruction with comma-separated operands
+            ld  r5, 8
+            pbrne b0, r1, 4
+            .org 0x100           ; directives start with '.'
+            .word 1, 2, buf+4
+            .float 1.0, 2.5
+            .space 64
+            .align 4
+            .equ N, 100*4
+            .marker inner_begin  ; named address marker
+
+Operands are register names or integer *expressions* over symbols with
+``+ - * << >> ( )`` and unary minus.  Expressions are represented as ASTs
+and evaluated later by the assembler, once symbol values are known.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .errors import AsmError
+
+__all__ = [
+    "Statement",
+    "LabelDef",
+    "InstructionStmt",
+    "DirectiveStmt",
+    "Operand",
+    "RegisterOperand",
+    "ExprOperand",
+    "FloatOperand",
+    "Expr",
+    "NumberExpr",
+    "SymbolExpr",
+    "UnaryExpr",
+    "BinaryExpr",
+    "parse_source",
+    "parse_expression",
+]
+
+
+# ----------------------------------------------------------------------
+# Expression AST
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for operand expressions."""
+
+    def evaluate(self, symbols: dict[str, int]) -> int:
+        raise NotImplementedError
+
+    def free_symbols(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NumberExpr(Expr):
+    value: int
+
+    def evaluate(self, symbols: dict[str, int]) -> int:
+        return self.value
+
+    def free_symbols(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class SymbolExpr(Expr):
+    name: str
+
+    def evaluate(self, symbols: dict[str, int]) -> int:
+        if self.name not in symbols:
+            raise KeyError(self.name)
+        return symbols[self.name]
+
+    def free_symbols(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expr):
+    operator: str
+    operand: Expr
+
+    def evaluate(self, symbols: dict[str, int]) -> int:
+        value = self.operand.evaluate(symbols)
+        if self.operator == "-":
+            return -value
+        if self.operator == "~":
+            return ~value
+        raise AssertionError(f"unknown unary operator {self.operator!r}")
+
+    def free_symbols(self) -> set[str]:
+        return self.operand.free_symbols()
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    operator: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, symbols: dict[str, int]) -> int:
+        lhs = self.left.evaluate(symbols)
+        rhs = self.right.evaluate(symbols)
+        if self.operator == "+":
+            return lhs + rhs
+        if self.operator == "-":
+            return lhs - rhs
+        if self.operator == "*":
+            return lhs * rhs
+        if self.operator == "/":
+            if rhs == 0:
+                raise ZeroDivisionError("division by zero in assembly expression")
+            return lhs // rhs
+        if self.operator == "<<":
+            return lhs << rhs
+        if self.operator == ">>":
+            return lhs >> rhs
+        if self.operator == "&":
+            return lhs & rhs
+        if self.operator == "|":
+            return lhs | rhs
+        raise AssertionError(f"unknown binary operator {self.operator!r}")
+
+    def free_symbols(self) -> set[str]:
+        return self.left.free_symbols() | self.right.free_symbols()
+
+
+# ----------------------------------------------------------------------
+# Operands and statements
+# ----------------------------------------------------------------------
+class Operand:
+    """Base class for parsed operands."""
+
+
+@dataclass(frozen=True)
+class RegisterOperand(Operand):
+    kind: str  #: "data" or "branch"
+    index: int
+
+
+@dataclass(frozen=True)
+class ExprOperand(Operand):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class FloatOperand(Operand):
+    """A floating-point literal; only legal in ``.float`` directives."""
+
+    value: float
+
+
+class Statement:
+    """Base class for parsed statements; carries a source location."""
+
+    source: str
+    line: int
+
+
+@dataclass(frozen=True)
+class LabelDef(Statement):
+    name: str
+    source: str
+    line: int
+
+
+@dataclass(frozen=True)
+class InstructionStmt(Statement):
+    mnemonic: str
+    operands: tuple[Operand, ...]
+    source: str
+    line: int
+
+
+@dataclass(frozen=True)
+class DirectiveStmt(Statement):
+    name: str
+    operands: tuple[Operand, ...] = field(default_factory=tuple)
+    source: str = "<asm>"
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<float>\d+\.\d+([eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<number>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)
+  | (?P<name>\.?[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><<|>>|[-+*/()&|~])
+  | (?P<comma>,)
+  | (?P<colon>:)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_.]*)\s*:(.*)$")
+
+
+def _tokenize(text: str, source: str, line: int) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise AsmError(f"unexpected character {text[position]!r}", source, line)
+        position = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Expression parser (precedence climbing)
+# ----------------------------------------------------------------------
+_PRECEDENCE = {"|": 1, "&": 2, "<<": 3, ">>": 3, "+": 4, "-": 4, "*": 5, "/": 5}
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, str]], source: str, line: int):
+        self.tokens = tokens
+        self.index = 0
+        self.source = source
+        self.line = line
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise AsmError("unexpected end of operand", self.source, self.line)
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        token = self.next()
+        if token[1] != text:
+            raise AsmError(f"expected {text!r}, found {token[1]!r}", self.source, self.line)
+
+
+def _parse_primary(stream: _TokenStream) -> Expr:
+    kind, text = stream.next()
+    if kind == "number":
+        return NumberExpr(int(text, 0))
+    if kind == "name":
+        return SymbolExpr(text)
+    if kind == "op" and text in ("-", "~"):
+        return UnaryExpr(text, _parse_primary(stream))
+    if kind == "op" and text == "(":
+        inner = _parse_binary(stream, 0)
+        stream.expect(")")
+        return inner
+    raise AsmError(f"unexpected token {text!r} in expression", stream.source, stream.line)
+
+
+def _parse_binary(stream: _TokenStream, min_precedence: int) -> Expr:
+    left = _parse_primary(stream)
+    while True:
+        token = stream.peek()
+        if token is None or token[0] != "op" or token[1] not in _PRECEDENCE:
+            return left
+        operator = token[1]
+        precedence = _PRECEDENCE[operator]
+        if precedence < min_precedence:
+            return left
+        stream.next()
+        right = _parse_binary(stream, precedence + 1)
+        left = BinaryExpr(operator, left, right)
+
+
+def parse_expression(text: str, source: str = "<expr>", line: int = 0) -> Expr:
+    """Parse a standalone expression string into an AST."""
+    stream = _TokenStream(_tokenize(text, source, line), source, line)
+    expr = _parse_binary(stream, 0)
+    trailing = stream.peek()
+    if trailing is not None:
+        raise AsmError(f"trailing tokens after expression: {trailing[1]!r}", source, line)
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Operand and statement parsing
+# ----------------------------------------------------------------------
+_REGISTER_NAME_RE = re.compile(r"^(?:[rb]\d+|q)$", re.IGNORECASE)
+
+
+def _parse_operand(stream: _TokenStream) -> Operand:
+    token = stream.peek()
+    assert token is not None
+    kind, text = token
+    if kind == "float":
+        stream.next()
+        return FloatOperand(float(text))
+    if kind == "name" and _REGISTER_NAME_RE.match(text):
+        from ..isa.registers import parse_register_name
+
+        stream.next()
+        reg_kind, index = parse_register_name(text)
+        return RegisterOperand(reg_kind, index)
+    return ExprOperand(_parse_binary(stream, 0))
+
+
+def _parse_operand_list(stream: _TokenStream) -> tuple[Operand, ...]:
+    operands: list[Operand] = []
+    if stream.peek() is None:
+        return tuple(operands)
+    operands.append(_parse_operand(stream))
+    while stream.peek() is not None:
+        token = stream.next()
+        if token[0] != "comma":
+            raise AsmError(
+                f"expected ',' between operands, found {token[1]!r}",
+                stream.source,
+                stream.line,
+            )
+        operands.append(_parse_operand(stream))
+    return tuple(operands)
+
+
+def _strip_comment(line_text: str) -> str:
+    for comment_char in (";", "#"):
+        index = line_text.find(comment_char)
+        if index >= 0:
+            line_text = line_text[:index]
+    return line_text
+
+
+def parse_source(text: str, source: str = "<asm>") -> list[Statement]:
+    """Parse assembly source text into a statement list."""
+    statements: list[Statement] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line_text = _strip_comment(raw_line).strip()
+        # Peel off any leading labels (several may share a line).
+        while True:
+            match = _LABEL_RE.match(line_text)
+            if match is None:
+                break
+            statements.append(LabelDef(match.group(1), source, line_number))
+            line_text = match.group(2).strip()
+        if not line_text:
+            continue
+        tokens = _tokenize(line_text, source, line_number)
+        kind, first = tokens[0]
+        if kind != "name":
+            raise AsmError(f"expected mnemonic, found {first!r}", source, line_number)
+        stream = _TokenStream(tokens[1:], source, line_number)
+        operands = _parse_operand_list(stream)
+        if first.startswith("."):
+            statements.append(
+                DirectiveStmt(first.lower(), operands, source, line_number)
+            )
+        else:
+            statements.append(
+                InstructionStmt(first.lower(), operands, source, line_number)
+            )
+    return statements

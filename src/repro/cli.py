@@ -1,0 +1,220 @@
+"""``repro-sim`` — command-line front door to the reproduction.
+
+Subcommands::
+
+    repro-sim run        simulate one machine configuration
+    repro-sim table      print Table I or Table II
+    repro-sim figure     regenerate one figure panel (4a/4b/5a/5b/6a/6b)
+    repro-sim experiment run a named experiment with its claim checks
+    repro-sim profile    per-loop cycle attribution for one machine
+    repro-sim disasm     disassemble the generated benchmark program
+    repro-sim report     run every experiment (the EXPERIMENTS.md content)
+
+The ``--scale`` option shrinks the benchmark's iteration counts for
+quick looks (e.g. ``--scale 0.15``); the paper-fidelity run is scale 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from .analysis.figures import FIGURES, render_figure, run_figure
+from .analysis.tables import render_series_csv, render_table1, render_table2
+from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
+from .core.simulator import simulate
+from .kernels.suite import cached_livermore_suite
+
+__all__ = ["main"]
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="benchmark workload scale (1.0 = paper fidelity)",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suite = cached_livermore_suite(scale=args.scale)
+    if args.strategy == "pipe":
+        config = MachineConfig.pipe(
+            args.config,
+            icache_size=args.cache,
+            memory_access_time=args.access,
+            input_bus_width=args.bus,
+            memory_pipelined=args.pipelined,
+        )
+    else:
+        config = MachineConfig.conventional(
+            icache_size=args.cache,
+            memory_access_time=args.access,
+            input_bus_width=args.bus,
+            memory_pipelined=args.pipelined,
+        )
+    result = simulate(config, suite.program)
+    print(result.summary())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        print(render_table1(cached_livermore_suite(scale=args.scale)))
+    else:
+        print(render_table2())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    suite = cached_livermore_suite(scale=args.scale)
+    sizes = args.sizes or list(PAPER_CACHE_SIZES)
+    series = run_figure(args.panel, suite.program, cache_sizes=sizes)
+    if args.csv:
+        print(render_series_csv(series, sizes))
+    else:
+        print(render_figure(args.panel, series, sizes, plot=not args.no_plot))
+    return 0
+
+
+def _make_context(scale: float) -> ExperimentContext:
+    suite = cached_livermore_suite(scale=scale)
+    return ExperimentContext(program=suite.program, suite=suite, scale=scale)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.profile import profile_program, render_profile
+
+    suite = cached_livermore_suite(scale=args.scale)
+    if args.strategy == "pipe":
+        config = MachineConfig.pipe(
+            args.config,
+            icache_size=args.cache,
+            memory_access_time=args.access,
+            input_bus_width=args.bus,
+        )
+    else:
+        config = MachineConfig.conventional(
+            icache_size=args.cache,
+            memory_access_time=args.access,
+            input_bus_width=args.bus,
+        )
+    report = profile_program(config, suite.program, suite.regions())
+    print(render_profile(report))
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    suite = cached_livermore_suite(scale=args.scale)
+    if args.loop is not None:
+        label = f"ll{args.loop}"
+        begin = suite.program.marker(f"{label}.inner.begin")
+        end = suite.program.marker(f"{label}.inner.end")
+        print(f"; inner loop of {label} ({end - begin} bytes)")
+        print(suite.program.disassemble(begin, end))
+    else:
+        print(suite.program.disassemble())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    context = _make_context(args.scale)
+    report = run_experiment(args.name, context)
+    print(report.text)
+    print()
+    print(report.render_checks())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    context = _make_context(args.scale)
+    failed = False
+    for experiment_id in EXPERIMENTS:
+        report = run_experiment(experiment_id, context)
+        print(f"{'=' * 70}")
+        print(f"Experiment: {experiment_id}")
+        print(f"{'=' * 70}")
+        print(report.text)
+        print()
+        print(report.render_checks())
+        print()
+        failed = failed or not report.all_passed
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Reproduction of Farrens & Pleszkun (ISCA 1989)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one configuration")
+    run_parser.add_argument(
+        "--strategy", choices=("pipe", "conventional"), default="pipe"
+    )
+    run_parser.add_argument(
+        "--config", choices=sorted(PIPE_CONFIGURATIONS), default="16-16"
+    )
+    run_parser.add_argument("--cache", type=int, default=128)
+    run_parser.add_argument("--access", type=int, default=6)
+    run_parser.add_argument("--bus", type=int, default=8)
+    run_parser.add_argument("--pipelined", action="store_true")
+    _add_scale(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    table_parser = sub.add_parser("table", help="print Table I or II")
+    table_parser.add_argument("number", type=int, choices=(1, 2))
+    _add_scale(table_parser)
+    table_parser.set_defaults(func=_cmd_table)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a figure panel")
+    figure_parser.add_argument("panel", choices=sorted(FIGURES))
+    figure_parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    figure_parser.add_argument("--csv", action="store_true")
+    figure_parser.add_argument("--no-plot", action="store_true")
+    _add_scale(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    profile_parser = sub.add_parser("profile", help="per-loop cycle profile")
+    profile_parser.add_argument(
+        "--strategy", choices=("pipe", "conventional"), default="pipe"
+    )
+    profile_parser.add_argument(
+        "--config", choices=sorted(PIPE_CONFIGURATIONS), default="16-16"
+    )
+    profile_parser.add_argument("--cache", type=int, default=128)
+    profile_parser.add_argument("--access", type=int, default=6)
+    profile_parser.add_argument("--bus", type=int, default=8)
+    _add_scale(profile_parser)
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    disasm_parser = sub.add_parser("disasm", help="disassemble the benchmark")
+    disasm_parser.add_argument(
+        "--loop", type=int, choices=range(1, 15), default=None,
+        help="show only this Livermore loop's inner loop",
+    )
+    _add_scale(disasm_parser)
+    disasm_parser.set_defaults(func=_cmd_disasm)
+
+    experiment_parser = sub.add_parser("experiment", help="run one experiment")
+    experiment_parser.add_argument("name", choices=EXPERIMENTS)
+    _add_scale(experiment_parser)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    report_parser = sub.add_parser("report", help="run every experiment")
+    _add_scale(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Simulator core: configuration, the cycle-level machine, and results."""
+
+from .config import (
+    PAPER_CACHE_SIZES,
+    PIPE_CONFIGURATIONS,
+    FetchStrategy,
+    MachineConfig,
+    PipeConfiguration,
+)
+from .results import QueueSnapshot, SimulationResult
+from .simulator import DeadlockError, SimulationTimeout, Simulator, simulate
+
+__all__ = [
+    "DeadlockError",
+    "FetchStrategy",
+    "MachineConfig",
+    "PAPER_CACHE_SIZES",
+    "PIPE_CONFIGURATIONS",
+    "PipeConfiguration",
+    "QueueSnapshot",
+    "SimulationResult",
+    "SimulationTimeout",
+    "Simulator",
+    "simulate",
+]

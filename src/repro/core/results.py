@@ -1,0 +1,94 @@
+"""Simulation results and statistics containers.
+
+The paper's performance metric is the **total number of cycles needed to
+execute the benchmark program** (section 6).  :class:`SimulationResult`
+carries that number plus the supporting statistics every component
+collected, so the analysis layer can explain *why* one configuration
+beats another (stall breakdowns, hit rates, bus occupancy, queue
+pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.base import FetchStats
+from ..frontend.icache import CacheStats
+from ..memory.system import MemoryStats
+from .config import MachineConfig
+
+__all__ = ["QueueSnapshot", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """Final statistics of one architectural queue."""
+
+    name: str
+    pushes: int
+    pops: int
+    max_occupancy: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished cycle-level run reports."""
+
+    config: MachineConfig
+    cycles: int
+    instructions: int
+    halted: bool
+    cache: CacheStats
+    fetch: FetchStats
+    memory: MemoryStats
+    stalls: dict[str, int] = field(default_factory=dict)
+    queues: dict[str, QueueSnapshot] = field(default_factory=dict)
+    branches: int = 0
+    branches_taken: int = 0
+    loads: int = 0
+    stores: int = 0
+    fpu_operations: int = 0
+    ordering_hazards: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (1.0 is the machine's upper bound)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(self.stalls.values())
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"configuration : {self.config.describe()}",
+            f"cycles        : {self.cycles}",
+            f"instructions  : {self.instructions} (IPC {self.ipc:.3f})",
+            f"icache        : {self.cache.hits} hits / {self.cache.misses} misses "
+            f"({self.cache.hit_rate:.1%})",
+            f"fetch         : {self.fetch.demand_requests} demand + "
+            f"{self.fetch.prefetch_requests} prefetch requests, "
+            f"{self.fetch.prefetch_promotions} promotions, "
+            f"{self.fetch.redirects} redirects",
+            f"memory        : {self.memory.loads_accepted} loads, "
+            f"{self.memory.stores_accepted} stores, "
+            f"{self.memory.fpu_stores_accepted} FPU stores, "
+            f"{self.memory.fpu_loads_accepted} FPU result loads",
+            f"input bus     : busy {self.memory.input_bus_busy_cycles} cycles, "
+            f"{self.memory.input_bus_bytes} bytes",
+        ]
+        stall_parts = [
+            f"{name}={count}" for name, count in sorted(self.stalls.items()) if count
+        ]
+        lines.append(f"stalls        : {' '.join(stall_parts) or 'none'}")
+        queue_parts = [
+            f"{snapshot.name}:max={snapshot.max_occupancy}"
+            for snapshot in self.queues.values()
+        ]
+        lines.append(f"queues        : {' '.join(queue_parts) or 'n/a'}")
+        return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""The cycle-level simulator.
+
+Builds the machine described by a :class:`~repro.core.config.MachineConfig`
+around an assembled :class:`~repro.asm.program.Program` and runs it to
+completion.  Per cycle, components are evaluated in this order:
+
+1. ``memory.begin_cycle`` — the input bus delivers at most one transfer
+   (load data → the data engine, instruction bytes → cache/IQB);
+2. ``engine.update`` — arrived load data enters the LDQ in program order;
+3. ``frontend.update`` — pre-issue frontend work (prefetch promotion,
+   moving arrived instruction bytes toward the decoder);
+4. ``backend.step`` — at most one instruction issues;
+5. ``frontend.post_issue`` — refills/transfers are staged for next cycle;
+6. ``memory.end_cycle`` — the output bus accepts at most one new request
+   under the configured memory-interface priority.
+
+The run ends when the program has executed HALT **and** every queue and
+in-flight transaction has drained; the cycle count at that point is the
+paper's performance metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..asm.program import Program
+from ..cpu.backend import Backend
+from ..cpu.data_engine import DataQueueEngine
+from ..frontend.conventional import ConventionalFetchUnit
+from ..frontend.icache import InstructionCache
+from ..frontend.pipe_fetch import PipeFetchUnit
+from ..frontend.tib import TibFetchUnit
+from ..memory.system import MemorySystem
+from .config import FetchStrategy, MachineConfig
+from .results import QueueSnapshot, SimulationResult
+
+__all__ = ["DeadlockError", "SimulationTimeout", "Simulator", "simulate"]
+
+
+class SimulationTimeout(RuntimeError):
+    """The run exceeded ``config.max_cycles`` without draining."""
+
+
+class DeadlockError(RuntimeError):
+    """No instruction issued and no bus activity for a long stretch.
+
+    This catches programs that violate the architectural queue
+    discipline — most commonly keeping more unconsumed loads in flight
+    than the LDQ can hold, which wedges any decoupled-queue machine
+    (the LAQ cannot drain because the LDQ is full, and the LDQ cannot
+    drain because issue is blocked on the full LAQ).
+    """
+
+
+class Simulator:
+    """One machine instance, ready to :meth:`run` one program."""
+
+    def __init__(self, config: MachineConfig, program: Program):
+        if program.fmt is not config.instruction_format:
+            raise ValueError(
+                f"program was assembled for {program.fmt.value} but the "
+                f"machine is configured for {config.instruction_format.value}"
+            )
+        self.config = config
+        self.program = program
+
+        seq = itertools.count()
+        next_seq = lambda: next(seq)  # noqa: E731 - tiny shared counter
+
+        self.cache = InstructionCache(
+            size=config.icache_size,
+            line_size=config.line_size,
+            sub_block_size=config.sub_block_size,
+            associativity=config.cache_associativity,
+        )
+        self.memory = MemorySystem(
+            access_time=config.memory_access_time,
+            pipelined=config.memory_pipelined,
+            input_bus_width=config.input_bus_width,
+            priority=config.priority,
+            fpu_latencies=config.fpu_latencies,
+        )
+        if config.fetch_strategy is FetchStrategy.PIPE:
+            self.frontend = PipeFetchUnit(
+                image=program.image,
+                fmt=program.fmt,
+                cache=self.cache,
+                iq_size=config.iq_size,
+                iqb_size=config.iqb_size,
+                entry_point=program.entry_point,
+                next_seq=next_seq,
+                true_prefetch=config.true_prefetch,
+            )
+        elif config.fetch_strategy is FetchStrategy.TIB:
+            self.frontend = TibFetchUnit(
+                image=program.image,
+                fmt=program.fmt,
+                input_bus_width=config.input_bus_width,
+                entry_point=program.entry_point,
+                next_seq=next_seq,
+                tib_entries=config.tib_entries,
+                tib_entry_bytes=config.tib_entry_bytes,
+                stream_buffer_bytes=config.stream_buffer_bytes,
+            )
+        else:
+            self.frontend = ConventionalFetchUnit(
+                image=program.image,
+                fmt=program.fmt,
+                cache=self.cache,
+                input_bus_width=config.input_bus_width,
+                entry_point=program.entry_point,
+                next_seq=next_seq,
+                prefetch_policy=config.prefetch_policy,
+            )
+        self.engine = DataQueueEngine(
+            program=program,
+            next_seq=next_seq,
+            laq_capacity=config.laq_capacity,
+            ldq_capacity=config.ldq_capacity,
+            saq_capacity=config.saq_capacity,
+            sdq_capacity=config.sdq_capacity,
+        )
+        self.backend = Backend(
+            frontend=self.frontend,
+            engine=self.engine,
+            branch_resolution_latency=config.branch_resolution_latency,
+        )
+        # Arbitration polls sources in registration order; order is
+        # irrelevant because priority is decided per request.
+        self.memory.register_source(self.frontend)
+        self.memory.register_source(self.engine)
+
+    # ------------------------------------------------------------------
+    #: cycles of zero progress (no issue, no bus traffic) before the run
+    #: is declared deadlocked.  Far above any legitimate stall.
+    DEADLOCK_CYCLES = 20_000
+
+    def run(self) -> SimulationResult:
+        now = 0
+        max_cycles = self.config.max_cycles
+        memory = self.memory
+        engine = self.engine
+        frontend = self.frontend
+        backend = self.backend
+        last_progress_sig = (-1, -1, -1)
+        last_progress_at = 0
+        while True:
+            memory.begin_cycle(now)
+            engine.update(now)
+            frontend.update(now)
+            backend.step(now)
+            if backend.halted:
+                frontend.halt()
+            frontend.post_issue(now)
+            memory.end_cycle(now)
+            now += 1
+            if backend.halted and engine.drained and memory.drained:
+                break
+            signature = (
+                backend.instructions,
+                memory.stats.output_bus_busy_cycles,
+                memory.stats.input_bus_busy_cycles,
+            )
+            if signature != last_progress_sig:
+                last_progress_sig = signature
+                last_progress_at = now
+            elif now - last_progress_at > self.DEADLOCK_CYCLES:
+                raise DeadlockError(
+                    f"no progress since cycle {last_progress_at} "
+                    f"({backend.instructions} instructions issued; "
+                    f"stalls={backend.stalls}; LAQ={len(engine.laq)} "
+                    f"LDQ={len(engine.ldq)} SAQ={len(engine.saq)} "
+                    f"SDQ={len(engine.sdq)})"
+                )
+            if now >= max_cycles:
+                raise SimulationTimeout(
+                    f"no completion after {max_cycles} cycles "
+                    f"({backend.instructions} instructions issued; "
+                    f"halted={backend.halted})"
+                )
+        return self._collect(now)
+
+    def _collect(self, cycles: int) -> SimulationResult:
+        engine = self.engine
+        queues = {
+            queue.name: QueueSnapshot(
+                name=queue.name,
+                pushes=queue.total_pushes,
+                pops=queue.total_pops,
+                max_occupancy=queue.max_occupancy,
+            )
+            for queue in (engine.laq, engine.ldq, engine.saq, engine.sdq)
+        }
+        return SimulationResult(
+            config=self.config,
+            cycles=cycles,
+            instructions=self.backend.instructions,
+            halted=self.backend.halted,
+            cache=self.cache.stats,
+            fetch=self.frontend.stats,
+            memory=self.memory.stats,
+            stalls=dict(self.backend.stalls),
+            queues=queues,
+            branches=self.backend.branches,
+            branches_taken=self.backend.branches_taken,
+            loads=engine.stats.loads_issued,
+            stores=engine.stats.stores_issued,
+            fpu_operations=engine.fpu_core.operations_started,
+            ordering_hazards=engine.stats.ordering_hazards,
+        )
+
+
+def simulate(config: MachineConfig, program: Program) -> SimulationResult:
+    """Build a machine for ``config`` and run ``program`` to completion."""
+    return Simulator(config, program).run()

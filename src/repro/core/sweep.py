@@ -1,0 +1,99 @@
+"""Parameter sweeps over cache size and machine configuration.
+
+Every figure in the paper's evaluation plots **total execution cycles**
+(y) against **instruction cache size in bytes** (x) for five curves: the
+four PIPE configurations of Table II plus the conventional cache.  This
+module provides that sweep as a reusable driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..asm.program import Program
+from .config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
+from .results import SimulationResult
+from .simulator import simulate
+
+__all__ = [
+    "SweepSeries",
+    "standard_strategies",
+    "run_cache_sweep",
+]
+
+#: A strategy factory maps a cache size (plus overrides) to a config.
+StrategyFactory = Callable[..., MachineConfig]
+
+
+@dataclass
+class SweepSeries:
+    """One curve of a figure: cycles for each swept cache size."""
+
+    label: str
+    cache_sizes: list[int]
+    cycles: list[int]
+    results: list[SimulationResult] = field(repr=False, default_factory=list)
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(zip(self.cache_sizes, self.cycles))
+
+    @property
+    def flatness(self) -> float:
+        """max/min cycles across the sweep — 1.0 means perfectly flat.
+
+        The paper highlights that the best PIPE configurations "display a
+        much more uniform performance across all cache sizes".
+        """
+        return max(self.cycles) / min(self.cycles)
+
+
+def standard_strategies() -> dict[str, StrategyFactory]:
+    """The five curves of every figure, in plotting order."""
+    strategies: dict[str, StrategyFactory] = {}
+    for name in PIPE_CONFIGURATIONS:
+        strategies[f"PIPE {name}"] = (
+            lambda size, _name=name, **overrides: MachineConfig.pipe(
+                _name, size, **overrides
+            )
+        )
+    strategies["conventional"] = (
+        lambda size, **overrides: MachineConfig.conventional(size, **overrides)
+    )
+    return strategies
+
+
+def run_cache_sweep(
+    program: Program,
+    cache_sizes: Sequence[int] = PAPER_CACHE_SIZES,
+    strategies: dict[str, StrategyFactory] | None = None,
+    **overrides,
+) -> list[SweepSeries]:
+    """Simulate every strategy at every cache size.
+
+    ``overrides`` are common machine parameters (``memory_access_time``,
+    ``input_bus_width``, ``memory_pipelined``, ...).  Cache sizes smaller
+    than a strategy's line size are skipped for that strategy (a 32-byte
+    line cannot live in a 16-byte cache), mirroring the paper's figures
+    where the 16-32/32-32 curves start at 32 bytes.
+    """
+    if strategies is None:
+        strategies = standard_strategies()
+    series: list[SweepSeries] = []
+    for label, factory in strategies.items():
+        sizes: list[int] = []
+        cycles: list[int] = []
+        results: list[SimulationResult] = []
+        for size in cache_sizes:
+            try:
+                config = factory(size, **overrides)
+            except ValueError:
+                continue  # cache smaller than this strategy's line size
+            result = simulate(config, program)
+            sizes.append(size)
+            cycles.append(result.cycles)
+            results.append(result)
+        series.append(
+            SweepSeries(label=label, cache_sizes=sizes, cycles=cycles, results=results)
+        )
+    return series

@@ -1,0 +1,42 @@
+"""Processor back-end: register state, architectural queues, instruction
+semantics, the functional simulator, and (in :mod:`repro.cpu.backend`) the
+cycle-level issue engine used by the timing simulator."""
+
+from .alu import MASK32, alu_operate, to_signed, to_unsigned
+from .executor import (
+    ExecutionEnv,
+    ExecutionOutcome,
+    QueueEffects,
+    execute,
+    queue_effects,
+)
+from .functional import (
+    FunctionalResult,
+    FunctionalSimulator,
+    MemoryOrderingError,
+    SimulationLimitExceeded,
+    run_functional,
+)
+from .queues import ArchitecturalQueue, QueueEmptyError, QueueFullError
+from .state import ArchState
+
+__all__ = [
+    "ArchState",
+    "ArchitecturalQueue",
+    "ExecutionEnv",
+    "ExecutionOutcome",
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "MASK32",
+    "MemoryOrderingError",
+    "QueueEffects",
+    "QueueEmptyError",
+    "QueueFullError",
+    "SimulationLimitExceeded",
+    "alu_operate",
+    "execute",
+    "queue_effects",
+    "run_functional",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,66 @@
+"""Pure 32-bit ALU semantics.
+
+All values are stored as unsigned 32-bit integers (0..2**32-1); signed
+interpretation happens only inside comparison and arithmetic-shift
+operations.  These helpers are shared by the functional and cycle-level
+simulators so the two can never disagree about instruction semantics.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Opcode
+
+__all__ = [
+    "MASK32",
+    "to_signed",
+    "to_unsigned",
+    "alu_operate",
+]
+
+MASK32 = 0xFFFFFFFF
+_SHIFT_MASK = 31
+
+
+def to_signed(value: int) -> int:
+    """Reinterpret an unsigned 32-bit value as signed."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap any integer into unsigned 32-bit representation."""
+    return value & MASK32
+
+
+def alu_operate(op: Opcode, lhs: int, rhs: int) -> int:
+    """Apply the ALU operation named by ``op`` to two 32-bit values.
+
+    Works for both the register-register opcodes and their immediate
+    twins (the caller passes the sign-extended or raw immediate as
+    ``rhs`` as appropriate).
+    """
+    if op in (Opcode.ADD, Opcode.ADDI):
+        return to_unsigned(lhs + rhs)
+    if op in (Opcode.SUB, Opcode.SUBI):
+        return to_unsigned(lhs - rhs)
+    if op in (Opcode.AND, Opcode.ANDI):
+        return to_unsigned(lhs & rhs)
+    if op in (Opcode.OR, Opcode.ORI):
+        return to_unsigned(lhs | rhs)
+    if op in (Opcode.XOR, Opcode.XORI):
+        return to_unsigned(lhs ^ rhs)
+    if op in (Opcode.SLL, Opcode.SLLI):
+        return to_unsigned(lhs << (rhs & _SHIFT_MASK))
+    if op in (Opcode.SRL, Opcode.SRLI):
+        return to_unsigned(lhs) >> (rhs & _SHIFT_MASK)
+    if op in (Opcode.SRA, Opcode.SRAI):
+        return to_unsigned(to_signed(lhs) >> (rhs & _SHIFT_MASK))
+    if op in (Opcode.SEQ, Opcode.SEQI):
+        return int(to_unsigned(lhs) == to_unsigned(rhs))
+    if op in (Opcode.SNE, Opcode.SNEI):
+        return int(to_unsigned(lhs) != to_unsigned(rhs))
+    if op in (Opcode.SLT, Opcode.SLTI):
+        return int(to_signed(lhs) < to_signed(rhs))
+    if op in (Opcode.SLE, Opcode.SLEI):
+        return int(to_signed(lhs) <= to_signed(rhs))
+    raise ValueError(f"{op!r} is not an ALU operation")

@@ -1,0 +1,188 @@
+"""The cycle-level issue engine (pipeline back-end).
+
+The PIPE processor issues at most one instruction per cycle (paper
+section 6: "the underlying architecture can issue one instruction per
+cycle").  With full forwarding between its two ALU stages, register
+dependences never stall a single-issue in-order pipeline, so all stalls
+come from the memory side — exactly the effects the paper studies:
+
+* the frontend has no instruction ready (I-fetch starvation);
+* a source names r7 and the LDQ head has not arrived (load latency);
+* a destination queue (LAQ/SAQ/SDQ) is full (store/load back-pressure);
+* a prepare-to-branch has exhausted its delay slots but its condition has
+  not resolved yet (branch latency not covered by delay slots);
+* a second PBR reaches issue while one is still pending.
+
+PBR timing: the branch register (target) is read at issue; the condition
+resolves ``branch_resolution_latency`` cycles later (end of ALU1).  The
+``delay`` instructions after the PBR issue unconditionally; when they are
+exhausted, issue either continues sequentially (not taken) or redirects
+the frontend to the target (taken).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.base import FetchUnit
+from .data_engine import DataQueueEngine
+from .executor import execute, queue_effects
+from .state import ArchState
+
+__all__ = ["Backend", "StallReason"]
+
+
+class StallReason:
+    """Names for the issue-stall counters."""
+
+    FRONTEND = "frontend_empty"
+    LDQ_EMPTY = "ldq_empty"
+    LAQ_FULL = "laq_full"
+    SAQ_FULL = "saq_full"
+    SDQ_FULL = "sdq_full"
+    BRANCH_UNRESOLVED = "branch_unresolved"
+    BRANCH_OVERLAP = "branch_overlap"
+
+    ALL = (
+        FRONTEND,
+        LDQ_EMPTY,
+        LAQ_FULL,
+        SAQ_FULL,
+        SDQ_FULL,
+        BRANCH_UNRESOLVED,
+        BRANCH_OVERLAP,
+    )
+
+
+@dataclass
+class _PendingBranch:
+    target: int
+    taken: bool
+    resolve_at: int
+    slots_remaining: int
+    notified: bool = False
+
+
+class _BackendEnv:
+    """Execution environment wiring the executor to the data engine."""
+
+    def __init__(self, engine: DataQueueEngine):
+        self._engine = engine
+
+    def pop_ldq(self) -> int:
+        return self._engine.pop_ldq()
+
+    def push_sdq(self, value: int) -> None:
+        self._engine.push_sdq(value)
+
+    def push_laq(self, address: int) -> None:
+        self._engine.push_laq(address)
+
+    def push_saq(self, address: int) -> None:
+        self._engine.push_saq(address)
+
+
+class Backend:
+    """Single-issue, in-order instruction issue with PBR handling."""
+
+    def __init__(
+        self,
+        frontend: FetchUnit,
+        engine: DataQueueEngine,
+        branch_resolution_latency: int = 2,
+    ):
+        self.frontend = frontend
+        self.engine = engine
+        self.branch_resolution_latency = branch_resolution_latency
+        self.state = ArchState()
+        self.halted = False
+        self.instructions = 0
+        self.branches = 0
+        self.branches_taken = 0
+        #: pc of the most recently issued instruction (cycle attribution)
+        self.last_pc: int | None = None
+        self.stalls: dict[str, int] = {reason: 0 for reason in StallReason.ALL}
+        self._pending: _PendingBranch | None = None
+        self._env = _BackendEnv(engine)
+
+    # ------------------------------------------------------------------
+    def _stall(self, reason: str) -> None:
+        self.stalls[reason] += 1
+
+    def _handle_branch_bookkeeping(self, now: int) -> bool:
+        """Resolve/redirect pending branches.  Returns False on a stall."""
+        pending = self._pending
+        if pending is None:
+            return True
+        if not pending.notified and now >= pending.resolve_at:
+            pending.notified = True
+            self.frontend.branch_resolved(pending.taken)
+            if not pending.taken:
+                # Sequential flow simply continues; nothing left to do.
+                self._pending = None
+                return True
+        if pending.slots_remaining == 0:
+            if now < pending.resolve_at:
+                self._stall(StallReason.BRANCH_UNRESOLVED)
+                return False
+            # Taken (not-taken branches were cleared at notification).
+            self.frontend.redirect(pending.target, now)
+            self._pending = None
+        return True
+
+    def step(self, now: int) -> bool:
+        """Attempt to issue one instruction.  Returns True if one issued."""
+        if self.halted:
+            return False
+        if not self._handle_branch_bookkeeping(now):
+            return False
+        fetched = self.frontend.next_instruction()
+        if fetched is None:
+            self._stall(StallReason.FRONTEND)
+            return False
+        pc, instruction, size = fetched
+        if instruction.op.is_branch and self._pending is not None:
+            self._stall(StallReason.BRANCH_OVERLAP)
+            return False
+        effects = queue_effects(instruction)
+        if effects.pops_ldq and not self.engine.ldq_has_data():
+            self._stall(StallReason.LDQ_EMPTY)
+            return False
+        if effects.pushes_laq and self.engine.laq_full:
+            self._stall(StallReason.LAQ_FULL)
+            return False
+        if effects.pushes_saq and self.engine.saq_full:
+            self._stall(StallReason.SAQ_FULL)
+            return False
+        if effects.pushes_sdq and self.engine.sdq_full:
+            self._stall(StallReason.SDQ_FULL)
+            return False
+
+        outcome = execute(instruction, self.state, self._env)
+        self.frontend.consume(now)
+        self.instructions += 1
+        self.last_pc = pc
+        if outcome.halted:
+            self.halted = True
+            return True
+        if outcome.is_branch:
+            self.branches += 1
+            if outcome.branch_taken:
+                self.branches_taken += 1
+            self._pending = _PendingBranch(
+                target=outcome.branch_target,
+                taken=outcome.branch_taken,
+                resolve_at=now + self.branch_resolution_latency,
+                slots_remaining=outcome.branch_delay,
+            )
+            self.frontend.note_branch(
+                pc, pc + size, outcome.branch_delay, outcome.branch_target
+            )
+        elif self._pending is not None:
+            self._pending.slots_remaining -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def total_stalls(self) -> int:
+        return sum(self.stalls.values())

@@ -1,0 +1,122 @@
+"""The fetch-unit interface both strategies implement.
+
+The cycle-level simulator drives a fetch unit through this protocol each
+cycle, in this order:
+
+1. :meth:`FetchUnit.update` — *pre-issue*: react to data that arrived on
+   the input bus this cycle (promote starving prefetches to demand,
+   move arrived bytes toward the decoder) so the back-end can issue in
+   the same cycle the data lands;
+2. the back-end calls :meth:`next_instruction` / :meth:`consume` (and
+   possibly :meth:`note_branch` / :meth:`branch_resolved` /
+   :meth:`redirect`);
+3. :meth:`post_issue` — start new cache refills and queue transfers so
+   the next cycle's instruction is staged;
+4. the memory system polls :meth:`poll_requests` during output-bus
+   arbitration.
+
+Fetch units also expose per-strategy statistics via :attr:`FetchStats`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..isa.encoding import InstructionFormat, decode_instruction
+from ..isa.instruction import Instruction
+from ..memory.requests import MemoryRequest
+
+__all__ = ["FetchStats", "FetchUnit", "decode_at", "delay_region_end"]
+
+
+@dataclass
+class FetchStats:
+    """Frontend-side statistics common to both strategies."""
+
+    instructions_supplied: int = 0
+    demand_requests: int = 0
+    prefetch_requests: int = 0
+    prefetch_promotions: int = 0  #: prefetches promoted to demand in flight
+    redirects: int = 0
+    squashed_instructions: int = 0  #: IQ entries dropped at redirects
+
+
+def decode_at(image: bytes | bytearray, fmt: InstructionFormat, pc: int):
+    """Decode the instruction at ``pc`` → ``(instruction, size)``."""
+    return decode_instruction(image, pc, fmt)
+
+
+def delay_region_end(
+    image: bytes | bytearray, fmt: InstructionFormat, next_pc: int, delay: int
+) -> int:
+    """Byte address just past the ``delay`` instructions following a PBR.
+
+    ``next_pc`` is the address of the first delay-slot instruction.  The
+    fetch control logic uses this to know how far the *guaranteed*
+    sequential stream extends (paper section 4.2).
+    """
+    pc = next_pc
+    for _ in range(delay):
+        _instruction, size = decode_instruction(image, pc, fmt)
+        pc += size
+    return pc
+
+
+class FetchUnit(abc.ABC):
+    """Abstract instruction-fetch frontend."""
+
+    stats: FetchStats
+    #: set by :meth:`halt`; no new fetch work may start afterwards
+    _halted: bool = False
+
+    def halt(self) -> None:
+        """The back-end issued HALT: stop generating fetch work.
+
+        Requests already accepted by the memory complete naturally; any
+        request still waiting for the output bus is withdrawn.
+        """
+        self._halted = True
+
+    # -- per-cycle phases ------------------------------------------------
+    @abc.abstractmethod
+    def update(self, now: int) -> None:
+        """Pre-issue phase (after input-bus deliveries)."""
+
+    @abc.abstractmethod
+    def post_issue(self, now: int) -> None:
+        """Post-issue phase (stage work for the next cycle)."""
+
+    # -- decoder interface -------------------------------------------------
+    @abc.abstractmethod
+    def next_instruction(self) -> tuple[int, Instruction, int] | None:
+        """The instruction ready to issue: ``(pc, instruction, size)``.
+
+        ``None`` means the frontend cannot supply one this cycle.
+        """
+
+    @abc.abstractmethod
+    def consume(self, now: int) -> None:
+        """The back-end issued the instruction from :meth:`next_instruction`."""
+
+    # -- branch protocol ---------------------------------------------------
+    @abc.abstractmethod
+    def note_branch(self, pbr_pc: int, next_pc: int, delay: int, target: int) -> None:
+        """A PBR issued: ``delay`` slots follow; target already known."""
+
+    @abc.abstractmethod
+    def branch_resolved(self, taken: bool) -> None:
+        """The pending PBR's condition was evaluated."""
+
+    @abc.abstractmethod
+    def redirect(self, target: int, now: int) -> None:
+        """Issue reached the delay boundary of a taken branch."""
+
+    # -- memory request source ----------------------------------------------
+    @abc.abstractmethod
+    def poll_requests(self, now: int) -> list[MemoryRequest]:
+        """Offer at most one fetch request for output-bus arbitration."""
+
+    @abc.abstractmethod
+    def notify_accepted(self, request: MemoryRequest, now: int) -> None:
+        """A polled request won arbitration this cycle."""

@@ -1,0 +1,57 @@
+"""The PIPE-like instruction set architecture.
+
+This package defines the register model, opcode map, instruction value
+type, and the two binary encodings (native 16/32-bit parcels and the fixed
+32-bit format used for the paper's presented results).
+
+See :mod:`repro.isa.opcodes` for the instruction list and
+:mod:`repro.isa.encoding` for the memory layout.
+"""
+
+from .encoding import (
+    PARCEL_BYTES,
+    DecodeError,
+    InstructionFormat,
+    decode_instruction,
+    encode_instruction,
+    encode_program,
+)
+from .instruction import Instruction
+from .opcodes import (
+    BRANCH_CLASS_BIT,
+    BRANCH_CONDITIONS,
+    MAX_BRANCH_DELAY,
+    OpClass,
+    Opcode,
+)
+from .registers import (
+    NUM_BRANCH_REGISTERS,
+    NUM_DATA_REGISTERS,
+    NUM_VISIBLE_REGISTERS,
+    QUEUE_REGISTER,
+    branch_register_name,
+    data_register_name,
+    parse_register_name,
+)
+
+__all__ = [
+    "BRANCH_CLASS_BIT",
+    "BRANCH_CONDITIONS",
+    "DecodeError",
+    "Instruction",
+    "InstructionFormat",
+    "MAX_BRANCH_DELAY",
+    "NUM_BRANCH_REGISTERS",
+    "NUM_DATA_REGISTERS",
+    "NUM_VISIBLE_REGISTERS",
+    "OpClass",
+    "Opcode",
+    "PARCEL_BYTES",
+    "QUEUE_REGISTER",
+    "branch_register_name",
+    "data_register_name",
+    "decode_instruction",
+    "encode_instruction",
+    "encode_program",
+    "parse_register_name",
+]

@@ -1,0 +1,145 @@
+"""Binary encoding of instructions.
+
+Two encodings are supported, mirroring simulation parameter (1) of the
+paper ("instruction format"):
+
+* :attr:`InstructionFormat.PARCEL` — the native PIPE encoding.  An
+  instruction is one or two 16-bit *parcels*; the second parcel of a
+  two-parcel instruction holds a 16-bit immediate.
+* :attr:`InstructionFormat.FIXED32` — the fixed 32-bit format used for all
+  of the paper's presented results ("a different instruction format was
+  chosen in order to make comparisons to other machines that only have one
+  instruction format more realistic", section 6).  Every instruction
+  occupies 4 bytes; one-parcel instructions are padded with a zero parcel.
+
+First-parcel layout (bit 15 is the most significant)::
+
+    15      9 8     6 5     3 2     0
+    +--------+-------+-------+-------+
+    | opcode |   a   |   b   |   c   |
+    +--------+-------+-------+-------+
+
+Parcels are stored little-endian.  Bit 15 of the first parcel is the
+branch-class bit (see :data:`repro.isa.opcodes.BRANCH_CLASS_BIT`), so the
+fetch logic can detect a PBR instruction by examining a single bit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .instruction import Instruction
+from .opcodes import Opcode
+
+__all__ = [
+    "InstructionFormat",
+    "PARCEL_BYTES",
+    "DecodeError",
+    "encode_instruction",
+    "decode_instruction",
+    "encode_program",
+]
+
+#: Size of one parcel in bytes.
+PARCEL_BYTES = 2
+
+_OPCODE_SHIFT = 9
+_A_SHIFT = 6
+_B_SHIFT = 3
+_FIELD_MASK = 0x7
+_VALID_OPCODES = {op.value: op for op in Opcode}
+
+
+class DecodeError(ValueError):
+    """Raised when bytes do not decode to a valid instruction."""
+
+
+class InstructionFormat(enum.Enum):
+    """Selects how instructions are laid out in memory."""
+
+    PARCEL = "parcel"
+    FIXED32 = "fixed32"
+
+    def instruction_size(self, instruction: Instruction) -> int:
+        """Size in bytes that ``instruction`` occupies in this format."""
+        if self is InstructionFormat.FIXED32:
+            return 2 * PARCEL_BYTES
+        return instruction.parcels * PARCEL_BYTES
+
+    @property
+    def max_instruction_size(self) -> int:
+        """Upper bound on the byte size of any instruction."""
+        return 2 * PARCEL_BYTES
+
+
+def _pack_first_parcel(instruction: Instruction) -> int:
+    return (
+        (instruction.op.value << _OPCODE_SHIFT)
+        | (instruction.a << _A_SHIFT)
+        | (instruction.b << _B_SHIFT)
+        | instruction.c
+    )
+
+
+def encode_instruction(
+    instruction: Instruction, fmt: InstructionFormat = InstructionFormat.FIXED32
+) -> bytes:
+    """Encode one instruction to bytes in the given format."""
+    first = _pack_first_parcel(instruction)
+    parcels = [first]
+    if instruction.op.is_two_parcel:
+        parcels.append(instruction.imm)
+    elif fmt is InstructionFormat.FIXED32:
+        parcels.append(0)
+    out = bytearray()
+    for parcel in parcels:
+        out += parcel.to_bytes(PARCEL_BYTES, "little")
+    return bytes(out)
+
+
+def decode_instruction(
+    data: bytes, offset: int = 0, fmt: InstructionFormat = InstructionFormat.FIXED32
+) -> tuple[Instruction, int]:
+    """Decode one instruction from ``data`` at ``offset``.
+
+    Returns ``(instruction, size_in_bytes)``.  Raises :class:`DecodeError`
+    if the bytes are not a valid instruction (unknown opcode, truncated
+    parcel, or ill-formed fields).
+    """
+    if offset + PARCEL_BYTES > len(data):
+        raise DecodeError(f"truncated instruction at offset {offset}")
+    first = int.from_bytes(data[offset : offset + PARCEL_BYTES], "little")
+    op_value = first >> _OPCODE_SHIFT
+    op = _VALID_OPCODES.get(op_value)
+    if op is None:
+        raise DecodeError(f"unknown opcode {op_value:#04x} at offset {offset}")
+    a = (first >> _A_SHIFT) & _FIELD_MASK
+    b = (first >> _B_SHIFT) & _FIELD_MASK
+    c = first & _FIELD_MASK
+    imm = 0
+    size = PARCEL_BYTES
+    if op.is_two_parcel:
+        if offset + 2 * PARCEL_BYTES > len(data):
+            raise DecodeError(f"truncated immediate parcel at offset {offset}")
+        imm = int.from_bytes(
+            data[offset + PARCEL_BYTES : offset + 2 * PARCEL_BYTES], "little"
+        )
+        size = 2 * PARCEL_BYTES
+    elif fmt is InstructionFormat.FIXED32:
+        size = 2 * PARCEL_BYTES
+    try:
+        instruction = Instruction(op, a=a, b=b, c=c, imm=imm)
+    except ValueError as exc:  # ill-formed fields (e.g. branch delay > 7)
+        raise DecodeError(str(exc)) from exc
+    return instruction, size
+
+
+def encode_program(
+    instructions: list[Instruction],
+    fmt: InstructionFormat = InstructionFormat.FIXED32,
+) -> bytes:
+    """Encode a straight-line sequence of instructions back to back."""
+    out = bytearray()
+    for instruction in instructions:
+        out += encode_instruction(instruction, fmt)
+    return bytes(out)

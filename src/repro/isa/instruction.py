@@ -1,0 +1,220 @@
+"""The :class:`Instruction` value type and its disassembly.
+
+An instruction is a plain immutable record of an opcode plus three 3-bit
+fields (``a``, ``b``, ``c``) and an optional 16-bit immediate.  Field
+meaning depends on the opcode class (the *positions* are fixed, per the
+paper's decode-simplicity argument):
+
+========  =========  =========  =========  =============
+class     a          b          c          imm
+========  =========  =========  =========  =============
+ALU_RR    rd         rs1        rs2        —
+ALU_RI    rd         rs1        —          16-bit value
+LOAD/ST   —          rs1 base   rs2 index  displacement
+LBR/LBRR  breg       rs1        —          address
+BRANCH    breg       rs1 cond   delay      —
+========  =========  =========  =========  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .opcodes import MAX_BRANCH_DELAY, OpClass, Opcode
+from .registers import (
+    branch_register_name,
+    check_branch_register,
+    check_data_register,
+    data_register_name,
+)
+
+__all__ = ["Instruction"]
+
+_FIELD_MASK = 0x7
+_IMM_MIN = -(1 << 15)
+_IMM_UMAX = (1 << 16) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded (or not-yet-encoded) instruction.
+
+    ``imm`` is stored as the raw 16-bit pattern (0..65535); use
+    :attr:`imm_signed` for the sign-extended view.  Constructors accept
+    either signed or unsigned values in the representable range.
+    """
+
+    op: Opcode
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("a", "b", "c"):
+            value = getattr(self, field_name)
+            if not 0 <= value <= _FIELD_MASK:
+                raise ValueError(
+                    f"{self.op.mnemonic}: field {field_name}={value!r} "
+                    f"out of range 0..{_FIELD_MASK}"
+                )
+        if not _IMM_MIN <= self.imm <= _IMM_UMAX:
+            raise ValueError(
+                f"{self.op.mnemonic}: immediate {self.imm!r} does not fit in 16 bits"
+            )
+        if self.imm < 0:
+            object.__setattr__(self, "imm", self.imm & 0xFFFF)
+        if not self.op.is_two_parcel and self.imm != 0:
+            raise ValueError(
+                f"{self.op.mnemonic} is a one-parcel instruction; it has no immediate"
+            )
+        if self.op.op_class == OpClass.BRANCH and self.c > MAX_BRANCH_DELAY:
+            raise ValueError(f"branch delay {self.c} exceeds {MAX_BRANCH_DELAY}")
+
+    # ------------------------------------------------------------------
+    # Field views
+    # ------------------------------------------------------------------
+    @property
+    def imm_signed(self) -> int:
+        """The immediate sign-extended from 16 bits."""
+        return self.imm - 0x10000 if self.imm & 0x8000 else self.imm
+
+    @property
+    def rd(self) -> int:
+        """Destination data register (ALU classes only)."""
+        return self.a
+
+    @property
+    def rs1(self) -> int:
+        return self.b
+
+    @property
+    def rs2(self) -> int:
+        return self.c
+
+    @property
+    def breg(self) -> int:
+        """Branch register (LBR/LBRR/PBR families)."""
+        return self.a
+
+    @property
+    def delay(self) -> int:
+        """Delay-slot count of a PBR instruction."""
+        return self.c
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op.is_branch
+
+    @property
+    def parcels(self) -> int:
+        """Number of 16-bit parcels this instruction occupies."""
+        return 2 if self.op.is_two_parcel else 1
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def alu_rr(op: Opcode, rd: int, rs1: int, rs2: int) -> "Instruction":
+        if op.op_class != OpClass.ALU_RR:
+            raise ValueError(f"{op.mnemonic} is not a register-register ALU op")
+        for reg in (rd, rs1, rs2):
+            check_data_register(reg)
+        return Instruction(op, a=rd, b=rs1, c=rs2)
+
+    @staticmethod
+    def alu_ri(op: Opcode, rd: int, rs1: int, imm: int) -> "Instruction":
+        if op.op_class != OpClass.ALU_RI:
+            raise ValueError(f"{op.mnemonic} is not a register-immediate ALU op")
+        check_data_register(rd)
+        check_data_register(rs1)
+        return Instruction(op, a=rd, b=rs1, imm=imm)
+
+    @staticmethod
+    def load(base: int, displacement: int = 0) -> "Instruction":
+        """``ld`` — push ``R[base] + displacement`` onto the LAQ."""
+        check_data_register(base)
+        return Instruction(Opcode.LD, b=base, imm=displacement)
+
+    @staticmethod
+    def load_indexed(base: int, index: int) -> "Instruction":
+        """``ldx`` — push ``R[base] + R[index]`` onto the LAQ."""
+        check_data_register(base)
+        check_data_register(index)
+        return Instruction(Opcode.LDX, b=base, c=index)
+
+    @staticmethod
+    def store(base: int, displacement: int = 0) -> "Instruction":
+        """``st`` — push ``R[base] + displacement`` onto the SAQ."""
+        check_data_register(base)
+        return Instruction(Opcode.ST, b=base, imm=displacement)
+
+    @staticmethod
+    def store_indexed(base: int, index: int) -> "Instruction":
+        """``stx`` — push ``R[base] + R[index]`` onto the SAQ."""
+        check_data_register(base)
+        check_data_register(index)
+        return Instruction(Opcode.STX, b=base, c=index)
+
+    @staticmethod
+    def load_branch_register(breg: int, address: int) -> "Instruction":
+        check_branch_register(breg)
+        return Instruction(Opcode.LBR, a=breg, imm=address)
+
+    @staticmethod
+    def branch(op: Opcode, breg: int, cond_reg: int = 0, delay: int = 0) -> "Instruction":
+        if op.op_class != OpClass.BRANCH:
+            raise ValueError(f"{op.mnemonic} is not a prepare-to-branch op")
+        check_branch_register(breg)
+        check_data_register(cond_reg)
+        return Instruction(op, a=breg, b=cond_reg, c=delay)
+
+    @staticmethod
+    def nop() -> "Instruction":
+        return Instruction(Opcode.NOP)
+
+    @staticmethod
+    def halt() -> "Instruction":
+        return Instruction(Opcode.HALT)
+
+    # ------------------------------------------------------------------
+    # Disassembly
+    # ------------------------------------------------------------------
+    def disassemble(self) -> str:
+        """Render in the same assembly syntax :mod:`repro.asm` accepts."""
+        op = self.op
+        cls = op.op_class
+        m = op.mnemonic
+        if cls == OpClass.SYSTEM:
+            return m
+        if cls == OpClass.ALU_RR:
+            return (
+                f"{m} {data_register_name(self.a)}, "
+                f"{data_register_name(self.b)}, {data_register_name(self.c)}"
+            )
+        if cls == OpClass.ALU_RI:
+            if op == Opcode.LI or op == Opcode.LIH:
+                return f"{m} {data_register_name(self.a)}, {self.imm_signed}"
+            return (
+                f"{m} {data_register_name(self.a)}, "
+                f"{data_register_name(self.b)}, {self.imm_signed}"
+            )
+        if op in (Opcode.LD, Opcode.ST):
+            return f"{m} {data_register_name(self.b)}, {self.imm_signed}"
+        if op in (Opcode.LDX, Opcode.STX):
+            return f"{m} {data_register_name(self.b)}, {data_register_name(self.c)}"
+        if op == Opcode.LBR:
+            return f"{m} {branch_register_name(self.a)}, {self.imm}"
+        if op == Opcode.LBRR:
+            return f"{m} {branch_register_name(self.a)}, {data_register_name(self.b)}"
+        if cls == OpClass.BRANCH:
+            if op == Opcode.PBRA:
+                return f"{m} {branch_register_name(self.a)}, {self.c}"
+            return (
+                f"{m} {branch_register_name(self.a)}, "
+                f"{data_register_name(self.b)}, {self.c}"
+            )
+        raise AssertionError(f"unhandled opcode {op!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.disassemble()

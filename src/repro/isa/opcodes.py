@@ -1,0 +1,225 @@
+"""Opcode definitions for the PIPE-like instruction set.
+
+The instruction set follows the description in section 3.1.1 of the paper:
+
+* instructions come in **one-parcel** (16-bit) and **two-parcel** (32-bit)
+  forms; the second parcel of a two-parcel instruction is a 16-bit immediate;
+* the register fields occupy the same bit positions in every instruction,
+  "greatly simplifying the decode logic";
+* the presence of a branch is "determined by a single bit of the opcode"
+  (section 4.2) so the I-fetch control logic can scan the instruction queue
+  for prepare-to-branch instructions without a full decode.  We reserve the
+  top bit of the 7-bit opcode field for exactly this purpose
+  (:data:`BRANCH_CLASS_BIT`).
+
+The concrete opcode assignments are ours — the paper does not publish an
+opcode map — but every architectural property the simulation study relies on
+(parcel sizes, the branch bit, queue-register semantics, PBR delay counts)
+is preserved.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "BRANCH_CLASS_BIT",
+    "OPCODE_BITS",
+    "BRANCH_CONDITIONS",
+    "MAX_BRANCH_DELAY",
+]
+
+#: Width of the opcode field in the first parcel.
+OPCODE_BITS = 7
+
+#: Bit within the opcode field that marks the prepare-to-branch class.
+#: The fetch logic tests only this bit when scanning the IQ for branches.
+BRANCH_CLASS_BIT = 0x40
+
+#: Largest delay-slot count expressible in a PBR instruction (3-bit field).
+MAX_BRANCH_DELAY = 7
+
+
+class OpClass(enum.Enum):
+    """Coarse behavioural class of an opcode.
+
+    The simulator dispatches on this class rather than on individual
+    opcodes wherever possible.
+    """
+
+    ALU_RR = "alu_rr"  #: register-register ALU operation, writes rd
+    ALU_RI = "alu_ri"  #: register-immediate ALU operation, writes rd
+    LOAD = "load"  #: pushes an address on the Load Address Queue
+    STORE = "store"  #: pushes an address on the Store Address Queue
+    BRANCH = "branch"  #: prepare-to-branch family
+    LBR = "lbr"  #: loads a branch register
+    SYSTEM = "system"  #: NOP / HALT / EXCH
+
+
+class Opcode(enum.IntEnum):
+    """All opcodes, with encoding values.
+
+    Values ``0x40`` and above belong to the branch class (their
+    :data:`BRANCH_CLASS_BIT` is set).
+    """
+
+    # --- system ---------------------------------------------------------
+    NOP = 0x00
+    HALT = 0x01
+    EXCH = 0x02  # swap foreground/background register banks
+
+    # --- register-register ALU (one parcel) -----------------------------
+    ADD = 0x04
+    SUB = 0x05
+    AND = 0x06
+    OR = 0x07
+    XOR = 0x08
+    SLL = 0x09
+    SRL = 0x0A
+    SRA = 0x0B
+    SEQ = 0x0C  # rd = (rs1 == rs2)
+    SNE = 0x0D  # rd = (rs1 != rs2)
+    SLT = 0x0E  # rd = (rs1 <  rs2), signed
+    SLE = 0x0F  # rd = (rs1 <= rs2), signed
+
+    # --- indexed memory (one parcel) -------------------------------------
+    LDX = 0x10  # LAQ.push(rs1 + rs2)
+    STX = 0x11  # SAQ.push(rs1 + rs2)
+
+    # --- branch-register transport (one parcel) --------------------------
+    LBRR = 0x12  # breg[a] = rs1
+
+    # --- register-immediate ALU (two parcels) ----------------------------
+    ADDI = 0x20
+    SUBI = 0x21
+    ANDI = 0x22
+    ORI = 0x23
+    XORI = 0x24
+    SLLI = 0x25
+    SRLI = 0x26
+    SRAI = 0x27
+    SEQI = 0x28
+    SNEI = 0x29
+    SLTI = 0x2A
+    SLEI = 0x2B
+    LI = 0x2C  # rd = sign_extend(imm16)
+    LIH = 0x2D  # rd = (rd & 0xFFFF) | (imm16 << 16)
+
+    # --- displacement memory (two parcels) -------------------------------
+    LD = 0x30  # LAQ.push(rs1 + sext(imm16))
+    ST = 0x31  # SAQ.push(rs1 + sext(imm16))
+
+    # --- branch-register load (two parcels) ------------------------------
+    LBR = 0x32  # breg[a] = imm16 (an absolute byte address)
+
+    # --- prepare-to-branch class (one parcel, BRANCH_CLASS_BIT set) ------
+    PBRA = 0x40  # unconditional
+    PBREQ = 0x41  # taken if rs1 == 0
+    PBRNE = 0x42  # taken if rs1 != 0
+    PBRLT = 0x43  # taken if rs1 <  0 (signed)
+    PBRGE = 0x44  # taken if rs1 >= 0 (signed)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for the PBR family — testable from the single branch bit."""
+        return bool(self.value & BRANCH_CLASS_BIT)
+
+    @property
+    def op_class(self) -> OpClass:
+        return _OP_CLASS[self]
+
+    @property
+    def is_two_parcel(self) -> bool:
+        """True if the instruction carries a 16-bit immediate parcel."""
+        return self in _TWO_PARCEL
+
+    @property
+    def writes_rd(self) -> bool:
+        """True if the instruction writes its ``a`` field register."""
+        return self.op_class in (OpClass.ALU_RR, OpClass.ALU_RI)
+
+    @property
+    def reads_rs1(self) -> bool:
+        """True if the instruction reads the register in its ``b`` field."""
+        return self in _READS_RS1
+
+    @property
+    def reads_rs2(self) -> bool:
+        """True if the instruction reads the register in its ``c`` field."""
+        return self.op_class == OpClass.ALU_RR or self in (Opcode.LDX, Opcode.STX)
+
+    @property
+    def mnemonic(self) -> str:
+        return self.name.lower()
+
+
+_OP_CLASS: dict[Opcode, OpClass] = {
+    Opcode.NOP: OpClass.SYSTEM,
+    Opcode.HALT: OpClass.SYSTEM,
+    Opcode.EXCH: OpClass.SYSTEM,
+    Opcode.ADD: OpClass.ALU_RR,
+    Opcode.SUB: OpClass.ALU_RR,
+    Opcode.AND: OpClass.ALU_RR,
+    Opcode.OR: OpClass.ALU_RR,
+    Opcode.XOR: OpClass.ALU_RR,
+    Opcode.SLL: OpClass.ALU_RR,
+    Opcode.SRL: OpClass.ALU_RR,
+    Opcode.SRA: OpClass.ALU_RR,
+    Opcode.SEQ: OpClass.ALU_RR,
+    Opcode.SNE: OpClass.ALU_RR,
+    Opcode.SLT: OpClass.ALU_RR,
+    Opcode.SLE: OpClass.ALU_RR,
+    Opcode.LDX: OpClass.LOAD,
+    Opcode.STX: OpClass.STORE,
+    Opcode.LBRR: OpClass.LBR,
+    Opcode.ADDI: OpClass.ALU_RI,
+    Opcode.SUBI: OpClass.ALU_RI,
+    Opcode.ANDI: OpClass.ALU_RI,
+    Opcode.ORI: OpClass.ALU_RI,
+    Opcode.XORI: OpClass.ALU_RI,
+    Opcode.SLLI: OpClass.ALU_RI,
+    Opcode.SRLI: OpClass.ALU_RI,
+    Opcode.SRAI: OpClass.ALU_RI,
+    Opcode.SEQI: OpClass.ALU_RI,
+    Opcode.SNEI: OpClass.ALU_RI,
+    Opcode.SLTI: OpClass.ALU_RI,
+    Opcode.SLEI: OpClass.ALU_RI,
+    Opcode.LI: OpClass.ALU_RI,
+    Opcode.LIH: OpClass.ALU_RI,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.LBR: OpClass.LBR,
+    Opcode.PBRA: OpClass.BRANCH,
+    Opcode.PBREQ: OpClass.BRANCH,
+    Opcode.PBRNE: OpClass.BRANCH,
+    Opcode.PBRLT: OpClass.BRANCH,
+    Opcode.PBRGE: OpClass.BRANCH,
+}
+
+_TWO_PARCEL: frozenset[Opcode] = frozenset(
+    op
+    for op in Opcode
+    if op.op_class == OpClass.ALU_RI or op in (Opcode.LD, Opcode.ST, Opcode.LBR)
+)
+
+# Instructions that read the register named in their ``b`` field.  LI only
+# writes; LIH reads its *destination* (rd), which is handled specially by the
+# executor.  PBRA ignores its condition register.
+_READS_RS1: frozenset[Opcode] = frozenset(
+    op
+    for op in Opcode
+    if op.op_class in (OpClass.ALU_RR, OpClass.LOAD, OpClass.STORE)
+    or op in (Opcode.LBRR, Opcode.PBREQ, Opcode.PBRNE, Opcode.PBRLT, Opcode.PBRGE)
+    or (op.op_class == OpClass.ALU_RI and op not in (Opcode.LI, Opcode.LIH))
+)
+
+#: The conditional members of the PBR family, mapped to predicate names.
+BRANCH_CONDITIONS: dict[Opcode, str] = {
+    Opcode.PBRA: "always",
+    Opcode.PBREQ: "eq",
+    Opcode.PBRNE: "ne",
+    Opcode.PBRLT: "lt",
+    Opcode.PBRGE: "ge",
+}

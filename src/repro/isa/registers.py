@@ -1,0 +1,99 @@
+"""Register model of the PIPE-like architecture.
+
+The PIPE processor (Farrens & Pleszkun, ISCA 1989, section 3.1) provides:
+
+* sixteen 32-bit data registers split into a *foreground* bank of 8 and a
+  *background* bank of 8.  Instructions only name the 8 foreground registers
+  (3-bit register fields); an ``EXCH`` instruction swaps the banks, which is
+  how PIPE speeds up subroutine calls.
+* register 7 (:data:`QUEUE_REGISTER`) is the *queue register*: reading it as
+  a source pops the head of the Load Data Queue (LDQ); naming it as a
+  destination pushes the result onto the Store Data Queue (SDQ).  R7 has no
+  backing storage of its own.
+* eight *branch registers* that hold branch-target addresses for the
+  prepare-to-branch (PBR) instruction.
+
+This module only defines names, ranges, and validation helpers; the actual
+register *state* (including the foreground/background banks) lives in
+:mod:`repro.cpu.state`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NUM_VISIBLE_REGISTERS",
+    "NUM_DATA_REGISTERS",
+    "NUM_BRANCH_REGISTERS",
+    "QUEUE_REGISTER",
+    "data_register_name",
+    "branch_register_name",
+    "parse_register_name",
+    "check_data_register",
+    "check_branch_register",
+]
+
+#: Number of data registers an instruction can name (3-bit fields).
+NUM_VISIBLE_REGISTERS = 8
+
+#: Total number of physical data registers (foreground + background banks).
+NUM_DATA_REGISTERS = 16
+
+#: Number of branch registers available to PBR / LBR instructions.
+NUM_BRANCH_REGISTERS = 8
+
+#: The architectural queue register.  Reads pop the LDQ, writes push the SDQ.
+QUEUE_REGISTER = 7
+
+
+def data_register_name(index: int) -> str:
+    """Return the assembly-language name of data register ``index``.
+
+    The queue register gets its conventional alias ``q`` in disassembly-
+    friendly form ``r7``; we keep ``r7`` as the canonical name because the
+    paper consistently calls it "register 7".
+    """
+    check_data_register(index)
+    return f"r{index}"
+
+
+def branch_register_name(index: int) -> str:
+    """Return the assembly-language name of branch register ``index``."""
+    check_branch_register(index)
+    return f"b{index}"
+
+
+def check_data_register(index: int) -> None:
+    """Raise :class:`ValueError` unless ``index`` names a visible register."""
+    if not 0 <= index < NUM_VISIBLE_REGISTERS:
+        raise ValueError(
+            f"data register index {index!r} out of range 0..{NUM_VISIBLE_REGISTERS - 1}"
+        )
+
+
+def check_branch_register(index: int) -> None:
+    """Raise :class:`ValueError` unless ``index`` names a branch register."""
+    if not 0 <= index < NUM_BRANCH_REGISTERS:
+        raise ValueError(
+            f"branch register index {index!r} out of range 0..{NUM_BRANCH_REGISTERS - 1}"
+        )
+
+
+def parse_register_name(name: str) -> tuple[str, int]:
+    """Parse a register name into a ``(kind, index)`` pair.
+
+    ``kind`` is ``"data"`` for ``r0``..``r7`` (and the alias ``q`` for
+    ``r7``) or ``"branch"`` for ``b0``..``b7``.
+
+    Raises :class:`ValueError` for anything else.
+    """
+    text = name.strip().lower()
+    if text == "q":
+        return ("data", QUEUE_REGISTER)
+    if len(text) >= 2 and text[0] in ("r", "b") and text[1:].isdigit():
+        index = int(text[1:])
+        if text[0] == "r":
+            check_data_register(index)
+            return ("data", index)
+        check_branch_register(index)
+        return ("branch", index)
+    raise ValueError(f"not a register name: {name!r}")

@@ -1,0 +1,73 @@
+"""The benchmark workload: Livermore Loops 1-14 and their compiler.
+
+* :mod:`repro.kernels.dsl` — the kernel description language;
+* :mod:`repro.kernels.codegen` — DSL → PIPE assembly;
+* :mod:`repro.kernels.loops` — the 14 loop definitions + shared arrays;
+* :mod:`repro.kernels.reference` — float32-exact reference interpreter;
+* :mod:`repro.kernels.suite` — assembles the full benchmark program.
+"""
+
+from .codegen import CompileError, CompiledKernel, KernelCompiler, compile_kernel
+from .dsl import (
+    Affine,
+    ArrayDecl,
+    BinOp,
+    ConstRef,
+    Indirect,
+    Kernel,
+    Load,
+    LoadIndirect,
+    ScalarRef,
+    ScalarUpdate,
+    Store,
+    add,
+    div,
+    mul,
+    sub,
+)
+from .loops import (
+    PAPER_INNER_LOOP_BYTES,
+    PAPER_TOTAL_INSTRUCTIONS,
+    make_kernels,
+    make_shared_arrays,
+)
+from .reference import f32, run_kernel_reference, run_suite_reference
+from .suite import (
+    LivermoreSuite,
+    build_livermore_program,
+    build_livermore_suite,
+    cached_livermore_suite,
+)
+
+__all__ = [
+    "Affine",
+    "ArrayDecl",
+    "BinOp",
+    "CompileError",
+    "CompiledKernel",
+    "ConstRef",
+    "Indirect",
+    "Kernel",
+    "KernelCompiler",
+    "LivermoreSuite",
+    "Load",
+    "LoadIndirect",
+    "PAPER_INNER_LOOP_BYTES",
+    "PAPER_TOTAL_INSTRUCTIONS",
+    "ScalarRef",
+    "ScalarUpdate",
+    "Store",
+    "add",
+    "build_livermore_program",
+    "build_livermore_suite",
+    "cached_livermore_suite",
+    "compile_kernel",
+    "div",
+    "f32",
+    "make_kernels",
+    "make_shared_arrays",
+    "mul",
+    "run_kernel_reference",
+    "run_suite_reference",
+    "sub",
+]

@@ -1,0 +1,503 @@
+"""Code generation: Livermore kernel DSL → PIPE assembly.
+
+This is a miniature version of the PIPE compiler the paper used.  It
+lowers each :class:`~repro.kernels.dsl.Kernel` to a single inner loop of
+PIPE assembly with the idioms the architecture is built around:
+
+* array accesses become single ``ld``/``st`` instructions off induction
+  registers (``r0`` holds ``4*i``; additional induction registers are
+  kept for non-unit strides, strength-reduced in the delay slots);
+* every FPU operation is a store pair to the memory-mapped FPU followed
+  by a load of the result, so each float multiply/add generates the high
+  data-request rate the paper's evaluation depends on (section 5);
+* intermediate values ride the architectural load-data queue (register
+  7) wherever FIFO order allows, and are popped to scratch registers
+  only when a second pending value would break queue order — the
+  compiler simulates the LDQ symbolically during emission and *asserts*
+  the FIFO discipline, so a miscompile fails loudly at build time;
+* loops end in a prepare-to-branch whose delay slots are filled with the
+  tail of the loop body plus the induction updates, exactly the style
+  section 3.1.3 describes (the compiler "can easily generate code with
+  an average of 4 instructions ... after a branch").
+
+Register convention (visible set r0–r7):
+
+====  =======================================================
+r0    primary induction: byte offset ``4*i``
+r1    trip counter, counting down to zero
+r2-5  pool: extra inductions, scalars, constants, scratch
+r6    FPU window base (set once by the suite preamble)
+r7    the architectural queue register
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..memory.fpu import FPU_BASE
+from .dsl import (
+    Affine,
+    BinOp,
+    ConstRef,
+    Expr,
+    Indirect,
+    Kernel,
+    Load,
+    LoadIndirect,
+    ScalarRef,
+    ScalarUpdate,
+    Statement,
+    Store,
+)
+
+__all__ = ["CompileError", "CompiledKernel", "KernelCompiler", "FPU_BASE_REGISTER"]
+
+#: Register that permanently holds the FPU window base for the whole program.
+FPU_BASE_REGISTER = 6
+
+_POOL = (2, 3, 4, 5)
+_WORD = 4
+_FPU_OPA_OFF = 0x00
+_FPU_TRIG_OFF = {"+": 0x04, "-": 0x08, "*": 0x0C, "/": 0x10}
+_FPU_RESULT_OFF = 0x20
+_MAX_DELAY = 7
+
+
+class CompileError(Exception):
+    """The kernel does not fit the compiler's register budget/shape."""
+
+
+@dataclass
+class CompiledKernel:
+    """Assembly text plus bookkeeping for one kernel."""
+
+    kernel: Kernel
+    preamble: list[str]
+    loop_body: list[str]  #: everything between the inner-loop markers
+    epilogue: list[str]
+    data: list[str]
+
+    @property
+    def text_lines(self) -> list[str]:
+        label = self.kernel.label
+        lines = [f"{label}:"]
+        lines += [f"        {line}" for line in self.preamble]
+        lines.append(f"        .marker {label}.inner.begin")
+        lines.append(f"{label}.loop:")
+        lines += [f"        {line}" for line in self.loop_body]
+        lines.append(f"        .marker {label}.inner.end")
+        lines += [f"        {line}" for line in self.epilogue]
+        return lines
+
+    @property
+    def body_instruction_count(self) -> int:
+        return len(self.loop_body)
+
+
+@dataclass
+class _Value:
+    """Where an evaluated FP expression's value currently lives."""
+
+    kind: str  #: "ldq" (pending in the load data queue) or "reg"
+    reg: int | None = None
+    temp: bool = False  #: reg is a scratch to free after consumption
+    tag: str = ""  #: symbolic LDQ tag (FIFO assertion)
+
+
+class KernelCompiler:
+    """Compiles one kernel.  Instantiate per kernel; single use."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.label = kernel.label
+        self.lines: list[str] = []
+        self._ldq_model: deque[str] = deque()
+        self._tag_counter = 0
+
+        # ---- register assignment ----------------------------------------
+        pool = list(_POOL)
+        self.induction_regs: dict[int, int] = {}  # mult -> register
+        for mult in sorted(self._distinct_mults()):
+            if not pool:
+                raise CompileError(
+                    f"{self.label}: too many distinct strides for the pool"
+                )
+            self.induction_regs[mult] = pool.pop(0)
+        self.scalar_regs: dict[str, int] = {}
+        for name in kernel.scalars:
+            if not pool:
+                raise CompileError(f"{self.label}: too many loop-carried scalars")
+            self.scalar_regs[name] = pool.pop(0)
+        # Constants: keep them in registers when the pool allows at least
+        # two scratch registers; otherwise address them via a pool base.
+        self.const_regs: dict[str, int] = {}
+        self.const_pool_reg: int | None = None
+        self.const_order = list(kernel.consts)
+        if kernel.consts:
+            if len(kernel.consts) <= max(0, len(pool) - 2):
+                for name in self.const_order:
+                    self.const_regs[name] = pool.pop(0)
+            else:
+                if not pool:
+                    raise CompileError(f"{self.label}: no register for const pool")
+                self.const_pool_reg = pool.pop(0)
+        self._scratch_free = pool
+
+    # ------------------------------------------------------------------
+    # Shape analysis
+    # ------------------------------------------------------------------
+    def _distinct_mults(self) -> set[int]:
+        mults: set[int] = set()
+
+        def note(index) -> None:
+            if isinstance(index, Affine):
+                if index.mult == 0:
+                    raise CompileError(
+                        f"{self.label}: loop-invariant array accesses must be "
+                        "hoisted into scalars (mult=0 unsupported)"
+                    )
+                if index.mult != 1:
+                    mults.add(index.mult)
+            elif isinstance(index, Indirect):
+                note(index.index)
+
+        def walk(expr: Expr) -> None:
+            if isinstance(expr, Load):
+                note(expr.index)
+            elif isinstance(expr, LoadIndirect):
+                note(expr.pointer)
+            elif isinstance(expr, BinOp):
+                walk(expr.lhs)
+                walk(expr.rhs)
+
+        for statement in self.kernel.statements:
+            if isinstance(statement, Store):
+                note(statement.index)
+                walk(statement.expr)
+            else:
+                assert isinstance(statement, ScalarUpdate)
+                walk(statement.expr)
+        return mults
+
+    # ------------------------------------------------------------------
+    # Emission helpers (with a symbolic LDQ model asserting FIFO order)
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def _fresh_tag(self, hint: str) -> str:
+        self._tag_counter += 1
+        return f"{hint}#{self._tag_counter}"
+
+    def _emit_load(self, base_reg: int, displacement: str, hint: str) -> str:
+        """Emit ``ld`` and push its tag on the symbolic LDQ."""
+        tag = self._fresh_tag(hint)
+        self._emit(f"ld r{base_reg}, {displacement}")
+        self._ldq_model.append(tag)
+        return tag
+
+    def _assert_pop(self, expected_tag: str, what: str) -> None:
+        if not self._ldq_model:
+            raise CompileError(f"{self.label}: {what} pops an empty LDQ")
+        head = self._ldq_model.popleft()
+        if head != expected_tag:
+            raise CompileError(
+                f"{self.label}: LDQ order violation — {what} expected "
+                f"{expected_tag} but the queue head is {head}"
+            )
+
+    def _emit_qtoq(self, expected_tag: str) -> None:
+        self._assert_pop(expected_tag, "qtoq")
+        self._emit("qtoq")
+
+    def _emit_popq(self, reg: int, expected_tag: str) -> None:
+        self._assert_pop(expected_tag, f"popq r{reg}")
+        self._emit(f"popq r{reg}")
+
+    def _alloc_scratch(self) -> int:
+        if not self._scratch_free:
+            raise CompileError(
+                f"{self.label}: out of scratch registers — the expression "
+                "tree is too deep for the pool; split the statement"
+            )
+        return self._scratch_free.pop(0)
+
+    def _free_scratch(self, reg: int) -> None:
+        self._scratch_free.insert(0, reg)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def _affine_operand(self, array: str, index: Affine) -> tuple[int, str]:
+        """(base register, displacement expression) for an affine access."""
+        reg = 0 if index.mult == 1 else self.induction_regs[index.mult]
+        byte_offset = _WORD * index.offset
+        if byte_offset == 0:
+            return reg, array
+        if byte_offset > 0:
+            return reg, f"{array}+{byte_offset}"
+        return reg, f"{array}-{-byte_offset}"
+
+    def _emit_indirect_address(self, array: str, pointer: Indirect) -> int:
+        """Compute ``&array[ix[...] + offset]`` into a scratch register."""
+        base_reg, disp = self._affine_operand(pointer.index_array, pointer.index)
+        tag = self._emit_load(base_reg, disp, "index")
+        scratch = self._alloc_scratch()
+        self._emit_popq(scratch, tag)
+        self._emit(f"slli r{scratch}, r{scratch}, 2")
+        byte_offset = _WORD * pointer.offset
+        target = array if byte_offset == 0 else f"{array}+{byte_offset}"
+        self._emit(f"addi r{scratch}, r{scratch}, {target}")
+        return scratch
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _is_simple(self, expr: Expr) -> bool:
+        """Simple expressions feed an FPU operand without popping the LDQ."""
+        if isinstance(expr, (Load, ScalarRef)):
+            return True
+        if isinstance(expr, ConstRef):
+            return True  # register or pool-relative load, both push-only
+        return False
+
+    def _feed_simple(self, expr: Expr) -> None:
+        """Evaluate a simple expression and push its value onto the SDQ.
+
+        Must be called immediately after the matching FPU ``st`` so the
+        store pair stays adjacent.
+        """
+        if isinstance(expr, Load):
+            base_reg, disp = self._affine_operand(expr.array, expr.index)
+            tag = self._emit_load(base_reg, disp, expr.array)
+            self._emit_qtoq(tag)
+        elif isinstance(expr, ConstRef):
+            reg = self.const_regs.get(expr.name)
+            if reg is not None:
+                self._emit(f"pushq r{reg}")
+            else:
+                assert self.const_pool_reg is not None
+                offset = _WORD * self.const_order.index(expr.name)
+                tag = self._emit_load(self.const_pool_reg, str(offset), expr.name)
+                self._emit_qtoq(tag)
+        elif isinstance(expr, ScalarRef):
+            self._emit(f"pushq r{self.scalar_regs[expr.name]}")
+        else:  # pragma: no cover - guarded by _is_simple
+            raise AssertionError(f"{expr!r} is not simple")
+
+    def _consume(self, value: _Value) -> None:
+        """Push an already-evaluated value onto the SDQ."""
+        if value.kind == "ldq":
+            self._emit_qtoq(value.tag)
+        else:
+            assert value.reg is not None
+            self._emit(f"pushq r{value.reg}")
+            if value.temp:
+                self._free_scratch(value.reg)
+
+    def _force_reg(self, value: _Value) -> _Value:
+        """Ensure the value is in a register (popping the LDQ if pending)."""
+        if value.kind == "reg":
+            return value
+        scratch = self._alloc_scratch()
+        self._emit_popq(scratch, value.tag)
+        return _Value(kind="reg", reg=scratch, temp=True)
+
+    def _emit_fpu_store(self, offset: int) -> None:
+        disp = str(offset) if offset else "0"
+        self._emit(f"st r{FPU_BASE_REGISTER}, {disp}")
+
+    def _eval(self, expr: Expr) -> _Value:
+        """Evaluate ``expr``; the result is pending in the LDQ or a reg."""
+        if isinstance(expr, Load):
+            base_reg, disp = self._affine_operand(expr.array, expr.index)
+            tag = self._emit_load(base_reg, disp, expr.array)
+            return _Value(kind="ldq", tag=tag)
+        if isinstance(expr, LoadIndirect):
+            scratch = self._emit_indirect_address(expr.array, expr.pointer)
+            tag = self._emit_load(scratch, "0", f"{expr.array}[ind]")
+            self._free_scratch(scratch)
+            return _Value(kind="ldq", tag=tag)
+        if isinstance(expr, ConstRef):
+            reg = self.const_regs.get(expr.name)
+            if reg is not None:
+                return _Value(kind="reg", reg=reg)
+            assert self.const_pool_reg is not None
+            offset = _WORD * self.const_order.index(expr.name)
+            tag = self._emit_load(self.const_pool_reg, str(offset), expr.name)
+            return _Value(kind="ldq", tag=tag)
+        if isinstance(expr, ScalarRef):
+            return _Value(kind="reg", reg=self.scalar_regs[expr.name])
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr)
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _eval_binop(self, node: BinOp) -> _Value:
+        lhs, rhs = node.lhs, node.rhs
+        lhs_simple = self._is_simple(lhs)
+        rhs_simple = self._is_simple(rhs)
+        trigger = _FPU_TRIG_OFF[node.op]
+
+        if lhs_simple and rhs_simple:
+            self._emit_fpu_store(_FPU_OPA_OFF)
+            self._feed_simple(lhs)
+            self._emit_fpu_store(trigger)
+            self._feed_simple(rhs)
+        elif not lhs_simple and rhs_simple:
+            left = self._eval(lhs)  # pending at the LDQ head
+            self._emit_fpu_store(_FPU_OPA_OFF)
+            self._consume(left)
+            self._emit_fpu_store(trigger)
+            self._feed_simple(rhs)
+        elif lhs_simple and not rhs_simple:
+            if node.commutative:
+                right = self._eval(rhs)
+                self._emit_fpu_store(_FPU_OPA_OFF)
+                self._consume(right)
+                self._emit_fpu_store(trigger)
+                self._feed_simple(lhs)
+            else:
+                right = self._force_reg(self._eval(rhs))
+                self._emit_fpu_store(_FPU_OPA_OFF)
+                self._feed_simple(lhs)
+                self._emit_fpu_store(trigger)
+                self._consume(right)
+        else:
+            left = self._force_reg(self._eval(lhs))
+            right = self._eval(rhs)
+            self._emit_fpu_store(_FPU_OPA_OFF)
+            self._consume(left)
+            self._emit_fpu_store(trigger)
+            self._consume(right)
+        tag = self._emit_load(FPU_BASE_REGISTER, str(_FPU_RESULT_OFF), "fpu")
+        return _Value(kind="ldq", tag=tag)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _emit_statement(self, statement: Statement) -> None:
+        if isinstance(statement, Store):
+            if isinstance(statement.index, Indirect):
+                address_reg = self._emit_indirect_address(
+                    statement.array, statement.index
+                )
+                value = self._eval(statement.expr)
+                self._emit(f"st r{address_reg}, 0")
+                self._consume(value)
+                self._free_scratch(address_reg)
+            else:
+                value = self._eval(statement.expr)
+                base_reg, disp = self._affine_operand(
+                    statement.array, statement.index
+                )
+                self._emit(f"st r{base_reg}, {disp}")
+                self._consume(value)
+        elif isinstance(statement, ScalarUpdate):
+            value = self._eval(statement.expr)
+            target = self.scalar_regs[statement.name]
+            if value.kind == "ldq":
+                self._emit_popq(target, value.tag)
+            else:
+                assert value.reg is not None
+                if value.reg != target:
+                    self._emit(f"mov r{target}, r{value.reg}")
+                if value.temp:
+                    self._free_scratch(value.reg)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # Whole-kernel compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledKernel:
+        kernel = self.kernel
+        label = self.label
+
+        # ---- preamble ---------------------------------------------------
+        preamble: list[str] = ["li r0, 0"]
+        load_tags: list[str] = []
+        pop_lines: list[str] = []
+        self.lines = preamble  # temporarily collect into the preamble
+        for position, name in enumerate(self.const_order):
+            reg = self.const_regs.get(name)
+            if reg is None:
+                continue
+            offset = _WORD * position
+            disp = f"{label}.consts+{offset}" if offset else f"{label}.consts"
+            load_tags.append(self._emit_load(0, disp, name))
+            pop_lines.append((reg, load_tags[-1]))
+        for position, name in enumerate(kernel.scalars):
+            offset = _WORD * position
+            disp = f"{label}.sinit+{offset}" if offset else f"{label}.sinit"
+            load_tags.append(self._emit_load(0, disp, name))
+            pop_lines.append((self.scalar_regs[name], load_tags[-1]))
+        for reg, tag in pop_lines:
+            self._emit_popq(reg, tag)
+        if self.const_pool_reg is not None:
+            preamble.append(f"la r{self.const_pool_reg}, {label}.consts")
+        preamble.append(f"li r1, {kernel.iterations}")
+        for mult, reg in sorted(self.induction_regs.items()):
+            preamble.append(f"li r{reg}, 0")
+        preamble.append(f"lbr b0, {label}.loop")
+
+        # ---- loop body ----------------------------------------------------
+        body: list[str] = []
+        self.lines = body
+        for statement in kernel.statements:
+            self._emit_statement(statement)
+        if self._ldq_model:
+            raise CompileError(
+                f"{label}: values left pending in the LDQ at end of body: "
+                f"{list(self._ldq_model)}"
+            )
+
+        increments = ["addi r0, r0, 4"]
+        for mult, reg in sorted(self.induction_regs.items()):
+            increments.append(f"addi r{reg}, r{reg}, {4 * mult}")
+        tail_budget = _MAX_DELAY - len(increments)
+        if tail_budget < 0:
+            raise CompileError(f"{label}: too many induction updates for delay slots")
+        tail_count = min(tail_budget, len(body), 4)
+        delay = tail_count + len(increments)
+        split = len(body) - tail_count
+        loop_body = (
+            body[:split]
+            + ["subi r1, r1, 1", f"pbrne b0, r1, {delay}"]
+            + body[split:]
+            + increments
+        )
+
+        # ---- epilogue: write back scalar results ---------------------------
+        epilogue: list[str] = []
+        if kernel.scalars:
+            epilogue.append("li r0, 0")
+            for position, name in enumerate(kernel.scalars):
+                offset = _WORD * position
+                disp = f"{label}.result+{offset}" if offset else f"{label}.result"
+                epilogue.append(f"st r0, {disp}")
+                epilogue.append(f"pushq r{self.scalar_regs[name]}")
+
+        # ---- data ----------------------------------------------------------
+        data: list[str] = ["        .align 4"]
+        if kernel.consts:
+            values = ", ".join(repr(float(kernel.consts[n])) for n in self.const_order)
+            data.append(f"{label}.consts: .float {values}")
+        if kernel.scalars:
+            values = ", ".join(repr(float(v)) for v in kernel.scalars.values())
+            data.append(f"{label}.sinit: .float {values}")
+            data.append(f"{label}.result: .space {4 * len(kernel.scalars)}")
+
+        return CompiledKernel(
+            kernel=kernel,
+            preamble=preamble,
+            loop_body=loop_body,
+            epilogue=epilogue,
+            data=data,
+        )
+
+
+def compile_kernel(kernel: Kernel) -> CompiledKernel:
+    """Compile one kernel to its assembly fragments."""
+    return KernelCompiler(kernel).compile()

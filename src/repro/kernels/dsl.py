@@ -1,0 +1,275 @@
+"""A small kernel description language for the Livermore Loops.
+
+The paper's benchmark is the first 14 Lawrence Livermore Loops compiled
+for PIPE (section 5).  We regenerate them with a tiny compiler instead of
+hand-writing 14 assembly files: each kernel is described as statements
+over arrays, named float constants, and loop-carried scalars, with array
+indices that are *affine* in the loop variable (``mult * i + offset``) or
+*indirect* through an integer index array (needed for the particle-in-cell
+loops 13 and 14).
+
+The DSL is deliberately no bigger than the loops require:
+
+* expressions: array loads, constants, scalars, and the four FPU
+  operations;
+* statements: a store to an (affine or indirect) array element, or an
+  update of a loop-carried scalar;
+* one inner loop per kernel, iterating ``i = 0 .. iterations-1``.
+
+Semantics are defined twice — by the code generator
+(:mod:`repro.kernels.codegen`) and by a pure-Python float32-exact
+interpreter (:mod:`repro.kernels.reference`) — and the test suite holds
+them to bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Affine",
+    "ArrayDecl",
+    "BinOp",
+    "ConstRef",
+    "Expr",
+    "Indirect",
+    "Kernel",
+    "Load",
+    "LoadIndirect",
+    "ScalarRef",
+    "ScalarUpdate",
+    "Statement",
+    "Store",
+    "add",
+    "div",
+    "mul",
+    "sub",
+]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """Element index ``mult * i + offset`` of the loop variable ``i``."""
+
+    mult: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mult < 0:
+            raise ValueError("negative index strides are not supported")
+
+    def at(self, i: int) -> int:
+        return self.mult * i + self.offset
+
+
+@dataclass(frozen=True)
+class Indirect:
+    """Element index ``index_array[affine(i)] + offset`` (PIC loops)."""
+
+    index_array: str
+    index: Affine
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A shared data array.
+
+    ``kind`` is ``"float"`` (float32 data) or ``"int"`` (element indices
+    for the indirect loops).  ``init`` supplies the initial contents;
+    shorter inits are cycled to fill ``length``.
+    """
+
+    name: str
+    length: int
+    kind: str = "float"
+    init: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("float", "int"):
+            raise ValueError(f"array kind must be float or int, not {self.kind!r}")
+        if self.length <= 0:
+            raise ValueError("array length must be positive")
+
+    def initial_values(self) -> list:
+        if not self.init:
+            return [0] * self.length
+        values = []
+        for position in range(self.length):
+            values.append(self.init[position % len(self.init)])
+        return values
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for float-valued expressions."""
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """A float array element, affine-indexed."""
+
+    array: str
+    index: Affine = field(default_factory=Affine)
+
+
+@dataclass(frozen=True)
+class LoadIndirect(Expr):
+    """A float array element, indirectly indexed (``a[ix[...] + off]``)."""
+
+    array: str
+    pointer: Indirect
+
+
+@dataclass(frozen=True)
+class ConstRef(Expr):
+    """A named float constant of the kernel."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """A loop-carried scalar (held in a register across iterations)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """One FPU operation.  ``op`` is one of ``+ - * /``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unknown FPU operation {self.op!r}")
+
+    @property
+    def commutative(self) -> bool:
+        return self.op in ("+", "*")
+
+
+# Convenience constructors so loop definitions read like the Fortran.
+def add(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("+", lhs, rhs)
+
+
+def sub(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("-", lhs, rhs)
+
+
+def mul(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("*", lhs, rhs)
+
+
+def div(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("/", lhs, rhs)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Statement:
+    """Base class for per-iteration statements."""
+
+
+@dataclass(frozen=True)
+class Store(Statement):
+    """``array[index] = expr`` (index affine or indirect)."""
+
+    array: str
+    index: Affine | Indirect
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ScalarUpdate(Statement):
+    """``scalar = expr`` (the expression may reference the old value)."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One Livermore loop: constants, scalars, and the loop body."""
+
+    number: int
+    name: str
+    iterations: int
+    statements: tuple[Statement, ...]
+    consts: dict[str, float] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("kernel must iterate at least once")
+        if not self.statements:
+            raise ValueError("kernel body is empty")
+
+    @property
+    def label(self) -> str:
+        return f"ll{self.number}"
+
+    # ------------------------------------------------------------------
+    def referenced_arrays(self) -> set[str]:
+        """Names of all arrays the kernel reads or writes."""
+        names: set[str] = set()
+
+        def walk(expr: Expr) -> None:
+            if isinstance(expr, Load):
+                names.add(expr.array)
+            elif isinstance(expr, LoadIndirect):
+                names.add(expr.array)
+                names.add(expr.pointer.index_array)
+            elif isinstance(expr, BinOp):
+                walk(expr.lhs)
+                walk(expr.rhs)
+
+        for statement in self.statements:
+            if isinstance(statement, Store):
+                names.add(statement.array)
+                if isinstance(statement.index, Indirect):
+                    names.add(statement.index.index_array)
+                walk(statement.expr)
+            elif isinstance(statement, ScalarUpdate):
+                walk(statement.expr)
+        return names
+
+    def max_element_index(self, array: str) -> int:
+        """Largest affine element index the kernel can touch in ``array``.
+
+        Indirect accesses are bounded by the index array's contents and
+        are validated by the suite builder instead.
+        """
+        worst = -1
+
+        def consider(name: str, index) -> None:
+            nonlocal worst
+            if name != array or not isinstance(index, Affine):
+                return
+            worst = max(worst, index.at(self.iterations - 1), index.at(0))
+
+        def walk(expr: Expr) -> None:
+            if isinstance(expr, Load):
+                consider(expr.array, expr.index)
+            elif isinstance(expr, LoadIndirect):
+                consider(expr.pointer.index_array, expr.pointer.index)
+            elif isinstance(expr, BinOp):
+                walk(expr.lhs)
+                walk(expr.rhs)
+
+        for statement in self.statements:
+            if isinstance(statement, Store):
+                consider(statement.array, statement.index)
+                if isinstance(statement.index, Indirect):
+                    consider(statement.index.index_array, statement.index.index)
+                walk(statement.expr)
+            elif isinstance(statement, ScalarUpdate):
+                walk(statement.expr)
+        return worst

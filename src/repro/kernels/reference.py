@@ -1,0 +1,117 @@
+"""A float32-exact reference interpreter for the kernel DSL.
+
+Executes kernels directly on Python lists, applying *exactly* the same
+arithmetic as the simulated FPU (:func:`repro.memory.fpu.float32_op` on
+bit patterns), in the same statement order.  The test suite runs the
+compiled PIPE program and this interpreter over identical initial data
+and requires **bit-identical** array and scalar results — any divergence
+means the compiler, the simulator, or the interpreter is wrong.
+
+The interpreter is also the tool that validates indirect index bounds
+before a suite is assembled.
+"""
+
+from __future__ import annotations
+
+from ..memory.fpu import bits_to_float, float32_op, float_to_bits
+from .dsl import (
+    Affine,
+    BinOp,
+    ConstRef,
+    Expr,
+    Indirect,
+    Kernel,
+    Load,
+    LoadIndirect,
+    ScalarRef,
+    ScalarUpdate,
+    Store,
+)
+
+__all__ = ["f32", "run_kernel_reference", "run_suite_reference"]
+
+_OP_NAMES = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+
+
+def f32(value: float) -> float:
+    """Round a Python float to the nearest IEEE-754 single."""
+    return bits_to_float(float_to_bits(value))
+
+
+def _binop(op: str, lhs: float, rhs: float) -> float:
+    bits = float32_op(_OP_NAMES[op], float_to_bits(lhs), float_to_bits(rhs))
+    return bits_to_float(bits)
+
+
+class _Context:
+    def __init__(self, kernel: Kernel, arrays: dict[str, list]):
+        self.arrays = arrays
+        self.consts = {name: f32(value) for name, value in kernel.consts.items()}
+        self.scalars = {name: f32(value) for name, value in kernel.scalars.items()}
+        self.i = 0
+
+    def resolve_index(self, array: str, index: Affine | Indirect) -> int:
+        if isinstance(index, Affine):
+            element = index.at(self.i)
+        else:
+            pointer_base = self.arrays[index.index_array][index.index.at(self.i)]
+            element = int(pointer_base) + index.offset
+        if not 0 <= element < len(self.arrays[array]):
+            raise IndexError(
+                f"kernel access {array}[{element}] out of range "
+                f"(length {len(self.arrays[array])}, i={self.i})"
+            )
+        return element
+
+    def evaluate(self, expr: Expr) -> float:
+        if isinstance(expr, Load):
+            return self.arrays[expr.array][self.resolve_index(expr.array, expr.index)]
+        if isinstance(expr, LoadIndirect):
+            return self.arrays[expr.array][
+                self.resolve_index(expr.array, expr.pointer)
+            ]
+        if isinstance(expr, ConstRef):
+            return self.consts[expr.name]
+        if isinstance(expr, ScalarRef):
+            return self.scalars[expr.name]
+        if isinstance(expr, BinOp):
+            lhs = self.evaluate(expr.lhs)
+            rhs = self.evaluate(expr.rhs)
+            return _binop(expr.op, lhs, rhs)
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+
+def run_kernel_reference(kernel: Kernel, arrays: dict[str, list]) -> dict[str, float]:
+    """Run one kernel in place over ``arrays``; returns final scalars.
+
+    ``arrays`` maps array names to mutable lists.  Float arrays must
+    already contain float32-rounded values (use :func:`f32`).
+    """
+    context = _Context(kernel, arrays)
+    for i in range(kernel.iterations):
+        context.i = i
+        for statement in kernel.statements:
+            if isinstance(statement, Store):
+                value = context.evaluate(statement.expr)
+                element = context.resolve_index(statement.array, statement.index)
+                arrays[statement.array][element] = value
+            elif isinstance(statement, ScalarUpdate):
+                context.scalars[statement.name] = context.evaluate(statement.expr)
+            else:  # pragma: no cover
+                raise AssertionError(f"unhandled statement {statement!r}")
+    return dict(context.scalars)
+
+
+def run_suite_reference(
+    kernels: list[Kernel], arrays: dict[str, list]
+) -> dict[str, dict[str, float]]:
+    """Run kernels back to back over shared arrays (the benchmark shape).
+
+    Returns each kernel's final scalars keyed by kernel label.  Array
+    aliasing across kernels is intentional and mirrors the compiled
+    program exactly.
+    """
+    results: dict[str, dict[str, float]] = {}
+    for kernel in kernels:
+        results[kernel.label] = run_kernel_reference(kernel, arrays)
+    return results

@@ -1,0 +1,39 @@
+"""The external memory system.
+
+Models the simulation setup of paper section 5 / Figure 3: a large
+external cache with a 100% hit rate connected to the processor by an
+input bus and an output bus, plus an off-chip floating-point unit
+addressed as memory locations that shares the return (input) bus.
+"""
+
+from .fpu import (
+    FPU_BASE,
+    FPU_OPERAND_A,
+    FPU_RESULT,
+    FPU_TRIGGER_ADD,
+    FPU_TRIGGER_DIV,
+    FPU_TRIGGER_MUL,
+    FPU_TRIGGER_SUB,
+    FpuCore,
+    FpuLatencies,
+    bits_to_float,
+    float_to_bits,
+    float32_op,
+    is_fpu_address,
+)
+
+__all__ = [
+    "FPU_BASE",
+    "FPU_OPERAND_A",
+    "FPU_RESULT",
+    "FPU_TRIGGER_ADD",
+    "FPU_TRIGGER_DIV",
+    "FPU_TRIGGER_MUL",
+    "FPU_TRIGGER_SUB",
+    "FpuCore",
+    "FpuLatencies",
+    "bits_to_float",
+    "float_to_bits",
+    "float32_op",
+    "is_fpu_address",
+]

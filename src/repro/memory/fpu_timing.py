@@ -1,0 +1,116 @@
+"""Cycle-level timing wrapper for the off-chip FPU.
+
+The semantic work (what the operations compute) is done functionally at
+issue time by :class:`repro.memory.fpu.FpuCore` inside the data-queue
+engine; this class models only *when* things happen:
+
+* an operand store occupies the output bus for its acceptance cycle and
+  latches immediately;
+* a trigger store starts the operation; the unit is unpipelined, so an
+  operation begins only when the previous one has finished, and completes
+  ``latency(kind)`` cycles after it begins;
+* a load from the result register completes when its operation's result
+  is ready, and the 4-byte result then competes for the input bus at the
+  "multiply results" priority tier (below demand loads, above instruction
+  prefetches — paper section 5).
+
+Results are picked up strictly in operation order, mirroring the
+program-order discipline of the load data queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .fpu import FPU_OPERAND_A, FPU_RESULT, FpuLatencies
+from .requests import MemoryRequest, RequestKind
+
+__all__ = ["TimedFpu"]
+
+
+class TimedFpu:
+    """Timing-only model of the memory-mapped floating-point chip."""
+
+    def __init__(self, latencies: FpuLatencies, trigger_kinds, op_queue_capacity: int = 8):
+        """``trigger_kinds`` maps trigger addresses to operation names
+        (taken from :mod:`repro.memory.fpu` so the two models can never
+        disagree about the address map)."""
+        self.latencies = latencies
+        self._trigger_kinds = dict(trigger_kinds)
+        self.op_queue_capacity = op_queue_capacity
+        #: completion times of operations not yet finished
+        self._ops_pending: deque[int] = deque()
+        #: results finished but not yet delivered (completion times)
+        self._results_ready: deque[int] = deque()
+        self._busy_until = 0
+        #: outstanding result-load requests, oldest first
+        self._result_loads: deque[MemoryRequest] = deque()
+        self.operations_started = 0
+        self.results_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Output-bus side
+    # ------------------------------------------------------------------
+    def can_accept(self, request: MemoryRequest, now: int) -> bool:
+        if request.kind == RequestKind.STORE:
+            if request.address == FPU_OPERAND_A:
+                return True
+            if request.address in self._trigger_kinds:
+                return len(self._ops_pending) < self.op_queue_capacity
+            return True
+        if request.kind == RequestKind.LOAD:
+            return request.address == FPU_RESULT
+        return False
+
+    def accept(self, request: MemoryRequest, now: int) -> None:
+        request.accepted_at = now
+        if request.kind == RequestKind.STORE:
+            kind = self._trigger_kinds.get(request.address)
+            if kind is not None:
+                start = max(now, self._busy_until)
+                finish = start + self.latencies.latency(kind)
+                self._busy_until = finish
+                self._ops_pending.append(finish)
+                self.operations_started += 1
+            # Stores complete at acceptance (no return data).
+            request.completed = True
+            if request.on_complete is not None:
+                request.on_complete(now)
+            return
+        if request.kind == RequestKind.LOAD:
+            self._result_loads.append(request)
+            return
+        raise ValueError(f"FPU cannot service {request.kind}")
+
+    # ------------------------------------------------------------------
+    # Input-bus side
+    # ------------------------------------------------------------------
+    def begin_cycle(self, now: int) -> None:
+        """Move finished operations to the ready-result FIFO."""
+        while self._ops_pending and self._ops_pending[0] <= now:
+            self._results_ready.append(self._ops_pending.popleft())
+
+    def deliverable_load(self, now: int) -> MemoryRequest | None:
+        """The oldest result load whose result is ready, if any."""
+        if self._result_loads and self._results_ready:
+            return self._result_loads[0]
+        return None
+
+    def deliver(self, now: int) -> MemoryRequest:
+        """Transfer one result over the input bus (caller won arbitration)."""
+        request = self._result_loads.popleft()
+        self._results_ready.popleft()
+        request.delivered_bytes = request.size
+        request.completed = True
+        self.results_delivered += 1
+        if request.on_chunk is not None:
+            request.on_chunk(0, request.size, now)
+        if request.on_complete is not None:
+            request.on_complete(now)
+        return request
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no operation or result pickup is outstanding."""
+        return not self._ops_pending and not self._results_ready and not self._result_loads

@@ -1,0 +1,184 @@
+"""The memory system facade: output-bus acceptance, input-bus delivery.
+
+This ties together the external memory (:mod:`repro.memory.external`),
+the timed FPU (:mod:`repro.memory.fpu_timing`), and the two buses of the
+paper's Figure 3 simulation setup.
+
+Per simulated cycle the simulator calls, in order:
+
+1. :meth:`MemorySystem.begin_cycle` — the *input bus* delivers at most one
+   transfer of up to ``input_bus_width`` bytes, chosen by the return-bus
+   priority of section 5 (demand loads/fetches, then FPU results, then
+   instruction prefetches);
+2. the frontend and back-end update (possibly generating new requests);
+3. :meth:`MemorySystem.end_cycle` — the *output bus* accepts at most one
+   new request, chosen by the memory-interface priority (instruction- or
+   data-first, a configuration knob), skipping requests whose target
+   cannot accept this cycle (e.g. a busy non-pipelined memory).
+
+Request *sources* register with the system and are polled each acceptance
+phase; this keeps back-pressure natural: a request that is not accepted
+simply stays at the head of its source (the LAQ, the SAQ/SDQ pair, or the
+frontend's fetch logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from .external import ExternalMemory
+from .fpu import FPU_BASE, FpuLatencies, is_fpu_address
+from .fpu import TRIGGER_OPERATIONS as _FPUTRIGGER_OPERATIONS
+from .fpu_timing import TimedFpu
+from .requests import (
+    RETURN_TIER_FPU_RESULT,
+    MemoryRequest,
+    RequestKind,
+    RequestPriority,
+    acceptance_order,
+    return_tier,
+)
+
+__all__ = ["MemorySystem", "MemoryStats", "RequestSource"]
+
+
+class RequestSource(Protocol):
+    """Anything that can offer memory requests for acceptance."""
+
+    def poll_requests(self, now: int) -> list[MemoryRequest]:
+        """Candidate requests this cycle (each source usually offers 0-1)."""
+        ...
+
+    def notify_accepted(self, request: MemoryRequest, now: int) -> None:
+        """Called when one of this source's candidates won arbitration."""
+        ...
+
+
+@dataclass
+class MemoryStats:
+    """Counters the analysis layer reports alongside cycle counts."""
+
+    loads_accepted: int = 0
+    stores_accepted: int = 0
+    ifetch_demand_accepted: int = 0
+    ifetch_prefetch_accepted: int = 0
+    fpu_stores_accepted: int = 0
+    fpu_loads_accepted: int = 0
+    input_bus_busy_cycles: int = 0
+    output_bus_busy_cycles: int = 0
+    input_bus_bytes: int = 0
+    acceptance_conflicts: int = 0  #: cycles where >1 candidate wanted the bus
+    by_source_bytes: dict[str, int] = field(default_factory=dict)
+
+
+class MemorySystem:
+    """Arbitrates both buses and owns the external memory + timed FPU."""
+
+    def __init__(
+        self,
+        access_time: int,
+        pipelined: bool,
+        input_bus_width: int,
+        priority: RequestPriority,
+        fpu_latencies: FpuLatencies | None = None,
+    ):
+        if input_bus_width < 4:
+            raise ValueError("input bus must be at least 4 bytes wide")
+        self.external = ExternalMemory(access_time, pipelined)
+        self.fpu = TimedFpu(fpu_latencies or FpuLatencies(), _FPUTRIGGER_OPERATIONS)
+        self.input_bus_width = input_bus_width
+        self.priority = priority
+        self.stats = MemoryStats()
+        self._sources: list[RequestSource] = []
+
+    def register_source(self, source: RequestSource) -> None:
+        self._sources.append(source)
+
+    # ------------------------------------------------------------------
+    # Input bus (deliveries) — call first each cycle
+    # ------------------------------------------------------------------
+    def begin_cycle(self, now: int) -> None:
+        self.external.begin_cycle(now)
+        self.fpu.begin_cycle(now)
+        self._deliver_one(now)
+        self.external.retire_finished(now)
+
+    def _deliver_one(self, now: int) -> None:
+        candidates: list[tuple[tuple, str, MemoryRequest]] = []
+        for request in self.external.ready_requests(now):
+            key = (return_tier(request), request.ready_at, request.seq)
+            candidates.append((key, "external", request))
+        fpu_load = self.fpu.deliverable_load(now)
+        if fpu_load is not None:
+            key = (RETURN_TIER_FPU_RESULT, fpu_load.accepted_at, fpu_load.seq)
+            candidates.append((key, "fpu", fpu_load))
+        if not candidates:
+            return
+        candidates.sort(key=lambda item: item[0])
+        _key, target, request = candidates[0]
+        if target == "fpu":
+            self.fpu.deliver(now)
+            transferred = request.size
+        else:
+            offset = request.delivered_bytes
+            transferred = min(self.input_bus_width, request.remaining_bytes)
+            request.delivered_bytes += transferred
+            if request.on_chunk is not None:
+                request.on_chunk(offset, transferred, now)
+        self.stats.input_bus_busy_cycles += 1
+        self.stats.input_bus_bytes += transferred
+
+    # ------------------------------------------------------------------
+    # Output bus (acceptances) — call last each cycle
+    # ------------------------------------------------------------------
+    def end_cycle(self, now: int) -> None:
+        candidates: list[tuple[MemoryRequest, RequestSource]] = []
+        for source in self._sources:
+            for request in source.poll_requests(now):
+                candidates.append((request, source))
+        if not candidates:
+            return
+        if len(candidates) > 1:
+            self.stats.acceptance_conflicts += 1
+        candidates.sort(key=lambda item: acceptance_order(item[0], self.priority))
+        for request, source in candidates:
+            if self._try_accept(request, now):
+                source.notify_accepted(request, now)
+                self.stats.output_bus_busy_cycles += 1
+                self._count_acceptance(request)
+                return
+
+    def _try_accept(self, request: MemoryRequest, now: int) -> bool:
+        if is_fpu_address(request.address):
+            if not self.fpu.can_accept(request, now):
+                return False
+            self.fpu.accept(request, now)
+            return True
+        if not self.external.can_accept(now):
+            return False
+        self.external.accept(request, now)
+        return True
+
+    def _count_acceptance(self, request: MemoryRequest) -> None:
+        stats = self.stats
+        if is_fpu_address(request.address):
+            if request.kind == RequestKind.STORE:
+                stats.fpu_stores_accepted += 1
+            else:
+                stats.fpu_loads_accepted += 1
+            return
+        if request.kind == RequestKind.LOAD:
+            stats.loads_accepted += 1
+        elif request.kind == RequestKind.STORE:
+            stats.stores_accepted += 1
+        elif request.demand:
+            stats.ifetch_demand_accepted += 1
+        else:
+            stats.ifetch_prefetch_accepted += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def drained(self) -> bool:
+        """True when nothing is in flight anywhere in the memory system."""
+        return not self.external.in_flight and self.fpu.idle

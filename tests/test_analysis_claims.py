@@ -1,0 +1,158 @@
+"""Tests for the claim checkers, using synthetic sweep series."""
+
+from repro.analysis.claims import (
+    ClaimCheck,
+    by_label,
+    check_figure4a,
+    check_figure4b,
+    check_figure5,
+    check_figure6,
+    check_headline,
+    check_line_size_reversal,
+)
+from repro.core.sweep import SweepSeries
+
+SIZES = [32, 64, 128, 256, 512]
+
+
+def series(values_by_label):
+    return [
+        SweepSeries(label, SIZES[: len(values)], list(values))
+        for label, values in values_by_label.items()
+    ]
+
+
+def pipe_wins():
+    """Synthetic data where every PIPE config beats conventional."""
+    return series(
+        {
+            "PIPE 8-8": [900, 800, 700, 600, 550],
+            "PIPE 16-16": [700, 650, 600, 560, 540],
+            "PIPE 16-32": [720, 660, 610, 565, 545],
+            "PIPE 32-32": [740, 680, 615, 570, 548],
+            "conventional": [1500, 1200, 900, 700, 600],
+        }
+    )
+
+
+def conventional_wins_somewhere():
+    data = pipe_wins()
+    by = by_label(data)
+    by["conventional"].cycles[0] = 850  # beats PIPE 8-8 at 32B
+    return data
+
+
+class TestFigure4Checks:
+    def test_4a_requires_a_conventional_win(self):
+        passing = check_figure4a(conventional_wins_somewhere())
+        assert all(check.passed for check in passing)
+        failing = check_figure4a(pipe_wins())
+        assert not all(check.passed for check in failing)
+
+    def test_4b_flatness(self):
+        flat = series(
+            {
+                "PIPE 8-8": [520, 515, 510, 505, 500],
+                "PIPE 16-16": [525, 515, 510, 505, 500],
+                "PIPE 16-32": [800, 700, 600, 550, 520],
+                "PIPE 32-32": [820, 720, 620, 560, 525],
+                "conventional": [900, 800, 700, 600, 520],
+            }
+        )
+        checks = check_figure4b(flat)
+        assert all(check.passed for check in checks)
+
+    def test_4b_fails_on_steep_curves(self):
+        steep = pipe_wins()
+        checks = check_figure4b(steep)
+        assert not all(check.passed for check in checks)
+
+
+class TestFigure5Checks:
+    def test_all_pipe_better(self):
+        checks = check_figure5(pipe_wins())
+        assert all(check.passed for check in checks)
+
+    def test_detects_a_loss(self):
+        checks = check_figure5(conventional_wins_somewhere())
+        assert not all(check.passed for check in checks)
+
+    def test_bus_sensitivity(self):
+        wide = pipe_wins()
+        narrow = series(
+            {
+                "PIPE 8-8": [1000, 880, 770, 660, 605],
+                "PIPE 16-16": [770, 715, 660, 615, 595],
+                "PIPE 16-32": [790, 730, 670, 620, 600],
+                "PIPE 32-32": [815, 750, 680, 630, 605],
+                "conventional": [2500, 1900, 1400, 1000, 800],
+            }
+        )
+        checks = check_figure5(wide, series_narrow_bus=narrow)
+        sensitivity = [c for c in checks if "sensitive" in c.claim][0]
+        assert sensitivity.passed
+
+
+class TestFigure6Checks:
+    def test_pipelining_improvement_required(self):
+        base = pipe_wins()
+        better = series(
+            {
+                label: [int(v * 0.8) for v in curve.cycles]
+                for label, curve in by_label(base).items()
+                for curve in [curve]
+            }
+        )
+        checks = check_figure6(base, better)
+        assert checks[0].passed
+
+    def test_regression_detected(self):
+        base = pipe_wins()
+        worse = series(
+            {
+                label: [v + 50 for v in curve.cycles]
+                for label, curve in by_label(base).items()
+            }
+        )
+        checks = check_figure6(base, worse)
+        assert not checks[0].passed
+
+
+class TestHeadline:
+    def test_speedup_measured_at_32_bytes(self):
+        checks = check_headline(pipe_wins())
+        assert checks[0].passed  # 1500/700 > 1.5
+        modest = series(
+            {
+                "PIPE 8-8": [1400, 800, 700, 600, 550],
+                "PIPE 16-16": [1450, 650, 600, 560, 540],
+                "PIPE 16-32": [1430, 660, 610, 565, 545],
+                "PIPE 32-32": [1460, 680, 615, 570, 548],
+                "conventional": [1500, 1200, 900, 700, 600],
+            }
+        )
+        assert not check_headline(modest)[0].passed
+
+
+class TestLineSizeReversal:
+    def test_reversal(self):
+        fast = series(
+            {
+                "PIPE 8-8": [500, 480, 460, 450, 445],
+                "PIPE 16-16": [520, 500, 470, 455, 450],
+                "PIPE 16-32": [560, 530, 480, 460, 452],
+                "PIPE 32-32": [570, 540, 485, 462, 455],
+                "conventional": [530, 510, 480, 460, 450],
+            }
+        )
+        slow = pipe_wins()  # 16-16 dominates there
+        checks = check_line_size_reversal(fast, slow)
+        assert all(check.passed for check in checks)
+
+
+class TestClaimCheck:
+    def test_str_shows_status(self):
+        passing = ClaimCheck("f", "works", True, "detail")
+        failing = ClaimCheck("f", "works", False, "detail")
+        assert "PASS" in str(passing)
+        assert "FAIL" in str(failing)

@@ -1,0 +1,77 @@
+"""Tests for figure specifications and rendering."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FIGURES,
+    ascii_plot,
+    render_figure,
+    run_figure,
+)
+from repro.core.sweep import SweepSeries
+
+
+class TestSpecs:
+    def test_all_panels_present(self):
+        assert set(FIGURES) == {"4a", "4b", "5a", "5b", "6a", "6b"}
+
+    @pytest.mark.parametrize(
+        "panel,access,bus,pipelined",
+        [
+            ("4a", 1, 4, False),
+            ("4b", 1, 8, False),
+            ("5a", 6, 4, False),
+            ("5b", 6, 8, False),
+            ("6a", 6, 8, False),
+            ("6b", 6, 8, True),
+        ],
+    )
+    def test_parameters_match_paper(self, panel, access, bus, pipelined):
+        spec = FIGURES[panel]
+        assert spec.memory_access_time == access
+        assert spec.input_bus_width == bus
+        assert spec.memory_pipelined == pipelined
+
+    def test_6a_equals_5b_parameters(self):
+        """Figure 6a is Figure 5b on a different scale (section 6)."""
+        a, b = FIGURES["6a"], FIGURES["5b"]
+        assert a.overrides() == b.overrides()
+
+    def test_titles(self):
+        assert "Figure 4a" in FIGURES["4a"].title
+        assert "pipelined" in FIGURES["6b"].title
+
+
+class TestRunFigure:
+    def test_runs_sweep(self, tiny_program):
+        series = run_figure("4b", tiny_program, cache_sizes=(32, 128))
+        assert len(series) == 5
+        labels = [curve.label for curve in series]
+        assert "conventional" in labels
+
+
+def sample_series():
+    return [
+        SweepSeries("PIPE 8-8", [32, 64, 128], [500, 400, 350]),
+        SweepSeries("conventional", [32, 64, 128], [900, 600, 500]),
+    ]
+
+
+class TestRendering:
+    def test_ascii_plot(self):
+        plot = ascii_plot(sample_series(), [32, 64, 128])
+        assert "o PIPE 8-8" in plot
+        assert "x conventional" in plot
+        assert "900" in plot and "350" in plot
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([], [32]) == "(no data)"
+
+    def test_render_figure_with_table(self):
+        text = render_figure("5b", sample_series(), [32, 64, 128], plot=False)
+        assert "Figure 5b" in text
+        assert "PIPE 8-8" in text
+
+    def test_render_figure_with_plot(self):
+        text = render_figure("5b", sample_series(), [32, 64, 128], plot=True)
+        assert "cache sizes: 32 64 128" in text

@@ -1,0 +1,58 @@
+"""Tests for table/CSV rendering."""
+
+from repro.analysis.tables import (
+    render_series_csv,
+    render_series_table,
+    render_table1,
+    render_table2,
+    table1_rows,
+)
+from repro.core.sweep import SweepSeries
+
+
+class TestTable1:
+    def test_rows(self, tiny_suite):
+        rows = table1_rows(tiny_suite)
+        assert len(rows) == 14
+        assert rows[2] == (3, tiny_suite.inner_loop_bytes(3), 64)
+
+    def test_render(self, tiny_suite):
+        text = render_table1(tiny_suite)
+        assert "Table I" in text
+        assert "ours" in text and "paper" in text
+        assert text.count("\n") >= 16  # header + 14 rows + sum
+
+
+class TestTable2:
+    def test_render(self):
+        text = render_table2()
+        for name in ("8-8", "16-16", "16-32", "32-32"):
+            assert name in text
+        assert "IQB" in text
+
+
+def sample_series():
+    return [
+        SweepSeries("PIPE 8-8", [32, 64], [500, 400]),
+        SweepSeries("conventional", [32, 64], [900, 600]),
+    ]
+
+
+class TestSeriesRendering:
+    def test_table(self):
+        text = render_series_table("A figure", sample_series(), [32, 64])
+        assert "A figure" in text
+        assert "PIPE 8-8" in text
+        assert "900" in text
+
+    def test_missing_points_dashed(self):
+        series = [SweepSeries("PIPE 32-32", [64], [123])]
+        text = render_series_table("t", series, [32, 64])
+        assert "—" in text
+
+    def test_csv(self):
+        csv = render_series_csv(sample_series(), [32, 64])
+        lines = csv.splitlines()
+        assert lines[0] == "strategy,32,64"
+        assert "PIPE 8-8,500,400" in lines
+        assert "conventional,900,600" in lines

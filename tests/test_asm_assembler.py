@@ -1,0 +1,163 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.isa.encoding import InstructionFormat
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import QUEUE_REGISTER
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        program = assemble("add r1, r2, r3")
+        assert program.layout == [(0, Instruction.alu_rr(Opcode.ADD, 1, 2, 3))]
+
+    def test_fixed32_spacing(self):
+        program = assemble("nop\nnop")
+        addresses = [addr for addr, _i in program.layout]
+        assert addresses == [0, 4]
+
+    def test_parcel_spacing(self):
+        program = assemble("nop\nli r1, 5\nnop", fmt=InstructionFormat.PARCEL)
+        addresses = [addr for addr, _i in program.layout]
+        assert addresses == [0, 2, 6]
+
+    def test_labels_resolve_forward(self):
+        program = assemble("lbr b0, target\nnop\ntarget: halt")
+        assert program.symbols["target"] == 8
+        assert program.layout[0][1].imm == 8
+
+    def test_entry_defaults_to_start_symbol(self):
+        program = assemble("nop\nstart: halt")
+        assert program.entry_point == 4
+
+    def test_entry_directive(self):
+        program = assemble(".entry main\nnop\nmain: halt")
+        assert program.entry_point == 4
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("a: nop\na: nop")
+
+
+class TestDirectives:
+    def test_org_and_word(self):
+        program = assemble(".org 0x20\nvalue: .word 0xDEADBEEF")
+        assert program.symbols["value"] == 0x20
+        assert program.load_word(0x20) == 0xDEADBEEF
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".org 0x20\nnop\n.org 0x10\nnop")
+
+    def test_space_and_align(self):
+        program = assemble("a: .space 3\n.align 8\nb: .word 1")
+        assert program.symbols["a"] == 0
+        assert program.symbols["b"] == 8
+
+    def test_equ(self):
+        program = assemble(".equ N, 10\n.equ N2, N*2\nli r1, N2")
+        assert program.layout[0][1].imm == 20
+
+    def test_equ_forward_reference_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".equ A, B\n.equ B, 1")
+
+    def test_word_forward_reference_allowed(self):
+        program = assemble(".word later\nlater: .word 1")
+        assert program.load_word(0) == program.symbols["later"]
+
+    def test_float_directive(self):
+        program = assemble("f: .float 1.5, 0.25")
+        assert program.load_float(0) == 1.5
+        assert program.load_float(4) == 0.25
+
+    def test_marker(self):
+        program = assemble("nop\n.marker here\nnop")
+        assert program.markers["here"] == 4
+
+    def test_duplicate_marker_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".marker m\n.marker m")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError):
+            assemble(".bogus 1")
+
+
+class TestPseudoInstructions:
+    def test_mov(self):
+        program = assemble("mov r1, r2")
+        assert program.layout[0][1] == Instruction.alu_rr(Opcode.OR, 1, 2, 2)
+
+    def test_pushq(self):
+        program = assemble("pushq r3")
+        instr = program.layout[0][1]
+        assert instr.rd == QUEUE_REGISTER and instr.rs1 == 3
+
+    def test_popq(self):
+        program = assemble("popq r4")
+        instr = program.layout[0][1]
+        assert instr.rd == 4 and instr.rs1 == QUEUE_REGISTER
+
+    def test_qtoq(self):
+        program = assemble("qtoq")
+        instr = program.layout[0][1]
+        assert instr.rd == QUEUE_REGISTER and instr.rs1 == QUEUE_REGISTER
+
+    def test_la(self):
+        program = assemble("la r1, buf\nbuf: .word 0")
+        instr = program.layout[0][1]
+        assert instr.op == Opcode.LI
+        assert instr.imm == program.symbols["buf"]
+
+    def test_la_range_check(self):
+        with pytest.raises(AsmError):
+            assemble(".org 0x7000\nx: .word 0\n.org 0x7100\nla r1, x+0x1000")
+
+
+class TestOperandValidation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "add r1, r2",  # too few operands
+            "add r1, r2, r3, r4",  # too many
+            "add r1, r2, 5",  # expression where register expected
+            "addi r1, r2, r3",  # register where expression expected
+            "lbr r1, 5",  # data register where branch register expected
+            "pbrne b0, r1, 9",  # delay out of range
+            "ld b1, 0",  # branch register as base
+            "unknowable r1",  # unknown mnemonic
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(AsmError):
+            assemble(text)
+
+    def test_immediate_overflow(self):
+        with pytest.raises(AsmError):
+            assemble("li r1, 0x10000")
+
+    def test_lbr_range(self):
+        with pytest.raises(AsmError):
+            assemble("lbr b0, 0x10000")
+
+
+class TestMemorySizing:
+    def test_default_sizing_covers_code(self):
+        program = assemble("nop")
+        assert program.memory_size >= 4
+
+    def test_explicit_size_respected(self):
+        program = assemble("nop", memory_size=8192)
+        assert program.memory_size == 8192
+
+    def test_too_small_size_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".org 0x2000\nnop", memory_size=1024)
+
+    def test_instruction_decode_through_program(self):
+        program = assemble("xor r3, r4, r5")
+        assert program.instruction_at(0) == Instruction.alu_rr(Opcode.XOR, 3, 4, 5)

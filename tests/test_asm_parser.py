@@ -1,0 +1,138 @@
+"""Unit + property tests for the assembly parser and expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import (
+    DirectiveStmt,
+    ExprOperand,
+    FloatOperand,
+    InstructionStmt,
+    LabelDef,
+    RegisterOperand,
+    parse_expression,
+    parse_source,
+)
+
+
+class TestStatements:
+    def test_instruction_with_registers(self):
+        (stmt,) = parse_source("add r1, r2, r3")
+        assert isinstance(stmt, InstructionStmt)
+        assert stmt.mnemonic == "add"
+        assert [op.index for op in stmt.operands] == [1, 2, 3]
+
+    def test_label_then_instruction_same_line(self):
+        label, instr = parse_source("loop: nop")
+        assert isinstance(label, LabelDef) and label.name == "loop"
+        assert isinstance(instr, InstructionStmt) and instr.mnemonic == "nop"
+
+    def test_multiple_labels_one_line(self):
+        a, b, instr = parse_source("a: b: halt")
+        assert a.name == "a" and b.name == "b"
+        assert instr.mnemonic == "halt"
+
+    def test_comments_stripped(self):
+        statements = parse_source("nop ; trailing\n# full line\n; another\nhalt")
+        assert [s.mnemonic for s in statements] == ["nop", "halt"]
+
+    def test_directive(self):
+        (stmt,) = parse_source(".org 0x100")
+        assert isinstance(stmt, DirectiveStmt)
+        assert stmt.name == ".org"
+
+    def test_float_operand(self):
+        (stmt,) = parse_source(".float 1.5, 2.25")
+        assert all(isinstance(op, FloatOperand) for op in stmt.operands)
+        assert [op.value for op in stmt.operands] == [1.5, 2.25]
+
+    def test_line_numbers_recorded(self):
+        statements = parse_source("nop\n\nhalt", source="f.s")
+        assert statements[0].line == 1
+        assert statements[1].line == 3
+        assert statements[0].source == "f.s"
+
+    def test_branch_register_operand(self):
+        (stmt,) = parse_source("lbr b2, 100")
+        operand = stmt.operands[0]
+        assert isinstance(operand, RegisterOperand)
+        assert operand.kind == "branch" and operand.index == 2
+
+    def test_symbol_operand_is_expression(self):
+        (stmt,) = parse_source("ld r1, buffer+8")
+        assert isinstance(stmt.operands[1], ExprOperand)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "add r1 r2, r3",  # missing comma
+            "add r1,, r2",  # double comma
+            "123 r1",  # number as mnemonic
+            "add r1, $",  # bad character
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(AsmError):
+            parse_source(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(AsmError) as excinfo:
+            parse_source("nop\nadd r1 r2, r3", source="t.s")
+        assert excinfo.value.line == 2
+        assert excinfo.value.source == "t.s"
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1+2*3", 7),
+            ("(1+2)*3", 9),
+            ("-4+10", 6),
+            ("0x10", 16),
+            ("0b101", 5),
+            ("1<<4", 16),
+            ("256>>2", 64),
+            ("0xFF & 0x0F", 0x0F),
+            ("0xF0 | 0x0F", 0xFF),
+            ("10-3-2", 5),  # left associative
+            ("100/7", 14),  # floor division
+            ("~0 & 0xFF", 0xFF),
+        ],
+    )
+    def test_arithmetic(self, text, expected):
+        assert parse_expression(text).evaluate({}) == expected
+
+    def test_symbols(self):
+        expr = parse_expression("base + 4*index")
+        assert expr.evaluate({"base": 100, "index": 3}) == 112
+        assert expr.free_symbols() == {"base", "index"}
+
+    def test_undefined_symbol_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            parse_expression("nothing").evaluate({})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            parse_expression("1/0").evaluate({})
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(AsmError):
+            parse_expression("1 2")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(AsmError):
+            parse_expression("(1+2")
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_matches_python_semantics(self, a, b, c):
+        text = f"{a} + {b} * {c} - ({a} / {c})"
+        assert parse_expression(text).evaluate({}) == a + b * c - (a // c)

@@ -1,0 +1,144 @@
+"""Tests of the Program memory-image abstraction and its introspection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import AsmError, assemble
+from repro.asm.program import Program
+
+
+def sample_program():
+    return assemble(
+        """
+        .entry start
+        .equ K, 3
+        start:
+            li r1, K
+            lbr b0, body
+        body:
+            nop
+            halt
+        .align 4
+        .marker data_begin
+        values: .word 10, 20, 30
+        floats: .float 1.5
+        buffer: .space 8
+        .marker data_end
+        """
+    )
+
+
+class TestWordAccess:
+    def test_load_store_roundtrip(self):
+        program = sample_program()
+        address = program.symbol("values")
+        assert program.load_word(address) == 10
+        program.store_word(address, 0xCAFEBABE)
+        assert program.load_word(address) == 0xCAFEBABE
+
+    def test_store_wraps_to_32_bits(self):
+        program = sample_program()
+        address = program.symbol("values")
+        program.store_word(address, 2**40 + 7)
+        assert program.load_word(address) == 7
+
+    def test_float_access(self):
+        program = sample_program()
+        address = program.symbol("floats")
+        assert program.load_float(address) == 1.5
+        program.store_float(address, 0.25)
+        assert program.load_float(address) == 0.25
+
+    def test_out_of_range_rejected(self):
+        program = sample_program()
+        with pytest.raises(IndexError):
+            program.load_word(program.memory_size)
+        with pytest.raises(IndexError):
+            program.store_word(-4, 0)
+
+
+class TestIntrospection:
+    def test_symbols_and_markers(self):
+        program = sample_program()
+        assert program.symbol("start") == program.entry_point
+        assert program.marker("data_end") > program.marker("data_begin")
+        with pytest.raises(KeyError):
+            program.symbol("nothing")
+        with pytest.raises(KeyError):
+            program.marker("nothing")
+
+    def test_code_span(self):
+        program = sample_program()
+        span = program.code_span("data_begin", "data_end")
+        assert span == 3 * 4 + 4 + 8  # words + float + space
+
+    def test_instructions_between(self):
+        program = sample_program()
+        body = program.symbol("body")
+        instructions = program.instructions_between(body, body + 8)
+        assert [i.op.mnemonic for _a, i in instructions] == ["nop", "halt"]
+
+    def test_disassemble_range(self):
+        program = sample_program()
+        text = program.disassemble(end=program.symbol("body"))
+        assert "li r1, 3" in text
+        assert "halt" not in text
+
+
+class TestFullBenchmarkListing:
+    def test_every_laid_out_instruction_decodes(self, tiny_suite):
+        """Layout and memory image must agree instruction by instruction."""
+        program = tiny_suite.program
+        for address, instruction in program.layout:
+            assert program.instruction_at(address) == instruction
+
+    def test_disassembly_reassembles_byte_identically(self, tiny_suite):
+        """The full benchmark's disassembly is valid assembler input and
+        reassembles to the same code bytes (placed at the same addresses
+        with .org directives)."""
+        program = tiny_suite.program
+        lines = []
+        for address, instruction in program.layout:
+            lines.append(f".org {address}")
+            lines.append(instruction.disassemble())
+        rebuilt = assemble("\n".join(lines), memory_size=program.memory_size)
+        for address, instruction in program.layout:
+            assert rebuilt.instruction_at(address) == instruction
+
+
+class TestAssemblerFuzz:
+    """The assembler must reject garbage with AsmError, never crash."""
+
+    @given(st.text(max_size=200))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            assemble(text)
+        except AsmError:
+            pass  # rejection is the expected outcome for garbage
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "add r1, r2, r3",
+                    "ld r0, 64",
+                    "st r0, 64",
+                    "qtoq",
+                    "li r4, -100",
+                    "pbrne b0, r1, 3",
+                    "label:",
+                    ".align 8",
+                    ".word 1, 2",
+                    "halt",
+                ]
+            ),
+            max_size=30,
+        )
+    )
+    def test_fragment_soup_never_crashes(self, fragments):
+        try:
+            program = assemble("\n".join(fragments))
+        except AsmError:
+            return
+        assert isinstance(program, Program)

@@ -1,0 +1,109 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "--cache", "64"],
+            ["table", "1"],
+            ["figure", "5b"],
+            ["experiment", "table2"],
+            ["report"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_bad_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "7a"])
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nope"])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_table1_tiny(self, capsys):
+        assert main(["table", "1", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "paper" in out
+
+    def test_run_pipe(self, capsys):
+        code = main(
+            ["run", "--scale", "0.03", "--cache", "64", "--access", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "icache" in out
+
+    def test_run_conventional(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scale",
+                "0.03",
+                "--strategy",
+                "conventional",
+                "--cache",
+                "64",
+            ]
+        )
+        assert code == 0
+        assert "conventional" in capsys.readouterr().out
+
+    def test_figure_csv(self, capsys):
+        code = main(
+            [
+                "figure",
+                "4b",
+                "--scale",
+                "0.03",
+                "--sizes",
+                "32",
+                "128",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("strategy,32,128")
+        assert "conventional" in out
+
+    def test_figure_table(self, capsys):
+        code = main(
+            ["figure", "4b", "--scale", "0.03", "--sizes", "32", "--no-plot"]
+        )
+        assert code == 0
+        assert "Figure 4b" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+
+class TestDisasm:
+    def test_full_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["disasm", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "halt" in out and "pbrne" in out
+
+    def test_single_loop(self, capsys):
+        from repro.cli import main
+
+        assert main(["disasm", "--scale", "0.03", "--loop", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "inner loop of ll3" in out
+        assert "ld r6, 32" in out  # the FPU result pickup

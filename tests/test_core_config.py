@@ -1,0 +1,103 @@
+"""Unit tests for machine configuration and presets."""
+
+import pytest
+
+from repro.core.config import (
+    PAPER_CACHE_SIZES,
+    PIPE_CONFIGURATIONS,
+    FetchStrategy,
+    MachineConfig,
+)
+from repro.isa.encoding import InstructionFormat
+from repro.memory.requests import RequestPriority
+
+
+class TestTable2Presets:
+    def test_all_four_configurations(self):
+        assert set(PIPE_CONFIGURATIONS) == {"8-8", "16-16", "16-32", "32-32"}
+
+    @pytest.mark.parametrize(
+        "name,line,iq,iqb",
+        [("8-8", 8, 8, 8), ("16-16", 16, 16, 16),
+         ("16-32", 32, 16, 32), ("32-32", 32, 32, 32)],
+    )
+    def test_values_match_paper(self, name, line, iq, iqb):
+        config = PIPE_CONFIGURATIONS[name]
+        assert (config.line_size, config.iq_size, config.iqb_size) == (line, iq, iqb)
+
+    def test_paper_cache_sizes(self):
+        assert PAPER_CACHE_SIZES == (32, 64, 128, 256, 512)
+
+
+class TestValidation:
+    def test_cache_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            MachineConfig(icache_size=100, line_size=16)
+
+    def test_line_must_be_sub_block_multiple(self):
+        with pytest.raises(ValueError):
+            MachineConfig(line_size=10)
+
+    def test_bus_width(self):
+        with pytest.raises(ValueError):
+            MachineConfig(input_bus_width=2)
+        with pytest.raises(ValueError):
+            MachineConfig(input_bus_width=6)
+
+    def test_access_time(self):
+        with pytest.raises(ValueError):
+            MachineConfig(memory_access_time=0)
+
+    def test_iqb_holds_a_line(self):
+        with pytest.raises(ValueError):
+            MachineConfig(line_size=32, iqb_size=16, iq_size=16, icache_size=128)
+
+    def test_queue_capacities(self):
+        with pytest.raises(ValueError):
+            MachineConfig(ldq_capacity=0)
+
+    def test_branch_latency(self):
+        with pytest.raises(ValueError):
+            MachineConfig(branch_resolution_latency=0)
+
+    def test_conventional_skips_iq_checks(self):
+        config = MachineConfig.conventional(icache_size=32, line_size=32)
+        assert config.fetch_strategy is FetchStrategy.CONVENTIONAL
+
+
+class TestPresets:
+    def test_pipe_preset_by_name(self):
+        config = MachineConfig.pipe("16-32", icache_size=64)
+        assert config.line_size == 32
+        assert config.iq_size == 16
+        assert config.iqb_size == 32
+        assert config.icache_size == 64
+        assert config.priority is RequestPriority.INSTRUCTION_FIRST
+
+    def test_conventional_priority_default(self):
+        assert MachineConfig.conventional().priority is RequestPriority.DATA_FIRST
+
+    def test_conventional_priority_overridable(self):
+        config = MachineConfig.conventional(
+            priority=RequestPriority.INSTRUCTION_FIRST
+        )
+        assert config.priority is RequestPriority.INSTRUCTION_FIRST
+
+    def test_with_overrides(self):
+        base = MachineConfig.pipe("16-16")
+        changed = base.with_overrides(memory_access_time=3)
+        assert changed.memory_access_time == 3
+        assert base.memory_access_time == 6  # immutable original
+
+    def test_describe(self):
+        text = MachineConfig.pipe("16-16", 128).describe()
+        assert "PIPE 16-16" in text and "128B" in text
+        text = MachineConfig.conventional(64).describe()
+        assert "conventional" in text
+
+    def test_defaults_are_the_paper_machine(self):
+        config = MachineConfig()
+        assert config.icache_size == 128  # the fabricated chip's cache
+        assert config.memory_access_time == 6
+        assert config.instruction_format is InstructionFormat.FIXED32
+        assert config.true_prefetch

@@ -1,0 +1,62 @@
+"""Unit tests for the SimulationResult container."""
+
+from repro.core.config import MachineConfig
+from repro.core.results import QueueSnapshot, SimulationResult
+from repro.frontend.base import FetchStats
+from repro.frontend.icache import CacheStats
+from repro.memory.system import MemoryStats
+
+
+def make_result(cycles=1000, instructions=400, **overrides):
+    defaults = dict(
+        config=MachineConfig.pipe("16-16", 128),
+        cycles=cycles,
+        instructions=instructions,
+        halted=True,
+        cache=CacheStats(hits=90, misses=10),
+        fetch=FetchStats(demand_requests=5, prefetch_requests=20),
+        memory=MemoryStats(loads_accepted=50, stores_accepted=40),
+        stalls={"ldq_empty": 100, "frontend_empty": 0},
+        queues={
+            "LAQ": QueueSnapshot("LAQ", pushes=50, pops=50, max_occupancy=3)
+        },
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestRates:
+    def test_ipc_and_cpi(self):
+        result = make_result(cycles=1000, instructions=400)
+        assert result.ipc == 0.4
+        assert result.cpi == 2.5
+
+    def test_zero_cycles_safe(self):
+        result = make_result(cycles=0, instructions=0)
+        assert result.ipc == 0.0
+        assert result.cpi == 0.0
+
+    def test_total_stalls(self):
+        assert make_result().total_stalls == 100
+
+
+class TestSummary:
+    def test_contains_key_numbers(self):
+        result = make_result()
+        text = result.summary()
+        assert "1000" in text
+        assert "0.400" in text
+        assert "90 hits / 10 misses" in text
+        assert "ldq_empty=100" in text
+        assert "LAQ:max=3" in text
+
+    def test_no_stalls_rendered(self):
+        result = make_result(stalls={})
+        assert "none" in result.summary()
+
+
+class TestQueueSnapshot:
+    def test_fields(self):
+        snapshot = QueueSnapshot("SDQ", pushes=7, pops=7, max_occupancy=2)
+        assert snapshot.name == "SDQ"
+        assert snapshot.pushes == snapshot.pops == 7

@@ -1,0 +1,134 @@
+"""Integration tests of the cycle-level simulator as a whole."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import FetchStrategy, MachineConfig
+from repro.core.simulator import SimulationTimeout, Simulator, simulate
+from repro.cpu.functional import FunctionalSimulator
+from repro.isa.encoding import InstructionFormat
+
+LOOP = """
+    li r1, 20
+    la r2, data
+    li r3, 0
+    lbr b0, loop
+loop:
+    ldx r2, r3
+    popq r4
+    add r4, r4, r4
+    stx r2, r3
+    pushq r4
+    addi r3, r3, 4
+    subi r1, r1, 1
+    pbrne b0, r1, 2
+    nop
+    nop
+    halt
+    .align 4
+data:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+    .word 11, 12, 13, 14, 15, 16, 17, 18, 19, 20
+"""
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        program = assemble(LOOP)
+        config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+        first = simulate(config, program)
+        second = simulate(config, program)
+        assert first.cycles == second.cycles
+        assert first.stalls == second.stalls
+        assert first.memory.input_bus_bytes == second.memory.input_bus_bytes
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("strategy", ["pipe", "conventional"])
+    def test_same_instruction_stream_and_memory(self, strategy):
+        program = assemble(LOOP)
+        functional = FunctionalSimulator(program)
+        functional_result = functional.run()
+
+        if strategy == "pipe":
+            config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+        else:
+            config = MachineConfig.conventional(128, memory_access_time=6)
+        simulator = Simulator(config, program)
+        timing_result = simulator.run()
+
+        assert timing_result.instructions == functional_result.instructions
+        assert timing_result.loads == functional_result.loads
+        assert timing_result.stores == functional_result.stores
+        assert bytes(simulator.engine.memory) == bytes(functional.memory)
+
+    def test_timing_never_beats_one_ipc(self):
+        program = assemble(LOOP)
+        result = simulate(MachineConfig.pipe("16-16", 512,
+                                             memory_access_time=1), program)
+        assert result.cycles >= result.instructions
+
+
+class TestQueueAccounting:
+    def test_push_pop_balance(self):
+        program = assemble(LOOP)
+        result = simulate(MachineConfig.pipe("16-16", 128), program)
+        for name in ("LAQ", "LDQ", "SAQ", "SDQ"):
+            snapshot = result.queues[name]
+            assert snapshot.pushes == snapshot.pops, name
+        assert result.queues["LAQ"].pushes == result.loads
+        assert result.queues["SAQ"].pushes == result.stores
+
+
+class TestGuards:
+    def test_timeout(self):
+        program = assemble("loop: lbr b0, loop\npbra b0, 0\nhalt")
+        config = MachineConfig.pipe("16-16", 512, max_cycles=2_000)
+        with pytest.raises(SimulationTimeout):
+            simulate(config, program)
+
+    def test_format_mismatch_rejected(self):
+        program = assemble("halt", fmt=InstructionFormat.PARCEL)
+        with pytest.raises(ValueError, match="assembled for"):
+            Simulator(MachineConfig.pipe("16-16", 128), program)
+
+    def test_parcel_format_runs(self):
+        program = assemble(LOOP, fmt=InstructionFormat.PARCEL)
+        config = MachineConfig.pipe(
+            "16-16", 128, instruction_format=InstructionFormat.PARCEL
+        )
+        result = simulate(config, program)
+        assert result.halted
+        assert result.instructions > 20
+
+
+class TestStrategySelection:
+    def test_pipe_frontend_instantiated(self):
+        from repro.frontend.pipe_fetch import PipeFetchUnit
+
+        simulator = Simulator(MachineConfig.pipe("8-8", 64), assemble("halt"))
+        assert isinstance(simulator.frontend, PipeFetchUnit)
+
+    def test_conventional_frontend_instantiated(self):
+        from repro.frontend.conventional import ConventionalFetchUnit
+
+        simulator = Simulator(MachineConfig.conventional(64), assemble("halt"))
+        assert isinstance(simulator.frontend, ConventionalFetchUnit)
+
+    def test_strategy_enum_on_result(self):
+        result = simulate(MachineConfig.conventional(64), assemble("halt"))
+        assert result.config.fetch_strategy is FetchStrategy.CONVENTIONAL
+
+
+class TestResultReporting:
+    def test_summary_renders(self):
+        result = simulate(MachineConfig.pipe("16-16", 128), assemble(LOOP))
+        text = result.summary()
+        assert "cycles" in text
+        assert "icache" in text
+        assert str(result.cycles) in text
+
+    def test_rates(self):
+        result = simulate(MachineConfig.pipe("16-16", 128), assemble(LOOP))
+        assert 0 < result.ipc <= 1.0
+        assert result.cpi == pytest.approx(1.0 / result.ipc)

@@ -1,0 +1,66 @@
+"""Tests of the cache-size sweep driver."""
+
+from repro.core.config import FetchStrategy
+from repro.core.sweep import SweepSeries, run_cache_sweep, standard_strategies
+
+
+class TestStrategies:
+    def test_five_curves(self):
+        strategies = standard_strategies()
+        assert list(strategies) == [
+            "PIPE 8-8",
+            "PIPE 16-16",
+            "PIPE 16-32",
+            "PIPE 32-32",
+            "conventional",
+        ]
+
+    def test_factories_bind_their_configuration(self):
+        strategies = standard_strategies()
+        config = strategies["PIPE 16-32"](128)
+        assert config.line_size == 32 and config.iq_size == 16
+        conv = strategies["conventional"](64)
+        assert conv.fetch_strategy is FetchStrategy.CONVENTIONAL
+
+
+class TestSweep:
+    def test_sweep_shape(self, tiny_program):
+        series = run_cache_sweep(
+            tiny_program,
+            cache_sizes=(32, 128),
+            memory_access_time=1,
+            input_bus_width=8,
+        )
+        assert len(series) == 5
+        for curve in series:
+            assert len(curve.cache_sizes) == len(curve.cycles)
+            assert all(cycles > 0 for cycles in curve.cycles)
+
+    def test_undersized_caches_skipped(self, tiny_program):
+        """A 32-byte-line configuration cannot have a 16-byte cache."""
+        series = run_cache_sweep(
+            tiny_program,
+            cache_sizes=(16, 32, 64),
+            memory_access_time=1,
+            input_bus_width=8,
+        )
+        by_label = {curve.label: curve for curve in series}
+        assert 16 not in by_label["PIPE 32-32"].cache_sizes
+        assert 16 in by_label["PIPE 8-8"].cache_sizes
+
+    def test_overrides_forwarded(self, tiny_program):
+        series = run_cache_sweep(
+            tiny_program,
+            cache_sizes=(64,),
+            memory_access_time=6,
+            input_bus_width=4,
+            memory_pipelined=True,
+        )
+        result = series[0].results[0]
+        assert result.config.memory_access_time == 6
+        assert result.config.memory_pipelined
+
+    def test_series_helpers(self):
+        series = SweepSeries("x", [32, 64, 128], [300, 200, 100])
+        assert series.as_dict() == {32: 300, 64: 200, 128: 100}
+        assert series.flatness == 3.0

@@ -1,0 +1,72 @@
+"""Unit + property tests for the 32-bit ALU semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.alu import MASK32, alu_operate, to_signed, to_unsigned
+from repro.isa.opcodes import Opcode
+
+U32 = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestConversions:
+    @given(U32)
+    def test_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    def test_signed_boundaries(self):
+        assert to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert to_signed(0x80000000) == -(2**31)
+        assert to_signed(0xFFFFFFFF) == -1
+
+    @given(st.integers())
+    def test_to_unsigned_wraps(self, value):
+        assert 0 <= to_unsigned(value) <= MASK32
+        assert to_unsigned(value) == value % 2**32
+
+
+class TestArithmetic:
+    @given(U32, U32)
+    def test_add_wraps(self, a, b):
+        assert alu_operate(Opcode.ADD, a, b) == (a + b) % 2**32
+
+    @given(U32, U32)
+    def test_sub_wraps(self, a, b):
+        assert alu_operate(Opcode.SUB, a, b) == (a - b) % 2**32
+
+    @given(U32, U32)
+    def test_logic(self, a, b):
+        assert alu_operate(Opcode.AND, a, b) == a & b
+        assert alu_operate(Opcode.OR, a, b) == a | b
+        assert alu_operate(Opcode.XOR, a, b) == a ^ b
+
+    @given(U32, st.integers(min_value=0, max_value=31))
+    def test_shifts(self, a, sh):
+        assert alu_operate(Opcode.SLL, a, sh) == (a << sh) % 2**32
+        assert alu_operate(Opcode.SRL, a, sh) == a >> sh
+        assert alu_operate(Opcode.SRA, a, sh) == to_unsigned(to_signed(a) >> sh)
+
+    def test_shift_amount_masked(self):
+        assert alu_operate(Opcode.SLL, 1, 33) == alu_operate(Opcode.SLL, 1, 1)
+
+    @given(U32, U32)
+    def test_comparisons_signed(self, a, b):
+        sa, sb = to_signed(a), to_signed(b)
+        assert alu_operate(Opcode.SLT, a, b) == int(sa < sb)
+        assert alu_operate(Opcode.SLE, a, b) == int(sa <= sb)
+        assert alu_operate(Opcode.SEQ, a, b) == int(a == b)
+        assert alu_operate(Opcode.SNE, a, b) == int(a != b)
+
+    def test_immediate_twins_agree(self):
+        for rr, ri in [
+            (Opcode.ADD, Opcode.ADDI),
+            (Opcode.SUB, Opcode.SUBI),
+            (Opcode.AND, Opcode.ANDI),
+            (Opcode.SLT, Opcode.SLTI),
+        ]:
+            assert alu_operate(rr, 100, 7) == alu_operate(ri, 100, 7)
+
+    def test_non_alu_rejected(self):
+        with pytest.raises(ValueError):
+            alu_operate(Opcode.LD, 1, 2)

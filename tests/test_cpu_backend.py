@@ -1,0 +1,251 @@
+"""Tests of issue-stall accounting and PBR timing in the back-end."""
+
+from repro.asm import assemble
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate
+
+
+def run(source, config):
+    return simulate(config, assemble(source))
+
+
+FAST = MachineConfig.pipe("16-16", 512, memory_access_time=1)
+SLOW = MachineConfig.pipe("16-16", 512, memory_access_time=6)
+
+
+class TestLoadLatencyStalls:
+    def test_immediate_use_stalls(self):
+        """popq right after ld waits out the memory round trip."""
+        source = """
+            li r1, 0
+            ld r1, value
+            popq r2
+            halt
+            value: .word 7
+        """
+        result = run(source, SLOW)
+        assert result.stalls["ldq_empty"] >= 6
+
+    def test_distance_hides_latency(self):
+        """Scheduling independent work between ld and popq (the PIPE
+        compiler idiom) absorbs the latency in useful instructions.
+
+        Data-priority keeps the measurement about *latency*, not about
+        interface contention (covered by the next test).
+        """
+        from repro.memory.requests import RequestPriority
+
+        config = SLOW.with_overrides(priority=RequestPriority.DATA_FIRST)
+        filler = "\n".join(["nop"] * 12)
+        source = f"""
+            li r1, 0
+            ld r1, value
+            {filler}
+            popq r2
+            halt
+            value: .word 7
+        """
+        result = run(source, config)
+        immediate = run(
+            """
+            li r1, 0
+            ld r1, value
+            popq r2
+            halt
+            value: .word 7
+            """,
+            config,
+        )
+        assert result.stalls["ldq_empty"] == 0
+        assert immediate.stalls["ldq_empty"] > 0
+
+    def test_instruction_priority_delays_cold_data(self):
+        """With instruction-first priority and a cold cache, the data
+        request queues behind the I-fetch stream at the memory
+        interface — the contention the paper's queues exist to tolerate."""
+        from repro.memory.requests import RequestPriority
+
+        source = """
+            li r1, 0
+            ld r1, value
+            nop
+            nop
+            nop
+            nop
+            popq r2
+            halt
+            value: .word 7
+        """
+        instruction_first = run(source, SLOW)
+        data_first = run(
+            source, SLOW.with_overrides(priority=RequestPriority.DATA_FIRST)
+        )
+        assert (
+            instruction_first.stalls["ldq_empty"] > data_first.stalls["ldq_empty"]
+        )
+
+
+class TestQueueBackPressure:
+    def test_laq_fills_under_slow_memory(self):
+        """More loads than the LAQ holds: issue stalls until the memory
+        drains the queue.  The LDQ is kept large enough for all of them,
+        as any legal PIPE program must (see the deadlock test below)."""
+        loads = "\n".join(["ld r1, value"] * 16)
+        drains = "\n".join(["popq r2"] * 16)
+        source = f"""
+            li r1, 0
+            {loads}
+            {drains}
+            halt
+            value: .word 1
+        """
+        result = run(
+            source,
+            MachineConfig.pipe(
+                "16-16", 512, memory_access_time=6, laq_capacity=2, ldq_capacity=16
+            ),
+        )
+        assert result.stalls["laq_full"] > 0
+
+    def test_overcommitted_ldq_is_a_detected_deadlock(self):
+        """A program with more unconsumed loads in flight than the LDQ
+        can hold wedges a decoupled-queue machine: the LAQ cannot drain
+        into a full LDQ, and the LDQ cannot drain because issue is
+        blocked on the full LAQ.  The simulator must diagnose this, not
+        spin forever."""
+        import pytest
+
+        from repro.core.simulator import DeadlockError, Simulator
+
+        loads = "\n".join(["ld r1, value"] * 16)
+        drains = "\n".join(["popq r2"] * 16)
+        source = f"""
+            li r1, 0
+            {loads}
+            {drains}
+            halt
+            value: .word 1
+        """
+        from repro.asm import assemble
+
+        simulator = Simulator(
+            MachineConfig.pipe(
+                "16-16", 512, memory_access_time=6, laq_capacity=2, ldq_capacity=2
+            ),
+            assemble(source),
+        )
+        simulator.DEADLOCK_CYCLES = 500  # keep the test fast
+        with pytest.raises(DeadlockError, match="no progress"):
+            simulator.run()
+
+    def test_store_queue_back_pressure(self):
+        stores = "\n".join(["st r1, sink\npushq r2"] * 12)
+        source = f"""
+            li r1, 0
+            li r2, 9
+            {stores}
+            halt
+            sink: .word 0
+        """
+        result = run(
+            source,
+            MachineConfig.pipe(
+                "16-16", 512, memory_access_time=6, saq_capacity=2, sdq_capacity=2
+            ),
+        )
+        assert result.stalls["saq_full"] + result.stalls["sdq_full"] > 0
+
+    def test_big_queues_remove_pressure(self):
+        stores = "\n".join(["st r1, sink\npushq r2"] * 6)
+        source = f"""
+            li r1, 0
+            li r2, 9
+            {stores}
+            halt
+            sink: .word 0
+        """
+        relaxed = run(
+            source,
+            MachineConfig.pipe("16-16", 512, memory_access_time=1,
+                               saq_capacity=32, sdq_capacity=32),
+        )
+        assert relaxed.stalls["saq_full"] == 0
+
+
+class TestBranchTiming:
+    def test_delay_slots_cover_resolution(self):
+        """delay >= 2 hides the 2-cycle condition evaluation."""
+        source = """
+            li r1, 5
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 2
+            nop
+            nop
+            halt
+        """
+        result = run(source, FAST)
+        assert result.stalls["branch_unresolved"] == 0
+
+    def test_zero_delay_pays_resolution(self):
+        source = """
+            li r1, 5
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 0
+            halt
+        """
+        result = run(source, FAST)
+        # one stall cycle per taken iteration (resolution latency 2,
+        # delay 0 -> the issue point waits one cycle past the PBR)
+        assert result.stalls["branch_unresolved"] >= 4
+
+    def test_resolution_latency_configurable(self):
+        source = """
+            li r1, 5
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 2
+            nop
+            nop
+            halt
+        """
+        slow_resolve = run(
+            source, FAST.with_overrides(branch_resolution_latency=5)
+        )
+        assert slow_resolve.stalls["branch_unresolved"] > 0
+
+    def test_branch_counts(self):
+        source = """
+            li r1, 3
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 2
+            nop
+            nop
+            halt
+        """
+        result = run(source, FAST)
+        assert result.branches == 3
+        assert result.branches_taken == 2
+
+
+class TestHaltDrain:
+    def test_pending_stores_complete_before_end(self):
+        """Cycles include draining the store queues after HALT issues."""
+        source = """
+            li r1, 0
+            li r2, 1
+            st r1, sink
+            pushq r2
+            halt
+            sink: .word 0
+        """
+        fast = run(source, FAST)
+        slow = run(source, SLOW)
+        assert slow.cycles > fast.cycles  # the drain pays the access time
+        assert slow.stores == 1

@@ -1,0 +1,221 @@
+"""Unit tests for instruction execution semantics."""
+
+import pytest
+
+from repro.cpu.executor import execute, queue_effects
+from repro.cpu.state import ArchState
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import QUEUE_REGISTER
+
+
+class RecordingEnv:
+    """Execution environment that records queue traffic."""
+
+    def __init__(self, ldq_values=()):
+        self.ldq = list(ldq_values)
+        self.sdq: list[int] = []
+        self.laq: list[int] = []
+        self.saq: list[int] = []
+
+    def pop_ldq(self):
+        return self.ldq.pop(0)
+
+    def push_sdq(self, value):
+        self.sdq.append(value)
+
+    def push_laq(self, address):
+        self.laq.append(address)
+
+    def push_saq(self, address):
+        self.saq.append(address)
+
+
+class TestQueueEffects:
+    def test_plain_alu(self):
+        effects = queue_effects(Instruction.alu_rr(Opcode.ADD, 1, 2, 3))
+        assert not any(
+            (effects.pops_ldq, effects.pushes_sdq, effects.pushes_laq,
+             effects.pushes_saq)
+        )
+
+    def test_r7_source_pops(self):
+        effects = queue_effects(Instruction.alu_rr(Opcode.ADD, 1, QUEUE_REGISTER, 3))
+        assert effects.pops_ldq
+
+    def test_r7_destination_pushes(self):
+        effects = queue_effects(Instruction.alu_rr(Opcode.OR, QUEUE_REGISTER, 1, 1))
+        assert effects.pushes_sdq
+
+    def test_load_pushes_laq(self):
+        assert queue_effects(Instruction.load(1, 0)).pushes_laq
+        assert queue_effects(Instruction.load_indexed(1, 2)).pushes_laq
+
+    def test_store_pushes_saq(self):
+        assert queue_effects(Instruction.store(1, 0)).pushes_saq
+
+    def test_pbra_never_pops(self):
+        instr = Instruction.branch(Opcode.PBRA, 0, QUEUE_REGISTER, 0)
+        assert not queue_effects(instr).pops_ldq
+
+    def test_conditional_branch_on_r7_pops(self):
+        instr = Instruction.branch(Opcode.PBRNE, 0, QUEUE_REGISTER, 0)
+        assert queue_effects(instr).pops_ldq
+
+
+class TestAluExecution:
+    def test_add(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(2, 10)
+        state.write(3, 32)
+        execute(Instruction.alu_rr(Opcode.ADD, 1, 2, 3), state, env)
+        assert state.read(1) == 42
+
+    def test_li_sign_extends(self):
+        state, env = ArchState(), RecordingEnv()
+        execute(Instruction.alu_ri(Opcode.LI, 1, 0, -2), state, env)
+        assert state.read(1) == 0xFFFFFFFE
+
+    def test_lih_merges_high_half(self):
+        state, env = ArchState(), RecordingEnv()
+        execute(Instruction.alu_ri(Opcode.LI, 1, 0, 0x1234), state, env)
+        execute(Instruction.alu_ri(Opcode.LIH, 1, 0, 0xABCD), state, env)
+        assert state.read(1) == 0xABCD1234
+
+    def test_li_lih_builds_fpu_base(self):
+        """The idiom the suite preamble uses for addresses above 0x7FFF."""
+        state, env = ArchState(), RecordingEnv()
+        execute(Instruction.alu_ri(Opcode.LI, 6, 0, 0xF000), state, env)
+        execute(Instruction.alu_ri(Opcode.LIH, 6, 0, 0), state, env)
+        assert state.read(6) == 0x0000F000
+
+    def test_logical_immediates_zero_extend(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(2, 0xFFFFFFFF)
+        execute(Instruction.alu_ri(Opcode.ANDI, 1, 2, 0xFFFF), state, env)
+        assert state.read(1) == 0x0000FFFF
+
+    def test_arithmetic_immediates_sign_extend(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(2, 10)
+        execute(Instruction.alu_ri(Opcode.ADDI, 1, 2, -3), state, env)
+        assert state.read(1) == 7
+
+
+class TestQueueRegisterSemantics:
+    def test_single_pop_feeds_both_sources(self):
+        """r7 twice in one instruction pops exactly one LDQ entry."""
+        state = ArchState()
+        env = RecordingEnv(ldq_values=[21, 99])
+        execute(
+            Instruction.alu_rr(Opcode.ADD, 1, QUEUE_REGISTER, QUEUE_REGISTER),
+            state,
+            env,
+        )
+        assert state.read(1) == 42
+        assert env.ldq == [99]  # only one value consumed
+
+    def test_qtoq_moves_one_value(self):
+        state = ArchState()
+        env = RecordingEnv(ldq_values=[7])
+        execute(
+            Instruction.alu_rr(
+                Opcode.OR, QUEUE_REGISTER, QUEUE_REGISTER, QUEUE_REGISTER
+            ),
+            state,
+            env,
+        )
+        assert env.sdq == [7]
+        assert env.ldq == []
+
+    def test_destination_push(self):
+        state = ArchState()
+        state.write(1, 5)
+        env = RecordingEnv()
+        execute(Instruction.alu_rr(Opcode.OR, QUEUE_REGISTER, 1, 1), state, env)
+        assert env.sdq == [5]
+
+
+class TestMemoryExecution:
+    def test_ld_address(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(1, 100)
+        execute(Instruction.load(1, 24), state, env)
+        assert env.laq == [124]
+
+    def test_ldx_address(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(1, 100)
+        state.write(2, 8)
+        execute(Instruction.load_indexed(1, 2), state, env)
+        assert env.laq == [108]
+
+    def test_st_address(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(3, 0x40)
+        execute(Instruction.store(3, -16), state, env)
+        assert env.saq == [0x30]
+
+    def test_negative_displacement_wraps(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(1, 0)
+        execute(Instruction.load(1, -4), state, env)
+        assert env.laq == [0xFFFFFFFC]
+
+
+class TestBranchExecution:
+    def _branch(self, op, cond_value, delay=3):
+        state, env = ArchState(), RecordingEnv()
+        state.write_branch(2, 0x200)
+        state.write(1, cond_value & 0xFFFFFFFF)
+        outcome = execute(Instruction.branch(op, 2, 1, delay), state, env)
+        return outcome
+
+    def test_pbra_always_taken(self):
+        outcome = self._branch(Opcode.PBRA, 0)
+        assert outcome.is_branch and outcome.branch_taken
+        assert outcome.branch_target == 0x200
+        assert outcome.branch_delay == 3
+
+    @pytest.mark.parametrize(
+        "op,value,taken",
+        [
+            (Opcode.PBREQ, 0, True),
+            (Opcode.PBREQ, 1, False),
+            (Opcode.PBRNE, 0, False),
+            (Opcode.PBRNE, 5, True),
+            (Opcode.PBRLT, -1, True),
+            (Opcode.PBRLT, 0, False),
+            (Opcode.PBRGE, 0, True),
+            (Opcode.PBRGE, -3, False),
+        ],
+    )
+    def test_conditions(self, op, value, taken):
+        assert self._branch(op, value).branch_taken == taken
+
+
+class TestSystemExecution:
+    def test_halt(self):
+        outcome = execute(Instruction.halt(), ArchState(), RecordingEnv())
+        assert outcome.halted
+
+    def test_nop(self):
+        outcome = execute(Instruction.nop(), ArchState(), RecordingEnv())
+        assert not outcome.halted and not outcome.is_branch
+
+    def test_exch(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(0, 1)
+        execute(Instruction(Opcode.EXCH), state, env)
+        assert state.read(0) == 0
+
+    def test_lbr(self):
+        state, env = ArchState(), RecordingEnv()
+        execute(Instruction.load_branch_register(1, 0x80), state, env)
+        assert state.read_branch(1) == 0x80
+
+    def test_lbrr(self):
+        state, env = ArchState(), RecordingEnv()
+        state.write(4, 0x1000)
+        execute(Instruction(Opcode.LBRR, a=2, b=4), state, env)
+        assert state.read_branch(2) == 0x1000

@@ -1,0 +1,233 @@
+"""Unit tests for the functional (timing-free) simulator."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu.functional import (
+    FunctionalSimulator,
+    MemoryOrderingError,
+    SimulationLimitExceeded,
+    run_functional,
+)
+from repro.memory.fpu import (
+    FPU_OPERAND_A,
+    FPU_RESULT,
+    FPU_TRIGGER_MUL,
+    bits_to_float,
+    float_to_bits,
+)
+
+
+def run(source, **kwargs):
+    simulator = FunctionalSimulator(assemble(source), **kwargs)
+    result = simulator.run()
+    return simulator, result
+
+
+class TestStraightLine:
+    def test_counts_instructions(self):
+        _sim, result = run("nop\nnop\nnop\nhalt")
+        assert result.instructions == 4
+        assert result.halted
+
+    def test_register_compute_and_store(self):
+        sim, result = run(
+            """
+            li r1, 6
+            li r2, 7
+            add r3, r1, r2
+            li r4, 0
+            st r4, out
+            pushq r3
+            halt
+            out: .word 0
+            """
+        )
+        out = sim.program.symbols["out"]
+        assert sim.read_word(out) == 13
+        assert result.stores == 1
+
+
+class TestLoops:
+    def test_pbr_loop_executes_correct_count(self):
+        _sim, result = run(
+            """
+            li r1, 10
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 1
+            nop
+            halt
+            """
+        )
+        # 2 preamble + 10 iterations * 3 (subi, pbrne, nop) + halt
+        assert result.instructions == 2 + 30 + 1
+        assert result.branches == 10
+        assert result.branches_taken == 9
+
+    def test_delay_zero_branch(self):
+        _sim, result = run(
+            """
+            li r1, 3
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 0
+            halt
+            """
+        )
+        assert result.instructions == 2 + 3 * 2 + 1
+
+    def test_delay_slots_execute_on_both_paths(self):
+        sim, result = run(
+            """
+            li r1, 2
+            li r2, 0
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 1
+            addi r2, r2, 1       ; delay slot: runs every iteration
+            li r3, 0
+            st r3, out
+            pushq r2
+            halt
+            out: .word 0
+            """
+        )
+        assert sim.read_word(sim.program.symbols["out"]) == 2
+
+    def test_nested_pbr_rejected(self):
+        with pytest.raises(RuntimeError, match="branch is pending"):
+            run(
+                """
+                lbr b0, a
+                lbr b1, b
+                a: pbra b0, 2
+                b: pbra b1, 2
+                nop
+                nop
+                nop
+                halt
+                """
+            )
+
+
+class TestQueues:
+    def test_load_store_roundtrip(self):
+        sim, _result = run(
+            """
+            li r1, 0
+            ld r1, value
+            popq r2
+            addi r2, r2, 1
+            st r1, value
+            pushq r2
+            halt
+            value: .word 41
+            """
+        )
+        assert sim.read_word(sim.program.symbols["value"]) == 42
+
+    def test_multiple_outstanding_loads_fifo(self):
+        sim, _result = run(
+            """
+            li r1, 0
+            ld r1, a
+            ld r1, b
+            popq r2          ; must be a's value
+            popq r3          ; must be b's value
+            st r1, a
+            pushq r3
+            st r1, b
+            pushq r2
+            halt
+            a: .word 1
+            b: .word 2
+            """
+        )
+        assert sim.read_word(sim.program.symbols["a"]) == 2
+        assert sim.read_word(sim.program.symbols["b"]) == 1
+
+    def test_r7_read_with_no_load_rejected(self):
+        with pytest.raises(RuntimeError, match="LDQ"):
+            run("popq r1\nhalt")
+
+    def test_halt_with_unpaired_store_rejected(self):
+        with pytest.raises(RuntimeError, match="unpaired"):
+            run("li r1, 0\nst r1, 0x100\nhalt")
+
+    def test_ordering_hazard_detected(self):
+        with pytest.raises(MemoryOrderingError):
+            run(
+                """
+                li r1, 0
+                st r1, spot      ; store address pushed...
+                ld r1, spot      ; ...load overtakes the missing data
+                pushq r1
+                popq r2
+                halt
+                spot: .word 0
+                """
+            )
+
+
+class TestFpu:
+    def test_multiply_via_memory_map(self):
+        sim, result = run(
+            f"""
+            li r6, {FPU_OPERAND_A & 0xFFFF}
+            lih r6, {FPU_OPERAND_A >> 16}
+            li r1, 0
+            ld r1, a            ; operand A bits
+            st r6, 0            ; FPU operand A
+            qtoq
+            ld r1, b            ; operand B bits
+            st r6, {FPU_TRIGGER_MUL - FPU_OPERAND_A}
+            qtoq
+            ld r6, {FPU_RESULT - FPU_OPERAND_A}
+            st r1, out
+            qtoq
+            halt
+            a: .float 1.5
+            b: .float 4.0
+            out: .word 0
+            """
+        )
+        out = sim.program.symbols["out"]
+        assert bits_to_float(sim.read_word(out)) == 6.0
+        assert result.fpu_operations == 1
+
+    def test_result_read_before_op_rejected(self):
+        with pytest.raises(RuntimeError, match="FPU result"):
+            run(
+                f"""
+                li r6, {FPU_RESULT & 0xFFFF}
+                lih r6, {FPU_RESULT >> 16}
+                ld r6, 0
+                popq r1
+                halt
+                """
+            )
+
+
+class TestGuards:
+    def test_step_limit(self):
+        with pytest.raises(SimulationLimitExceeded):
+            run("loop: lbr b0, loop\npbra b0, 0\nhalt", max_steps=100)
+
+    def test_unaligned_access_rejected(self):
+        with pytest.raises(ValueError, match="unaligned"):
+            run("li r1, 2\nld r1, 0\npopq r2\nhalt")
+
+    def test_out_of_range_access_rejected(self):
+        with pytest.raises(IndexError):
+            run("li r1, 0x7000\nlih r1, 0\nld r1, 0\npopq r2\nhalt",
+                )
+
+    def test_region_counting(self):
+        program = assemble("nop\nmid: nop\nnop\nhalt")
+        mid = program.symbols["mid"]
+        result = run_functional(program, regions=[("middle", mid, mid + 8)])
+        assert result.by_region["middle"] == 2

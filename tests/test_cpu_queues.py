@@ -1,0 +1,96 @@
+"""Unit + property tests for the architectural queues."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.queues import ArchitecturalQueue, QueueEmptyError, QueueFullError
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = ArchitecturalQueue("q", 4)
+        for value in (1, 2, 3):
+            queue.push(value)
+        assert [queue.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_capacity_enforced(self):
+        queue = ArchitecturalQueue("q", 2)
+        queue.push(1)
+        queue.push(2)
+        assert queue.is_full
+        with pytest.raises(QueueFullError):
+            queue.push(3)
+
+    def test_pop_empty(self):
+        queue = ArchitecturalQueue("q", 2)
+        with pytest.raises(QueueEmptyError):
+            queue.pop()
+
+    def test_peek(self):
+        queue = ArchitecturalQueue("q", 2)
+        queue.push(9)
+        assert queue.peek() == 9
+        assert len(queue) == 1  # peek does not consume
+
+    def test_peek_empty(self):
+        with pytest.raises(QueueEmptyError):
+            ArchitecturalQueue("q", 1).peek()
+
+    def test_unbounded(self):
+        queue = ArchitecturalQueue("q")
+        for value in range(1000):
+            queue.push(value)
+        assert not queue.is_full
+        assert queue.free_slots is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ArchitecturalQueue("q", 0)
+
+    def test_clear(self):
+        queue = ArchitecturalQueue("q", 4)
+        queue.push(1)
+        queue.clear()
+        assert queue.is_empty
+
+
+class TestStatistics:
+    def test_counters(self):
+        queue = ArchitecturalQueue("q", 8)
+        for value in range(5):
+            queue.push(value)
+        for _ in range(2):
+            queue.pop()
+        assert queue.total_pushes == 5
+        assert queue.total_pops == 2
+        assert queue.max_occupancy == 5
+
+    def test_free_slots(self):
+        queue = ArchitecturalQueue("q", 3)
+        queue.push(1)
+        assert queue.free_slots == 2
+
+
+class TestPropertyFifo:
+    @given(st.lists(st.tuples(st.booleans(), st.integers()), max_size=200))
+    def test_matches_model(self, operations):
+        """Random push/pop interleavings behave exactly like a list."""
+        queue = ArchitecturalQueue("q", 16)
+        model: list[int] = []
+        for is_push, value in operations:
+            if is_push:
+                if len(model) < 16:
+                    queue.push(value)
+                    model.append(value)
+                else:
+                    with pytest.raises(QueueFullError):
+                        queue.push(value)
+            else:
+                if model:
+                    assert queue.pop() == model.pop(0)
+                else:
+                    with pytest.raises(QueueEmptyError):
+                        queue.pop()
+            assert len(queue) == len(model)
+            assert queue.is_empty == (not model)

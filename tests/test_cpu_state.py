@@ -1,0 +1,69 @@
+"""Unit tests for architectural register state."""
+
+import pytest
+
+from repro.cpu.state import ArchState
+from repro.isa.registers import QUEUE_REGISTER
+
+
+class TestDataRegisters:
+    def test_read_write(self):
+        state = ArchState()
+        state.write(3, 42)
+        assert state.read(3) == 42
+
+    def test_values_wrap_to_32_bits(self):
+        state = ArchState()
+        state.write(1, 2**32 + 5)
+        assert state.read(1) == 5
+
+    def test_queue_register_rejected(self):
+        state = ArchState()
+        with pytest.raises(ValueError):
+            state.read(QUEUE_REGISTER)
+        with pytest.raises(ValueError):
+            state.write(QUEUE_REGISTER, 1)
+
+    def test_out_of_range_rejected(self):
+        state = ArchState()
+        with pytest.raises(ValueError):
+            state.read(8)
+
+
+class TestBankExchange:
+    def test_exchange_swaps(self):
+        state = ArchState()
+        state.write(0, 111)
+        state.exchange_banks()
+        assert state.read(0) == 0  # background bank starts zeroed
+        state.write(0, 222)
+        state.exchange_banks()
+        assert state.read(0) == 111
+        state.exchange_banks()
+        assert state.read(0) == 222
+
+    def test_exchange_preserves_branch_registers(self):
+        state = ArchState()
+        state.write_branch(2, 0x40)
+        state.exchange_banks()
+        assert state.read_branch(2) == 0x40
+
+
+class TestBranchRegisters:
+    def test_read_write(self):
+        state = ArchState()
+        state.write_branch(5, 1000)
+        assert state.read_branch(5) == 1000
+
+    def test_range_checked(self):
+        state = ArchState()
+        with pytest.raises(ValueError):
+            state.write_branch(8, 0)
+
+    def test_snapshot(self):
+        state = ArchState()
+        state.write(1, 7)
+        snap = state.snapshot()
+        assert snap["foreground"][1] == 7
+        assert len(snap["background"]) == 8
+        assert len(snap["branch"]) == 8

@@ -1,0 +1,60 @@
+"""Unit tests for shared frontend helpers."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.frontend.base import FetchStats, decode_at, delay_region_end
+from repro.isa.encoding import InstructionFormat
+from repro.isa.opcodes import Opcode
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(
+        """
+        pbra b0, 3
+        nop
+        li r1, 5
+        nop
+        halt
+        """
+    )
+
+
+class TestDecodeAt:
+    def test_decodes_layout(self, program):
+        instruction, size = decode_at(program.image, program.fmt, 0)
+        assert instruction.op == Opcode.PBRA
+        assert size == 4
+
+    def test_parcel_sizes(self):
+        parcel = assemble("nop\nli r1, 5\nhalt", fmt=InstructionFormat.PARCEL)
+        _nop, size = decode_at(parcel.image, parcel.fmt, 0)
+        assert size == 2
+        _li, size = decode_at(parcel.image, parcel.fmt, 2)
+        assert size == 4
+
+
+class TestDelayRegionEnd:
+    def test_walks_delay_instructions(self, program):
+        # Three delay slots after the PBR at 0: nop, li, nop -> ends at 16.
+        end = delay_region_end(program.image, program.fmt, 4, 3)
+        assert end == 16
+
+    def test_zero_delay(self, program):
+        assert delay_region_end(program.image, program.fmt, 4, 0) == 4
+
+    def test_parcel_format_sizes(self):
+        parcel = assemble(
+            "pbra b0, 2\nnop\nli r1, 5\nhalt", fmt=InstructionFormat.PARCEL
+        )
+        # delay slots: nop (2 bytes) + li (4 bytes), starting at 2
+        assert delay_region_end(parcel.image, parcel.fmt, 2, 2) == 8
+
+
+class TestFetchStats:
+    def test_defaults(self):
+        stats = FetchStats()
+        assert stats.instructions_supplied == 0
+        assert stats.prefetch_promotions == 0
+        assert stats.squashed_instructions == 0

@@ -1,0 +1,125 @@
+"""Behavioural tests of the conventional always-prefetch fetch unit."""
+
+from repro.asm import assemble
+from repro.core.config import MachineConfig
+from repro.core.simulator import Simulator, simulate
+
+
+def straight_line(count):
+    return "\n".join(["nop"] * count) + "\nhalt"
+
+
+def run(source, config):
+    return simulate(config, assemble(source))
+
+
+class TestAlwaysPrefetch:
+    def test_prefetches_on_every_reference(self):
+        """Sequential code: nearly every instruction is covered by a
+        prefetch, so demand misses stay near the pipeline startup."""
+        result = run(
+            straight_line(50),
+            MachineConfig.conventional(512, memory_access_time=1),
+        )
+        # an 8-byte bus covers two instructions per prefetch, and fetch
+        # work stops at HALT, so ~half the instruction count is expected
+        assert result.fetch.prefetch_requests >= 20
+        assert result.fetch.demand_requests <= 5
+
+    def test_prefetch_crosses_line_boundaries(self):
+        """Hill's model prefetches 'even if this address maps into the
+        next cache line' — so sequential flow never demand-misses at
+        line boundaries once the stream is ahead."""
+        result = run(
+            straight_line(64),
+            MachineConfig.conventional(512, memory_access_time=1, line_size=16),
+        )
+        assert result.cycles <= 65 * 1.2 + 10
+
+    def test_one_outstanding_request(self):
+        """A demand miss must wait for an in-flight prefetch to finish
+        (one request at a time), which hurts after taken branches."""
+        source = """
+            lbr b0, target
+            pbra b0, 2
+            nop
+            nop
+            .org 0x200
+            target:
+            halt
+        """
+        program = assemble(source)
+        simulator = Simulator(
+            MachineConfig.conventional(128, memory_access_time=6), program
+        )
+        result = simulator.run()
+        assert result.halted
+        # the fetched-but-wrong prefetch of the fall-through path cannot
+        # overlap the demand fetch of the target
+        assert result.stalls["frontend_empty"] >= 6
+
+    def test_bus_width_extends_fill(self):
+        """With an 8-byte bus a single request fills two sub-blocks, so
+        wide-bus runs need roughly half the requests."""
+        narrow = run(
+            straight_line(64),
+            MachineConfig.conventional(512, memory_access_time=1, input_bus_width=4),
+        )
+        wide = run(
+            straight_line(64),
+            MachineConfig.conventional(512, memory_access_time=1, input_bus_width=8),
+        )
+        narrow_requests = (
+            narrow.fetch.demand_requests + narrow.fetch.prefetch_requests
+        )
+        wide_requests = wide.fetch.demand_requests + wide.fetch.prefetch_requests
+        assert wide_requests < narrow_requests * 0.7
+        assert wide.cycles <= narrow.cycles
+
+    def test_promotion_of_caught_up_prefetch(self):
+        result = run(
+            straight_line(80),
+            MachineConfig.conventional(512, memory_access_time=6, input_bus_width=4),
+        )
+        assert result.fetch.prefetch_promotions > 0
+
+
+class TestCacheBehaviour:
+    def test_loop_capture(self):
+        source = """
+            li r1, 30
+            lbr b0, loop
+            loop:
+            subi r1, r1, 1
+            pbrne b0, r1, 2
+            nop
+            nop
+            halt
+        """
+        result = run(source, MachineConfig.conventional(128, memory_access_time=6))
+        assert result.cache.misses <= 8
+        assert result.halted
+
+    def test_redirect_follows_pc(self):
+        source = """
+            li r1, 0
+            lbr b0, far
+            pbreq b0, r1, 1
+            nop
+            nop
+            far:
+            halt
+        """
+        program = assemble(source)
+        simulator = Simulator(
+            MachineConfig.conventional(512, memory_access_time=1), program
+        )
+        result = simulator.run()
+        assert simulator.frontend.stats.redirects == 1
+        assert result.instructions == 5
+
+    def test_data_priority_is_the_default(self):
+        from repro.memory.requests import RequestPriority
+
+        config = MachineConfig.conventional(128)
+        assert config.priority is RequestPriority.DATA_FIRST

@@ -1,0 +1,205 @@
+"""Unit + property tests for the direct-mapped sub-blocked I-cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend.icache import InstructionCache
+
+
+class TestGeometry:
+    def test_line_address(self):
+        cache = InstructionCache(128, 16)
+        assert cache.line_address(0) == 0
+        assert cache.line_address(17) == 16
+        assert cache.line_address(31) == 16
+
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            InstructionCache(100, 16)  # not a multiple
+        with pytest.raises(ValueError):
+            InstructionCache(128, 10, 4)  # line not multiple of sub-block
+        with pytest.raises(ValueError):
+            InstructionCache(0, 16)
+
+    def test_num_lines(self):
+        cache = InstructionCache(128, 16)
+        assert cache.num_lines == 8
+        assert cache.sub_blocks_per_line == 4
+
+
+class TestFillAndProbe:
+    def test_miss_then_hit(self):
+        cache = InstructionCache(64, 16)
+        assert not cache.probe(0, 4)
+        cache.fill(0, 16)
+        assert cache.probe(0, 16)
+        assert cache.probe(12, 4)
+
+    def test_sub_block_granularity(self):
+        cache = InstructionCache(64, 16)
+        cache.fill(0, 4)
+        assert cache.probe(0, 4)
+        assert not cache.probe(4, 4)
+        assert not cache.probe(0, 8)
+
+    def test_direct_mapped_conflict(self):
+        cache = InstructionCache(64, 16)  # 4 lines
+        cache.fill(0, 16)
+        cache.fill(64, 16)  # same index as address 0
+        assert not cache.probe(0, 4)
+        assert cache.probe(64, 4)
+        assert cache.stats.line_replacements == 1
+
+    def test_partial_fill_invalidates_old_line(self):
+        cache = InstructionCache(64, 16)
+        cache.fill(0, 16)
+        cache.fill(64, 4)  # replaces the tag; only first sub-block valid
+        assert not cache.probe(0, 4)
+        assert cache.probe(64, 4)
+        assert not cache.probe(68, 4)
+
+    def test_range_spanning_lines(self):
+        cache = InstructionCache(64, 16)
+        cache.fill(0, 32)
+        assert cache.probe(12, 8)  # spans the 16-byte boundary
+
+    def test_unaligned_fill_rejected(self):
+        cache = InstructionCache(64, 16)
+        with pytest.raises(ValueError):
+            cache.fill(2, 4)
+        with pytest.raises(ValueError):
+            cache.fill(0, 6)
+
+    def test_probe_requires_positive_size(self):
+        cache = InstructionCache(64, 16)
+        with pytest.raises(ValueError):
+            cache.probe(0, 0)
+
+    def test_invalidate_all(self):
+        cache = InstructionCache(64, 16)
+        cache.fill(0, 16)
+        cache.invalidate_all()
+        assert not cache.probe(0, 4)
+        assert cache.resident_bytes() == 0
+
+    def test_resident_bytes(self):
+        cache = InstructionCache(64, 16)
+        cache.fill(0, 16)
+        cache.fill(16, 8)
+        assert cache.resident_bytes() == 24
+
+
+class TestStats:
+    def test_lookup_counts(self):
+        cache = InstructionCache(64, 16)
+        cache.lookup(0, 4)
+        cache.fill(0, 16)
+        cache.lookup(0, 4)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_empty_hit_rate(self):
+        assert InstructionCache(64, 16).stats.hit_rate == 0.0
+
+
+class TestAgainstModel:
+    """Property: the cache agrees with a dictionary model of residency."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),  # fill (True) or probe (False)
+                st.integers(min_value=0, max_value=63),  # sub-block number
+            ),
+            max_size=200,
+        )
+    )
+    def test_model_equivalence(self, operations):
+        line_size, size, sub = 16, 64, 4
+        cache = InstructionCache(size, line_size, sub)
+        lines = size // line_size
+        model: dict[int, set[int]] = {}  # index -> resident absolute sub-blocks
+        tags: dict[int, int] = {}
+        for is_fill, block in operations:
+            address = block * sub
+            index = (address // line_size) % lines
+            tag = address // (line_size * lines)
+            if is_fill:
+                cache.fill(address, sub)
+                if tags.get(index) != tag:
+                    model[index] = set()
+                    tags[index] = tag
+                model[index].add(block)
+            else:
+                expected = tags.get(index) == tag and block in model.get(index, set())
+                assert cache.probe(address, sub) == expected
+
+
+class TestSetAssociativity:
+    def test_two_way_avoids_direct_mapped_conflict(self):
+        """Two lines that conflict direct-mapped coexist two-way."""
+        direct = InstructionCache(64, 16, associativity=1)
+        direct.fill(0, 16)
+        direct.fill(64, 16)  # same index in a 4-line direct-mapped array
+        assert not direct.probe(0, 4)
+
+        two_way = InstructionCache(64, 16, associativity=2)
+        two_way.fill(0, 16)
+        two_way.fill(32, 16)  # same set (2 sets of 2 ways)
+        assert two_way.probe(0, 4)
+        assert two_way.probe(32, 4)
+
+    def test_lru_replacement(self):
+        cache = InstructionCache(32, 16, associativity=2)  # one set, 2 ways
+        cache.fill(0, 16)
+        cache.fill(16, 16)
+        cache.touch(0)  # line 0 most recently used
+        cache.fill(32, 16)  # evicts line 16 (LRU)
+        assert cache.probe(0, 4)
+        assert not cache.probe(16, 4)
+        assert cache.probe(32, 4)
+
+    def test_fully_associative(self):
+        cache = InstructionCache(64, 16, associativity=4)  # one set
+        for base in (0, 128, 256, 384):
+            cache.fill(base, 16)
+        for base in (0, 128, 256, 384):
+            assert cache.probe(base, 4)
+        cache.fill(512, 16)  # evicts the LRU (address 0)
+        assert not cache.probe(0, 4)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            InstructionCache(64, 16, associativity=0)
+        with pytest.raises(ValueError):
+            InstructionCache(48, 16, associativity=2)  # not a multiple
+
+    def test_lookup_touches_lru(self):
+        cache = InstructionCache(32, 16, associativity=2)
+        cache.fill(0, 16)
+        cache.fill(16, 16)
+        assert cache.lookup(0, 4)  # touch line 0
+        cache.fill(32, 16)
+        assert cache.probe(0, 4)  # survived: line 16 was evicted
+        assert not cache.probe(16, 4)
+
+    def test_associative_machine_runs(self):
+        """End to end through the simulator with a 2-way cache."""
+        from repro.asm import assemble
+        from repro.core.config import MachineConfig
+        from repro.core.simulator import simulate
+
+        program = assemble("\n".join(["nop"] * 30) + "\nhalt")
+        direct = simulate(
+            MachineConfig.conventional(64, memory_access_time=6), program
+        )
+        two_way = simulate(
+            MachineConfig.conventional(
+                64, memory_access_time=6, cache_associativity=2
+            ),
+            program,
+        )
+        assert direct.instructions == two_way.instructions
+        assert two_way.halted

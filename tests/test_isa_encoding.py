@@ -1,0 +1,112 @@
+"""Unit + property tests for the binary instruction encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    PARCEL_BYTES,
+    DecodeError,
+    InstructionFormat,
+    decode_instruction,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MAX_BRANCH_DELAY, OpClass, Opcode
+
+# ----------------------------------------------------------------------
+# Strategy: arbitrary *valid* instructions
+# ----------------------------------------------------------------------
+_FIELD = st.integers(min_value=0, max_value=7)
+_IMM = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(list(Opcode)))
+    a = draw(_FIELD)
+    b = draw(_FIELD)
+    c = draw(_FIELD)
+    imm = draw(_IMM) if op.is_two_parcel else 0
+    if op.op_class == OpClass.BRANCH:
+        c = draw(st.integers(min_value=0, max_value=MAX_BRANCH_DELAY))
+    return Instruction(op, a=a, b=b, c=c, imm=imm)
+
+
+class TestRoundTrip:
+    @given(instructions(), st.sampled_from(list(InstructionFormat)))
+    def test_roundtrip(self, instr, fmt):
+        raw = encode_instruction(instr, fmt)
+        decoded, size = decode_instruction(raw, 0, fmt)
+        assert decoded == instr
+        assert size == len(raw)
+        assert size == fmt.instruction_size(instr)
+
+    @given(st.lists(instructions(), min_size=1, max_size=20),
+           st.sampled_from(list(InstructionFormat)))
+    def test_program_roundtrip(self, instrs, fmt):
+        raw = encode_program(instrs, fmt)
+        offset = 0
+        decoded = []
+        while offset < len(raw):
+            instr, size = decode_instruction(raw, offset, fmt)
+            decoded.append(instr)
+            offset += size
+        assert decoded == instrs
+
+
+class TestSizes:
+    def test_fixed32_is_always_four_bytes(self):
+        for instr in (Instruction.nop(), Instruction.alu_ri(Opcode.LI, 1, 0, 5)):
+            assert len(encode_instruction(instr, InstructionFormat.FIXED32)) == 4
+
+    def test_parcel_sizes(self):
+        assert len(encode_instruction(Instruction.nop(), InstructionFormat.PARCEL)) == 2
+        two = Instruction.alu_ri(Opcode.LI, 1, 0, 5)
+        assert len(encode_instruction(two, InstructionFormat.PARCEL)) == 4
+
+    def test_max_instruction_size(self):
+        assert InstructionFormat.PARCEL.max_instruction_size == 4
+        assert InstructionFormat.FIXED32.max_instruction_size == 4
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        # opcode field 0x7F is not assigned
+        raw = (0x7F << 9).to_bytes(PARCEL_BYTES, "little")
+        with pytest.raises(DecodeError):
+            decode_instruction(raw, 0)
+
+    def test_truncated_first_parcel(self):
+        with pytest.raises(DecodeError):
+            decode_instruction(b"\x00", 0)
+
+    def test_truncated_immediate(self):
+        raw = encode_instruction(
+            Instruction.alu_ri(Opcode.LI, 1, 0, 5), InstructionFormat.PARCEL
+        )
+        with pytest.raises(DecodeError):
+            decode_instruction(raw[:2], 0, InstructionFormat.PARCEL)
+
+    def test_ill_formed_branch_delay(self):
+        # Hand-craft a PBRA with delay field 7 — legal; then check an
+        # unknown opcode value just past the branch family is rejected.
+        raw = ((0x45 << 9) | 7).to_bytes(PARCEL_BYTES, "little")
+        with pytest.raises(DecodeError):
+            decode_instruction(raw, 0)
+
+
+class TestBranchBitVisibleInEncoding:
+    """The fetch logic must see the branch bit in the top of the parcel."""
+
+    def test_branch_bit_position(self):
+        instr = Instruction.branch(Opcode.PBRA, 0, 0, 0)
+        raw = encode_instruction(instr, InstructionFormat.PARCEL)
+        first = int.from_bytes(raw[:2], "little")
+        assert first & 0x8000  # bit 15 = branch-class bit
+
+    def test_non_branch_bit_clear(self):
+        raw = encode_instruction(Instruction.nop(), InstructionFormat.PARCEL)
+        first = int.from_bytes(raw[:2], "little")
+        assert not (first & 0x8000)

@@ -1,0 +1,112 @@
+"""Unit tests for the Instruction value type."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestConstruction:
+    def test_alu_rr(self):
+        instr = Instruction.alu_rr(Opcode.ADD, 1, 2, 3)
+        assert (instr.rd, instr.rs1, instr.rs2) == (1, 2, 3)
+        assert instr.parcels == 1
+
+    def test_alu_rr_rejects_wrong_class(self):
+        with pytest.raises(ValueError):
+            Instruction.alu_rr(Opcode.ADDI, 1, 2, 3)
+
+    def test_alu_ri(self):
+        instr = Instruction.alu_ri(Opcode.ADDI, 1, 2, -5)
+        assert instr.imm_signed == -5
+        assert instr.imm == 0xFFFB
+        assert instr.parcels == 2
+
+    def test_load_displacement(self):
+        instr = Instruction.load(3, 100)
+        assert instr.op == Opcode.LD
+        assert instr.rs1 == 3
+        assert instr.imm_signed == 100
+
+    def test_store_indexed(self):
+        instr = Instruction.store_indexed(2, 4)
+        assert instr.op == Opcode.STX
+        assert (instr.rs1, instr.rs2) == (2, 4)
+
+    def test_branch(self):
+        instr = Instruction.branch(Opcode.PBRNE, 1, 2, 5)
+        assert instr.breg == 1
+        assert instr.rs1 == 2
+        assert instr.delay == 5
+        assert instr.is_branch
+
+    def test_branch_delay_range(self):
+        with pytest.raises(ValueError):
+            Instruction.branch(Opcode.PBRA, 0, 0, 8)
+
+    def test_nop_and_halt(self):
+        assert Instruction.nop().op == Opcode.NOP
+        assert Instruction.halt().op == Opcode.HALT
+
+    def test_load_branch_register(self):
+        instr = Instruction.load_branch_register(3, 0x1234)
+        assert instr.breg == 3
+        assert instr.imm == 0x1234
+
+
+class TestValidation:
+    def test_field_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, a=8)
+
+    def test_immediate_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LI, a=1, imm=70000)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LI, a=1, imm=-40000)
+
+    def test_negative_immediate_normalised(self):
+        instr = Instruction(Opcode.LI, a=1, imm=-1)
+        assert instr.imm == 0xFFFF
+        assert instr.imm_signed == -1
+
+    def test_one_parcel_rejects_immediate(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, a=1, imm=5)
+
+
+class TestDisassembly:
+    @pytest.mark.parametrize(
+        "instr,expected",
+        [
+            (Instruction.alu_rr(Opcode.ADD, 1, 2, 3), "add r1, r2, r3"),
+            (Instruction.alu_ri(Opcode.ADDI, 1, 2, 5), "addi r1, r2, 5"),
+            (Instruction.alu_ri(Opcode.LI, 4, 0, -7), "li r4, -7"),
+            (Instruction.load(3, 8), "ld r3, 8"),
+            (Instruction.load_indexed(1, 2), "ldx r1, r2"),
+            (Instruction.store(5, -4), "st r5, -4"),
+            (Instruction.load_branch_register(0, 64), "lbr b0, 64"),
+            (Instruction.branch(Opcode.PBRA, 2, 0, 3), "pbra b2, 3"),
+            (Instruction.branch(Opcode.PBRNE, 0, 6, 4), "pbrne b0, r6, 4"),
+            (Instruction.nop(), "nop"),
+            (Instruction.halt(), "halt"),
+        ],
+    )
+    def test_disassemble(self, instr, expected):
+        assert instr.disassemble() == expected
+
+    def test_disassembly_reassembles(self):
+        """Every disassembled form is valid assembler input."""
+        from repro.asm import assemble
+
+        instructions = [
+            Instruction.alu_rr(Opcode.XOR, 1, 2, 3),
+            Instruction.alu_ri(Opcode.SLLI, 1, 1, 2),
+            Instruction.load(0, 16),
+            Instruction.store_indexed(2, 3),
+            Instruction.branch(Opcode.PBRGE, 1, 4, 2),
+            Instruction.halt(),
+        ]
+        source = "\n".join(i.disassemble() for i in instructions)
+        program = assemble(source)
+        assert [i for _a, i in program.layout] == instructions

@@ -1,0 +1,88 @@
+"""Unit tests for the opcode map and its static properties."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCH_CLASS_BIT,
+    BRANCH_CONDITIONS,
+    MAX_BRANCH_DELAY,
+    OpClass,
+    Opcode,
+)
+
+
+class TestBranchBit:
+    def test_branch_opcodes_have_the_bit(self):
+        for op in Opcode:
+            if op.op_class == OpClass.BRANCH:
+                assert op.value & BRANCH_CLASS_BIT, op
+                assert op.is_branch
+
+    def test_non_branch_opcodes_lack_the_bit(self):
+        for op in Opcode:
+            if op.op_class != OpClass.BRANCH:
+                assert not (op.value & BRANCH_CLASS_BIT), op
+                assert not op.is_branch
+
+    def test_all_branch_conditions_mapped(self):
+        branch_ops = {op for op in Opcode if op.is_branch}
+        assert branch_ops == set(BRANCH_CONDITIONS)
+
+
+class TestParcelCounts:
+    def test_immediates_are_two_parcel(self):
+        for op in (Opcode.ADDI, Opcode.LI, Opcode.LIH, Opcode.LD, Opcode.ST,
+                   Opcode.LBR, Opcode.SLTI):
+            assert op.is_two_parcel, op
+
+    def test_register_forms_are_one_parcel(self):
+        for op in (Opcode.ADD, Opcode.LDX, Opcode.STX, Opcode.NOP,
+                   Opcode.HALT, Opcode.PBRA, Opcode.PBRNE, Opcode.LBRR):
+            assert not op.is_two_parcel, op
+
+
+class TestReadWriteSets:
+    def test_alu_rr_reads_both_sources(self):
+        assert Opcode.ADD.reads_rs1 and Opcode.ADD.reads_rs2
+        assert Opcode.ADD.writes_rd
+
+    def test_li_writes_without_reading(self):
+        assert Opcode.LI.writes_rd
+        assert not Opcode.LI.reads_rs1
+        assert not Opcode.LI.reads_rs2
+
+    def test_loads_read_base_not_dest(self):
+        assert Opcode.LD.reads_rs1
+        assert not Opcode.LD.writes_rd
+        assert Opcode.LDX.reads_rs1 and Opcode.LDX.reads_rs2
+
+    def test_stores_do_not_write(self):
+        assert not Opcode.ST.writes_rd
+        assert not Opcode.STX.writes_rd
+
+    def test_pbra_ignores_condition_register(self):
+        assert not Opcode.PBRA.reads_rs1
+
+    def test_conditional_branches_read_condition(self):
+        for op in (Opcode.PBREQ, Opcode.PBRNE, Opcode.PBRLT, Opcode.PBRGE):
+            assert op.reads_rs1, op
+
+
+class TestUniqueness:
+    def test_opcode_values_unique(self):
+        values = [op.value for op in Opcode]
+        assert len(values) == len(set(values))
+
+    def test_mnemonics_unique_and_lowercase(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+        assert all(m == m.lower() for m in mnemonics)
+
+    def test_max_delay(self):
+        assert MAX_BRANCH_DELAY == 7
+
+
+class TestOpClassCoverage:
+    @pytest.mark.parametrize("op", list(Opcode))
+    def test_every_opcode_has_a_class(self, op):
+        assert isinstance(op.op_class, OpClass)

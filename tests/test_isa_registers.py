@@ -1,0 +1,80 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_BRANCH_REGISTERS,
+    NUM_VISIBLE_REGISTERS,
+    QUEUE_REGISTER,
+    branch_register_name,
+    check_branch_register,
+    check_data_register,
+    data_register_name,
+    parse_register_name,
+)
+
+
+class TestConstants:
+    def test_visible_registers(self):
+        assert NUM_VISIBLE_REGISTERS == 8
+
+    def test_branch_registers(self):
+        assert NUM_BRANCH_REGISTERS == 8
+
+    def test_queue_register_is_r7(self):
+        assert QUEUE_REGISTER == 7
+
+
+class TestNames:
+    def test_data_register_names(self):
+        assert [data_register_name(i) for i in range(8)] == [
+            f"r{i}" for i in range(8)
+        ]
+
+    def test_branch_register_names(self):
+        assert branch_register_name(0) == "b0"
+        assert branch_register_name(7) == "b7"
+
+    def test_data_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            data_register_name(8)
+
+    def test_branch_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            branch_register_name(-1)
+
+
+class TestChecks:
+    @pytest.mark.parametrize("index", range(8))
+    def test_valid_data_registers(self, index):
+        check_data_register(index)  # must not raise
+
+    @pytest.mark.parametrize("index", [-1, 8, 100])
+    def test_invalid_data_registers(self, index):
+        with pytest.raises(ValueError):
+            check_data_register(index)
+
+    @pytest.mark.parametrize("index", [-1, 8])
+    def test_invalid_branch_registers(self, index):
+        with pytest.raises(ValueError):
+            check_branch_register(index)
+
+
+class TestParsing:
+    def test_parse_data(self):
+        assert parse_register_name("r3") == ("data", 3)
+
+    def test_parse_branch(self):
+        assert parse_register_name("b5") == ("branch", 5)
+
+    def test_parse_queue_alias(self):
+        assert parse_register_name("q") == ("data", QUEUE_REGISTER)
+
+    def test_parse_case_insensitive(self):
+        assert parse_register_name("R2") == ("data", 2)
+        assert parse_register_name(" B1 ") == ("branch", 1)
+
+    @pytest.mark.parametrize("name", ["r8", "b9", "x1", "r", "", "r-1", "rr2"])
+    def test_parse_rejects(self, name):
+        with pytest.raises(ValueError):
+            parse_register_name(name)

@@ -1,0 +1,240 @@
+"""Unit tests for the kernel compiler (DSL → PIPE assembly)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu.functional import FunctionalSimulator
+from repro.kernels.codegen import CompileError, compile_kernel
+from repro.kernels.dsl import (
+    Affine,
+    ArrayDecl,
+    ConstRef,
+    Indirect,
+    Kernel,
+    Load,
+    LoadIndirect,
+    ScalarRef,
+    ScalarUpdate,
+    Store,
+    add,
+    mul,
+    sub,
+)
+from repro.kernels.reference import f32, run_kernel_reference
+from repro.memory.fpu import FPU_BASE
+
+
+def kernel_of(statements, **kwargs):
+    defaults = dict(number=1, name="unit", iterations=5)
+    defaults.update(kwargs)
+    return Kernel(statements=tuple(statements), **defaults)
+
+
+def build_and_run(kernel, arrays):
+    """Assemble one kernel with its data and run it functionally.
+
+    Returns (simulator, program, reference arrays after the reference
+    interpreter ran over a copy of the same initial data).
+    """
+    compiled = compile_kernel(kernel)
+    lines = [
+        "        .entry start",
+        "start:",
+        f"        li r6, {FPU_BASE & 0xFFFF}",
+        f"        lih r6, {FPU_BASE >> 16}",
+    ]
+    lines += compiled.text_lines
+    lines.append("        halt")
+    lines += compiled.data
+    for decl in arrays:
+        lines.append("        .align 4")
+        lines.append(f"{decl.name}:")
+        values = decl.initial_values()
+        if decl.kind == "float":
+            rendered = ", ".join(repr(float(v)) for v in values)
+            lines.append(f"        .float {rendered}")
+        else:
+            rendered = ", ".join(str(int(v)) for v in values)
+            lines.append(f"        .word {rendered}")
+    program = assemble("\n".join(lines) + "\n")
+    simulator = FunctionalSimulator(program)
+    simulator.run()
+
+    reference = {
+        decl.name: (
+            [f32(float(v)) for v in decl.initial_values()]
+            if decl.kind == "float"
+            else [int(v) for v in decl.initial_values()]
+        )
+        for decl in arrays
+    }
+    scalars = run_kernel_reference(kernel, reference)
+    return simulator, program, reference, scalars
+
+
+def read_float_array(simulator, program, name, length):
+    import struct
+
+    base = program.symbols[name]
+    return [
+        struct.unpack("<f", bytes(simulator.memory[base + 4 * j: base + 4 * j + 4]))[0]
+        for j in range(length)
+    ]
+
+
+class TestCompiledSemantics:
+    def test_simple_store(self):
+        kernel = kernel_of(
+            [Store("x", Affine(), add(Load("y"), Load("z")))], iterations=6
+        )
+        arrays = [
+            ArrayDecl("x", 8, "float", (0.0,)),
+            ArrayDecl("y", 8, "float", (1.5, 2.5)),
+            ArrayDecl("z", 8, "float", (0.25,)),
+        ]
+        simulator, program, reference, _ = build_and_run(kernel, arrays)
+        assert read_float_array(simulator, program, "x", 8) == reference["x"]
+
+    def test_non_commutative_order(self):
+        """a-b and a/b must not be swapped by operand scheduling."""
+        kernel = kernel_of(
+            [Store("x", Affine(), sub(Load("y"), mul(Load("z"), Load("z"))))],
+            iterations=4,
+        )
+        arrays = [
+            ArrayDecl("x", 6, "float", (0.0,)),
+            ArrayDecl("y", 6, "float", (10.0, 20.0)),
+            ArrayDecl("z", 6, "float", (2.0, 3.0)),
+        ]
+        simulator, program, reference, _ = build_and_run(kernel, arrays)
+        assert read_float_array(simulator, program, "x", 6) == reference["x"]
+
+    def test_deep_expression_spills_to_scratch(self):
+        """Compound-compound nests exercise force-to-register paths."""
+        y, z = Load("y"), Load("z")
+        expr = add(add(mul(y, z), mul(z, y)), add(mul(y, y), mul(z, z)))
+        kernel = kernel_of([Store("x", Affine(), expr)], iterations=3)
+        arrays = [
+            ArrayDecl("x", 4, "float", (0.0,)),
+            ArrayDecl("y", 4, "float", (1.25, 0.5)),
+            ArrayDecl("z", 4, "float", (0.75,)),
+        ]
+        simulator, program, reference, _ = build_and_run(kernel, arrays)
+        assert read_float_array(simulator, program, "x", 4) == reference["x"]
+
+    def test_scalar_accumulator(self):
+        kernel = kernel_of(
+            [ScalarUpdate("acc", add(ScalarRef("acc"), mul(Load("y"), Load("z"))))],
+            iterations=6,
+            scalars={"acc": 0.0},
+        )
+        arrays = [
+            ArrayDecl("y", 8, "float", (0.5, 0.25)),
+            ArrayDecl("z", 8, "float", (2.0,)),
+        ]
+        simulator, program, _reference, scalars = build_and_run(kernel, arrays)
+        import struct
+
+        address = program.symbols["ll1.result"]
+        stored = struct.unpack(
+            "<f", bytes(simulator.memory[address: address + 4])
+        )[0]
+        assert stored == scalars["acc"]
+
+    def test_strided_access(self):
+        kernel = kernel_of(
+            [Store("x", Affine(), Load("y", Affine(mult=2)))], iterations=5
+        )
+        arrays = [
+            ArrayDecl("x", 5, "float", (0.0,)),
+            ArrayDecl("y", 10, "float", tuple(float(i) / 4 for i in range(10))),
+        ]
+        simulator, program, reference, _ = build_and_run(kernel, arrays)
+        assert read_float_array(simulator, program, "x", 5) == reference["x"]
+
+    def test_indirect_gather_and_scatter(self):
+        pointer = Indirect("ix", Affine())
+        kernel = kernel_of(
+            [
+                Store("x", Affine(), LoadIndirect("e", pointer)),
+                Store("e", pointer, add(LoadIndirect("e", pointer), ConstRef("c"))),
+            ],
+            iterations=4,
+            consts={"c": 0.5},
+        )
+        arrays = [
+            ArrayDecl("x", 4, "float", (0.0,)),
+            ArrayDecl("e", 8, "float", tuple(float(i) for i in range(8))),
+            ArrayDecl("ix", 4, "int", (3, 0, 7, 3)),
+        ]
+        simulator, program, reference, _ = build_and_run(kernel, arrays)
+        assert read_float_array(simulator, program, "x", 4) == reference["x"]
+        assert read_float_array(simulator, program, "e", 8) == reference["e"]
+
+    def test_constant_pool_path(self):
+        """More constants than registers: the pool-base addressing."""
+        consts = {f"c{i}": 0.1 * (i + 1) for i in range(6)}
+        expr = Load("y")
+        for name in consts:
+            expr = add(expr, mul(ConstRef(name), Load("z")))
+        kernel = kernel_of([Store("x", Affine(), expr)], iterations=3,
+                           consts=consts)
+        arrays = [
+            ArrayDecl("x", 4, "float", (0.0,)),
+            ArrayDecl("y", 4, "float", (1.0,)),
+            ArrayDecl("z", 4, "float", (0.5, 0.75)),
+        ]
+        simulator, program, reference, _ = build_and_run(kernel, arrays)
+        assert read_float_array(simulator, program, "x", 4) == reference["x"]
+
+
+class TestShapeLimits:
+    def test_loop_invariant_access_rejected(self):
+        kernel = kernel_of([Store("x", Affine(), Load("y", Affine(mult=0)))])
+        with pytest.raises(CompileError, match="mult=0"):
+            compile_kernel(kernel)
+
+    def test_too_many_strides_rejected(self):
+        statements = [
+            Store(
+                "x",
+                Affine(),
+                add(
+                    add(Load("y", Affine(mult=2)), Load("y", Affine(mult=3))),
+                    add(
+                        add(Load("y", Affine(mult=5)), Load("y", Affine(mult=7))),
+                        Load("y", Affine(mult=11)),
+                    ),
+                ),
+            )
+        ]
+        with pytest.raises(CompileError, match="strides|scalars|pool"):
+            compile_kernel(kernel_of(statements))
+
+
+class TestDelaySlots:
+    def test_loop_ends_with_pbr_and_delay_slots(self):
+        kernel = kernel_of(
+            [Store("x", Affine(), add(Load("y"), Load("z")))], iterations=4
+        )
+        compiled = compile_kernel(kernel)
+        body = compiled.loop_body
+        pbr_lines = [line for line in body if line.startswith("pbrne")]
+        assert len(pbr_lines) == 1
+        delay = int(pbr_lines[0].rsplit(",", 1)[1])
+        position = body.index(pbr_lines[0])
+        assert len(body) - position - 1 == delay
+        assert delay <= 7
+
+    def test_induction_updates_in_delay_slots(self):
+        kernel = kernel_of(
+            [Store("x", Affine(), Load("y", Affine(mult=2)))], iterations=4
+        )
+        compiled = compile_kernel(kernel)
+        body = compiled.loop_body
+        pbr_index = next(
+            index for index, line in enumerate(body) if line.startswith("pbrne")
+        )
+        tail = body[pbr_index + 1 :]
+        assert any(line.startswith("addi r0, r0, 4") for line in tail)
+        assert any(line.endswith(", 8") and line.startswith("addi") for line in tail)

@@ -1,0 +1,113 @@
+"""Unit tests for the kernel DSL."""
+
+import pytest
+
+from repro.kernels.dsl import (
+    Affine,
+    ArrayDecl,
+    BinOp,
+    ConstRef,
+    Indirect,
+    Kernel,
+    Load,
+    LoadIndirect,
+    ScalarRef,
+    ScalarUpdate,
+    Store,
+    add,
+    div,
+    mul,
+    sub,
+)
+
+
+class TestAffine:
+    def test_evaluation(self):
+        assert Affine(mult=3, offset=2).at(5) == 17
+        assert Affine().at(4) == 4
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Affine(mult=-1)
+
+
+class TestArrayDecl:
+    def test_init_cycling(self):
+        decl = ArrayDecl("x", 5, "float", (1.0, 2.0))
+        assert decl.initial_values() == [1.0, 2.0, 1.0, 2.0, 1.0]
+
+    def test_zero_fill(self):
+        assert ArrayDecl("x", 3).initial_values() == [0, 0, 0]
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("x", 4, "double")
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("x", 0)
+
+
+class TestBinOp:
+    def test_constructors(self):
+        node = add(Load("x"), mul(ConstRef("c"), Load("y")))
+        assert node.op == "+"
+        assert isinstance(node.rhs, BinOp) and node.rhs.op == "*"
+        assert sub(Load("x"), Load("y")).op == "-"
+        assert div(Load("x"), Load("y")).op == "/"
+
+    def test_commutativity(self):
+        x, y = Load("x"), Load("y")
+        assert add(x, y).commutative
+        assert mul(x, y).commutative
+        assert not sub(x, y).commutative
+        assert not div(x, y).commutative
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Load("x"), Load("y"))
+
+
+def make_kernel(statements, **kwargs):
+    defaults = dict(number=1, name="test", iterations=4)
+    defaults.update(kwargs)
+    return Kernel(statements=tuple(statements), **defaults)
+
+
+class TestKernel:
+    def test_label(self):
+        kernel = make_kernel([Store("x", Affine(), Load("y"))], number=7)
+        assert kernel.label == "ll7"
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel([])
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel([Store("x", Affine(), Load("y"))], iterations=0)
+
+    def test_referenced_arrays(self):
+        pointer = Indirect("ix", Affine())
+        kernel = make_kernel(
+            [
+                Store("x", Affine(), add(Load("y"), LoadIndirect("e", pointer))),
+                ScalarUpdate("s", mul(ScalarRef("s"), Load("z"))),
+            ],
+            scalars={"s": 0.0},
+        )
+        assert kernel.referenced_arrays() == {"x", "y", "z", "e", "ix"}
+
+    def test_indirect_store_references_index_array(self):
+        pointer = Indirect("ix", Affine())
+        kernel = make_kernel([Store("rh", pointer, Load("y"))])
+        assert "ix" in kernel.referenced_arrays()
+
+    def test_max_element_index(self):
+        kernel = make_kernel(
+            [Store("x", Affine(offset=1), Load("y", Affine(mult=2, offset=3)))],
+            iterations=10,
+        )
+        assert kernel.max_element_index("x") == 10  # i=9, +1
+        assert kernel.max_element_index("y") == 21  # 2*9+3
+        assert kernel.max_element_index("unused") == -1

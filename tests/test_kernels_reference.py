@@ -1,0 +1,130 @@
+"""The reference interpreter vs hand-written NumPy models.
+
+The reference interpreter is the oracle for both simulators, so a few
+kernels are checked here against *independent* NumPy float32
+implementations (guarding against a DSL-definition bug making compiler
+and interpreter agree on the wrong answer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.loops import make_kernels, make_shared_arrays
+from repro.kernels.reference import f32, run_kernel_reference
+
+
+def initial_arrays():
+    arrays = {}
+    for decl in make_shared_arrays():
+        values = decl.initial_values()
+        if decl.kind == "float":
+            arrays[decl.name] = [f32(float(v)) for v in values]
+        else:
+            arrays[decl.name] = [int(v) for v in values]
+    return arrays
+
+
+def np_arrays(arrays):
+    return {
+        name: np.array(values, dtype=np.float32 if isinstance(values[0], float)
+                       else np.int64)
+        for name, values in arrays.items()
+    }
+
+
+def kernel(number):
+    return next(k for k in make_kernels(scale=0.2) if k.number == number)
+
+
+def assert_close(reference_list, numpy_array):
+    got = np.array(reference_list, dtype=np.float32)
+    np.testing.assert_allclose(got, numpy_array, rtol=2e-6, atol=1e-30)
+
+
+class TestAgainstNumpy:
+    def test_ll1_hydro(self):
+        k = kernel(1)
+        arrays = initial_arrays()
+        n = np_arrays(arrays)
+        run_kernel_reference(k, arrays)
+        q = np.float32(k.consts["q"])
+        r = np.float32(k.consts["r"])
+        t = np.float32(k.consts["t"])
+        x, y, z = n["x"].copy(), n["y"], n["z"]
+        for i in range(k.iterations):
+            x[i] = q + y[i] * (r * z[i + 10] + t * z[i + 11])
+        assert_close(arrays["x"], x)
+
+    def test_ll3_inner_product(self):
+        k = kernel(3)
+        arrays = initial_arrays()
+        n = np_arrays(arrays)
+        scalars = run_kernel_reference(k, arrays)
+        acc = np.float32(0.0)
+        for i in range(k.iterations):
+            acc = np.float32(acc + np.float32(n["z"][i] * n["x"][i]))
+        assert scalars["q3"] == pytest.approx(float(acc), rel=2e-6)
+
+    def test_ll5_tridiagonal(self):
+        k = kernel(5)
+        arrays = initial_arrays()
+        n = np_arrays(arrays)
+        run_kernel_reference(k, arrays)
+        x, y, z = n["x"].copy(), n["y"], n["z"]
+        for i in range(k.iterations):
+            x[i + 1] = z[i + 1] * (y[i + 1] - x[i])
+        assert_close(arrays["x"], x)
+
+    def test_ll11_first_sum(self):
+        k = kernel(11)
+        arrays = initial_arrays()
+        n = np_arrays(arrays)
+        run_kernel_reference(k, arrays)
+        x, y = n["x"].copy(), n["y"]
+        for i in range(k.iterations):
+            x[i + 1] = x[i] + y[i + 1]
+        assert_close(arrays["x"], x)
+
+    def test_ll12_first_difference(self):
+        k = kernel(12)
+        arrays = initial_arrays()
+        n = np_arrays(arrays)
+        run_kernel_reference(k, arrays)
+        x, y = n["x"].copy(), n["y"]
+        for i in range(k.iterations):
+            x[i] = y[i + 1] - y[i]
+        assert_close(arrays["x"], x)
+
+    def test_ll14_pic_gather(self):
+        k = kernel(14)
+        arrays = initial_arrays()
+        n = np_arrays(arrays)
+        ix = arrays["ix"]
+        run_kernel_reference(k, arrays)
+        vx, xx, ex, rh = (n["vx"].copy(), n["xx"].copy(), n["ex"], n["rh"].copy())
+        flx = np.float32(k.consts["flx"])
+        for i in range(k.iterations):
+            vx[i] = vx[i] + ex[ix[i]]
+            xx[i] = xx[i] + np.float32(vx[i] * flx)
+            rh[ix[i]] = rh[ix[i]] + flx
+        assert_close(arrays["vx"], vx)
+        assert_close(arrays["xx"], xx)
+        assert_close(arrays["rh"], rh)
+
+
+class TestInterpreterGuards:
+    def test_bounds_checked(self):
+        from repro.kernels.dsl import Affine, Kernel, Load, Store
+
+        bad = Kernel(
+            number=1,
+            name="oob",
+            iterations=10,
+            statements=(Store("x", Affine(), Load("x", Affine(offset=100))),),
+        )
+        with pytest.raises(IndexError):
+            run_kernel_reference(bad, {"x": [0.0] * 20})
+
+    def test_f32_rounds(self):
+        assert f32(0.1) != 0.1  # 0.1 is not representable in float32
+        assert f32(0.5) == 0.5

@@ -1,0 +1,149 @@
+"""Tests of the assembled 14-loop benchmark suite."""
+
+import math
+import struct
+
+import pytest
+
+from repro.cpu.functional import FunctionalSimulator
+from repro.kernels.loops import PAPER_INNER_LOOP_BYTES, make_kernels
+from repro.kernels.reference import run_suite_reference
+from repro.kernels.suite import build_livermore_suite
+
+
+class TestStructure:
+    def test_fourteen_kernels(self, tiny_suite):
+        assert len(tiny_suite.kernels) == 14
+        assert [k.number for k in tiny_suite.kernels] == list(range(1, 15))
+
+    def test_markers_present(self, tiny_suite):
+        for number in range(1, 15):
+            assert tiny_suite.inner_loop_bytes(number) > 0
+
+    def test_regions_cover_loops(self, tiny_suite):
+        regions = tiny_suite.regions()
+        assert len(regions) == 14
+        for _label, begin, end in regions:
+            assert 0 < begin < end < tiny_suite.program.memory_size
+
+    def test_loops_laid_out_in_order(self, tiny_suite):
+        regions = tiny_suite.regions()
+        for (_l1, _b1, end1), (_l2, begin2, _e2) in zip(regions, regions[1:]):
+            assert end1 <= begin2
+
+    def test_inner_loop_sizes_independent_of_scale(self, tiny_suite, small_suite):
+        """Iteration counts change; code footprints must not."""
+        for number in range(1, 15):
+            assert tiny_suite.inner_loop_bytes(number) == small_suite.inner_loop_bytes(
+                number
+            )
+
+    def test_inner_loop_sizes_near_table1(self, tiny_suite):
+        """Every loop within 2x of the paper's Table I footprint, and the
+        crucial distribution property: about half fit in 128 bytes."""
+        ours_fit = 0
+        paper_fit = 0
+        for number in range(1, 15):
+            ours = tiny_suite.inner_loop_bytes(number)
+            paper = PAPER_INNER_LOOP_BYTES[number]
+            assert 0.5 <= ours / paper <= 2.0, (number, ours, paper)
+            ours_fit += ours <= 128
+            paper_fit += paper <= 128
+        assert abs(ours_fit - paper_fit) <= 2
+
+    def test_source_is_reassemblable(self, tiny_suite):
+        from repro.asm import assemble
+
+        program = assemble(tiny_suite.source)
+        assert program.image == tiny_suite.program.image
+
+
+class TestFunctionalCorrectness:
+    def test_bit_exact_against_reference(self, tiny_suite):
+        simulator = FunctionalSimulator(tiny_suite.program)
+        simulator.run()
+        reference = tiny_suite.initial_reference_arrays()
+        scalars = run_suite_reference(tiny_suite.kernels, reference)
+
+        for decl in tiny_suite.arrays:
+            base = tiny_suite.array_base(decl.name)
+            for j in range(decl.length):
+                raw = bytes(simulator.memory[base + 4 * j : base + 4 * j + 4])
+                if decl.kind == "float":
+                    got = struct.unpack("<f", raw)[0]
+                    want = reference[decl.name][j]
+                    assert got == want or (
+                        math.isnan(got) and math.isnan(want)
+                    ), (decl.name, j, got, want)
+                else:
+                    assert int.from_bytes(raw, "little") == reference[decl.name][j]
+
+        for kernel in tiny_suite.kernels:
+            for position, name in enumerate(kernel.scalars):
+                address = tiny_suite.scalar_result_address(kernel.label, position)
+                got = struct.unpack(
+                    "<f", bytes(simulator.memory[address : address + 4])
+                )[0]
+                assert got == scalars[kernel.label][name]
+
+    def test_region_instruction_counts(self, tiny_suite):
+        simulator = FunctionalSimulator(
+            tiny_suite.program, regions=tiny_suite.regions()
+        )
+        result = simulator.run()
+        for kernel in tiny_suite.kernels:
+            counted = result.by_region[kernel.label]
+            per_iteration = counted / kernel.iterations
+            # every inner loop runs its body exactly `iterations` times
+            assert counted > 0
+            assert per_iteration == int(per_iteration), kernel.label
+
+
+class TestCalibration:
+    def test_full_scale_matches_paper_instruction_count(self):
+        """Section 5: 'A total of 150,575 instructions are executed in a
+        single run through the benchmark program.'  Ours must land within
+        2% of that."""
+        suite = build_livermore_suite(scale=1.0)
+        result = FunctionalSimulator(suite.program).run()
+        paper = 150_575
+        assert abs(result.instructions - paper) / paper < 0.02
+
+    def test_workload_is_data_heavy(self, small_suite):
+        """The Livermore loops must 'generate a large number of data
+        requests per inner loop' (section 5) — that is what stresses the
+        I-fetch/D-fetch competition."""
+        result = FunctionalSimulator(small_suite.program).run()
+        data_requests = result.loads + result.stores
+        assert data_requests / result.instructions > 0.3
+        assert result.fpu_operations > 0
+
+    def test_scale_parameter(self):
+        small = make_kernels(scale=0.1)
+        full = make_kernels(scale=1.0)
+        for tiny, big in zip(small, full):
+            assert tiny.iterations <= big.iterations
+            assert tiny.statements == big.statements
+
+
+class TestImageConstraints:
+    def test_addresses_fit_displacements(self, tiny_suite):
+        """Every data symbol must fit a 15-bit displacement."""
+        for decl in tiny_suite.arrays:
+            base = tiny_suite.array_base(decl.name)
+            assert base + 4 * decl.length <= 0x7FFF
+
+    def test_image_below_fpu_window(self):
+        from repro.memory.fpu import FPU_BASE
+
+        suite = build_livermore_suite(scale=1.0)
+        assert suite.program.memory_size <= FPU_BASE
+
+
+@pytest.mark.parametrize("number", range(1, 15))
+def test_each_kernel_compiles(number):
+    from repro.kernels.codegen import compile_kernel
+
+    kernel = next(k for k in make_kernels(scale=0.05) if k.number == number)
+    compiled = compile_kernel(kernel)
+    assert compiled.body_instruction_count > 5

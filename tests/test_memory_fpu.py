@@ -1,0 +1,158 @@
+"""Unit + property tests for the FPU semantic core."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.fpu import (
+    FPU_BASE,
+    FPU_OPERAND_A,
+    FPU_RESULT,
+    FPU_SIZE,
+    FPU_TRIGGER_ADD,
+    FPU_TRIGGER_DIV,
+    FPU_TRIGGER_MUL,
+    FPU_TRIGGER_SUB,
+    FpuCore,
+    FpuLatencies,
+    bits_to_float,
+    float32_op,
+    float_to_bits,
+    is_fpu_address,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestBitConversions:
+    @given(finite_floats)
+    def test_roundtrip(self, value):
+        assert bits_to_float(float_to_bits(value)) == value
+
+    def test_known_patterns(self):
+        assert float_to_bits(1.0) == 0x3F800000
+        assert float_to_bits(-2.0) == 0xC0000000
+        assert bits_to_float(0x40490FDB) == pytest.approx(math.pi, rel=1e-6)
+
+    def test_overflow_becomes_infinity(self):
+        assert math.isinf(bits_to_float(float_to_bits(1e300)))
+        assert bits_to_float(float_to_bits(-1e300)) == -math.inf
+
+
+class TestFloat32Ops:
+    @given(finite_floats, finite_floats)
+    def test_matches_struct_rounding(self, a, b):
+        """Each op equals float64 math rounded once to float32."""
+        bits = float32_op("add", float_to_bits(a), float_to_bits(b))
+        expected = struct.unpack("<f", struct.pack("<f", a + b))[0]
+        result = bits_to_float(bits)
+        assert result == expected or (math.isnan(result) and math.isnan(expected))
+
+    @given(finite_floats, finite_floats)
+    def test_mul(self, a, b):
+        bits = float32_op("mul", float_to_bits(a), float_to_bits(b))
+        packed = struct.pack("<f", a)
+        a32 = struct.unpack("<f", packed)[0]
+        b32 = struct.unpack("<f", struct.pack("<f", b))[0]
+        want = a32 * b32
+        try:
+            expected = struct.unpack("<f", struct.pack("<f", want))[0]
+        except OverflowError:
+            expected = math.copysign(math.inf, want)
+        got = bits_to_float(bits)
+        assert got == expected or (math.isnan(got) and math.isnan(expected))
+
+    def test_sub(self):
+        bits = float32_op("sub", float_to_bits(5.5), float_to_bits(2.25))
+        assert bits_to_float(bits) == 3.25
+
+    def test_div(self):
+        bits = float32_op("div", float_to_bits(1.0), float_to_bits(4.0))
+        assert bits_to_float(bits) == 0.25
+
+    def test_div_by_zero_is_signed_infinity(self):
+        assert bits_to_float(
+            float32_op("div", float_to_bits(1.0), float_to_bits(0.0))
+        ) == math.inf
+        assert bits_to_float(
+            float32_op("div", float_to_bits(-1.0), float_to_bits(0.0))
+        ) == -math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(
+            bits_to_float(float32_op("div", float_to_bits(0.0), float_to_bits(0.0)))
+        )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            float32_op("pow", 0, 0)
+
+
+class TestAddressMap:
+    def test_window(self):
+        assert is_fpu_address(FPU_BASE)
+        assert is_fpu_address(FPU_RESULT)
+        assert not is_fpu_address(FPU_BASE - 4)
+        assert not is_fpu_address(FPU_BASE + FPU_SIZE)
+
+    def test_trigger_addresses_distinct(self):
+        triggers = {FPU_TRIGGER_ADD, FPU_TRIGGER_SUB, FPU_TRIGGER_MUL,
+                    FPU_TRIGGER_DIV, FPU_OPERAND_A, FPU_RESULT}
+        assert len(triggers) == 6
+
+
+class TestFpuCore:
+    def test_store_pair_multiplies(self):
+        core = FpuCore()
+        core.write(FPU_OPERAND_A, float_to_bits(3.0))
+        core.write(FPU_TRIGGER_MUL, float_to_bits(7.0))
+        assert bits_to_float(core.read(FPU_RESULT)) == 21.0
+
+    def test_results_fifo_ordered(self):
+        core = FpuCore()
+        core.write(FPU_OPERAND_A, float_to_bits(1.0))
+        core.write(FPU_TRIGGER_ADD, float_to_bits(1.0))  # 2.0
+        core.write(FPU_OPERAND_A, float_to_bits(10.0))
+        core.write(FPU_TRIGGER_SUB, float_to_bits(4.0))  # 6.0
+        assert bits_to_float(core.read_result()) == 2.0
+        assert bits_to_float(core.read_result()) == 6.0
+
+    def test_operand_a_persists_across_ops(self):
+        core = FpuCore()
+        core.write(FPU_OPERAND_A, float_to_bits(8.0))
+        core.write(FPU_TRIGGER_MUL, float_to_bits(2.0))
+        core.write(FPU_TRIGGER_MUL, float_to_bits(3.0))
+        assert bits_to_float(core.read_result()) == 16.0
+        assert bits_to_float(core.read_result()) == 24.0
+
+    def test_read_without_result_rejected(self):
+        with pytest.raises(RuntimeError):
+            FpuCore().read_result()
+
+    def test_unmapped_store_rejected(self):
+        with pytest.raises(ValueError):
+            FpuCore().write(FPU_BASE + 0x14, 0)
+
+    def test_unmapped_load_rejected(self):
+        with pytest.raises(ValueError):
+            FpuCore().read(FPU_BASE)
+
+    def test_operation_counter(self):
+        core = FpuCore()
+        core.write(FPU_OPERAND_A, 0)
+        assert core.operations_started == 0
+        core.write(FPU_TRIGGER_ADD, 0)
+        assert core.operations_started == 1
+        assert core.last_operation == "add"
+
+
+class TestLatencies:
+    def test_paper_multiply_latency(self):
+        assert FpuLatencies().mul == 4  # fixed by the paper (section 5)
+
+    def test_lookup(self):
+        latencies = FpuLatencies(add=2, sub=3, mul=4, div=20)
+        assert latencies.latency("div") == 20

@@ -1,0 +1,81 @@
+"""Unit tests for memory request objects and priority keys."""
+
+import pytest
+
+from repro.memory.requests import (
+    RETURN_TIER_DEMAND,
+    RETURN_TIER_FPU_RESULT,
+    RETURN_TIER_PREFETCH,
+    MemoryRequest,
+    RequestKind,
+    RequestPriority,
+    acceptance_order,
+    return_tier,
+)
+
+
+def request(kind=RequestKind.LOAD, demand=True, seq=0, size=4):
+    return MemoryRequest(kind=kind, address=0x100, size=size, seq=seq, demand=demand)
+
+
+class TestRequestState:
+    def test_initial_state(self):
+        r = request(size=16)
+        assert not r.in_flight
+        assert r.remaining_bytes == 16
+        assert not r.completed
+
+    def test_in_flight_lifecycle(self):
+        r = request()
+        r.accepted_at = 5
+        assert r.in_flight
+        r.completed = True
+        assert not r.in_flight
+
+    def test_delivery_accounting(self):
+        r = request(size=16)
+        r.delivered_bytes = 8
+        assert r.remaining_bytes == 8
+
+    def test_promotion(self):
+        r = request(kind=RequestKind.IFETCH, demand=False)
+        assert return_tier(r) == RETURN_TIER_PREFETCH
+        r.promote_to_demand()
+        assert r.demand
+        assert return_tier(r) == RETURN_TIER_DEMAND
+
+
+class TestAcceptanceOrdering:
+    def test_instruction_first_ranks(self):
+        priority = RequestPriority.INSTRUCTION_FIRST
+        demand = acceptance_order(request(RequestKind.IFETCH, demand=True), priority)
+        prefetch = acceptance_order(request(RequestKind.IFETCH, demand=False), priority)
+        load = acceptance_order(request(RequestKind.LOAD), priority)
+        store = acceptance_order(request(RequestKind.STORE), priority)
+        assert demand < prefetch < load
+        assert load[0] == store[0]  # loads and stores share the data rank
+
+    def test_data_first_ranks(self):
+        priority = RequestPriority.DATA_FIRST
+        demand = acceptance_order(request(RequestKind.IFETCH, demand=True), priority)
+        prefetch = acceptance_order(request(RequestKind.IFETCH, demand=False), priority)
+        load = acceptance_order(request(RequestKind.LOAD), priority)
+        assert load < demand < prefetch
+
+    def test_seq_breaks_ties_within_rank(self):
+        priority = RequestPriority.DATA_FIRST
+        older = acceptance_order(request(seq=1), priority)
+        younger = acceptance_order(request(seq=9), priority)
+        assert older < younger
+
+
+class TestReturnTiers:
+    def test_tier_values_ordered(self):
+        assert RETURN_TIER_DEMAND < RETURN_TIER_FPU_RESULT < RETURN_TIER_PREFETCH
+
+    def test_load_is_demand_tier(self):
+        assert return_tier(request(RequestKind.LOAD)) == RETURN_TIER_DEMAND
+
+    def test_store_rejected(self):
+        with pytest.raises(ValueError):
+            return_tier(request(RequestKind.STORE))
