@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.config import MachineConfig
 from repro.core.simulator import simulate
+from repro.core.sweep import run_cache_sweep
 from repro.cpu.functional import run_functional
 
 CONFIGS = {
@@ -37,3 +38,41 @@ def test_functional_simulation_speed(context, benchmark):
     )
     assert result.halted
     benchmark.extra_info["instructions"] = result.instructions
+
+
+_SWEEP_SIZES = (64, 128, 256)
+_SWEEP_STRATEGIES = ("PIPE 16-16", "conventional")
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "parallel-2"])
+def test_sweep_throughput(jobs, context, benchmark):
+    """Sweep-engine throughput: points/second for a 2-strategy x 3-size
+    sweep, serial vs parallel fan-out (no result cache, so every point
+    is simulated)."""
+    from repro.core.sweep import standard_strategies
+
+    strategies = {
+        name: factory
+        for name, factory in standard_strategies().items()
+        if name in _SWEEP_STRATEGIES
+    }
+    series = benchmark.pedantic(
+        lambda: run_cache_sweep(
+            context.program,
+            cache_sizes=_SWEEP_SIZES,
+            strategies=strategies,
+            jobs=jobs,
+            memory_access_time=6,
+            input_bus_width=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    points = sum(len(curve.cycles) for curve in series)
+    assert points == len(_SWEEP_SIZES) * len(_SWEEP_STRATEGIES)
+    benchmark.extra_info["points"] = points
+    benchmark.extra_info["jobs"] = jobs
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["points_per_second"] = round(
+            points / benchmark.stats.stats.mean, 3
+        )

@@ -29,7 +29,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ...asm.program import Program
-from ...core.config import PAPER_CACHE_SIZES
+from ...core.config import PAPER_CACHE_SIZES, MachineConfig
+from ...core.parallel import simulate_many
+from ...core.results import SimulationResult
+from ...core.simcache import SimulationCache, cached_simulate
 from ...core.sweep import SweepSeries, run_cache_sweep
 from ..claims import ClaimCheck
 
@@ -61,12 +64,20 @@ class ExperimentReport:
 
 @dataclass
 class ExperimentContext:
-    """Shared state across experiments: the program plus a sweep memo."""
+    """Shared state across experiments: the program plus a sweep memo.
+
+    ``jobs`` and ``cache`` flow into every sweep and every simulation an
+    experiment routes through :meth:`simulate` / :meth:`simulate_many`,
+    giving the whole report parallel fan-out and content-addressed
+    result reuse without each experiment module knowing about either.
+    """
 
     program: Program
     cache_sizes: Sequence[int] = PAPER_CACHE_SIZES
     suite: object | None = None  #: LivermoreSuite when available (table1)
     scale: float = 1.0  #: workload scale the program was built with
+    jobs: int = 1  #: worker processes for independent simulation points
+    cache: SimulationCache | None = None  #: content-addressed result store
     _sweeps: dict[tuple, list[SweepSeries]] = field(default_factory=dict)
 
     def sweep(
@@ -87,12 +98,54 @@ class ExperimentContext:
             self._sweeps[key] = run_cache_sweep(
                 self.program,
                 cache_sizes=self.cache_sizes,
+                jobs=self.jobs,
+                cache=self.cache,
                 memory_access_time=memory_access_time,
                 input_bus_width=input_bus_width,
                 memory_pipelined=memory_pipelined,
                 **extra,
             )
         return self._sweeps[key]
+
+    # ------------------------------------------------------------------
+    # Cached/parallel simulation for the experiments' ad-hoc points
+    # ------------------------------------------------------------------
+    def simulate(
+        self, config: MachineConfig, program: Program | None = None
+    ) -> SimulationResult:
+        """One simulation point, through the context's result cache."""
+        return cached_simulate(config, program or self.program, self.cache)
+
+    def simulate_many(
+        self, configs: Sequence[MachineConfig], program: Program | None = None
+    ) -> list[SimulationResult]:
+        """Independent points, cache-checked then fanned out over workers.
+
+        Results come back in ``configs`` order, identical to calling
+        :meth:`simulate` in a loop.
+        """
+        program = program or self.program
+        results: dict[int, SimulationResult] = {}
+        misses: list[tuple[int, MachineConfig]] = []
+        for index, config in enumerate(configs):
+            hit = (
+                self.cache.lookup(config, program)
+                if self.cache is not None
+                else None
+            )
+            if hit is not None:
+                results[index] = hit
+            else:
+                misses.append((index, config))
+        if misses:
+            fresh = simulate_many(
+                program, [config for _, config in misses], jobs=self.jobs
+            )
+            for (index, config), result in zip(misses, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.store(config, program, result)
+        return [results[index] for index in range(len(configs))]
 
 
 def get_experiment(experiment_id: str) -> Callable[[ExperimentContext], ExperimentReport]:

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...core.config import MachineConfig
-from ...core.simulator import simulate
 from ...isa.encoding import InstructionFormat
 from ...kernels.suite import cached_livermore_suite
 from ...memory.requests import RequestPriority
@@ -73,20 +72,18 @@ def _ablation_b(context: ExperimentContext) -> tuple[list[AblationRow], list[Cla
     rows: list[AblationRow] = []
     checks: list[ClaimCheck] = []
     for size in (32, 128):
-        true_prefetch = simulate(
-            MachineConfig.pipe(
-                "16-16", size, memory_access_time=6, input_bus_width=8,
-                true_prefetch=True,
-            ),
-            context.program,
-        ).cycles
-        guaranteed = simulate(
-            MachineConfig.pipe(
-                "16-16", size, memory_access_time=6, input_bus_width=8,
-                true_prefetch=False,
-            ),
-            context.program,
-        ).cycles
+        true_prefetch, guaranteed = (
+            result.cycles
+            for result in context.simulate_many(
+                [
+                    MachineConfig.pipe(
+                        "16-16", size, memory_access_time=6, input_bus_width=8,
+                        true_prefetch=policy,
+                    )
+                    for policy in (True, False)
+                ]
+            )
+        )
         rows.append(AblationRow(f"fetch policy @{size}B", "true prefetch", true_prefetch))
         rows.append(AblationRow(f"fetch policy @{size}B", "guaranteed only", guaranteed))
         checks.append(
@@ -102,17 +99,20 @@ def _ablation_b(context: ExperimentContext) -> tuple[list[AblationRow], list[Cla
 
 def _ablation_c(context: ExperimentContext) -> tuple[list[AblationRow], list[ClaimCheck]]:
     rows: list[AblationRow] = []
-    instruction_first = simulate(
-        MachineConfig.pipe("16-16", 128, memory_access_time=6, input_bus_width=8),
-        context.program,
-    ).cycles
-    data_first = simulate(
-        MachineConfig.pipe(
-            "16-16", 128, memory_access_time=6, input_bus_width=8,
-            priority=RequestPriority.DATA_FIRST,
-        ),
-        context.program,
-    ).cycles
+    instruction_first, data_first = (
+        result.cycles
+        for result in context.simulate_many(
+            [
+                MachineConfig.pipe(
+                    "16-16", 128, memory_access_time=6, input_bus_width=8
+                ),
+                MachineConfig.pipe(
+                    "16-16", 128, memory_access_time=6, input_bus_width=8,
+                    priority=RequestPriority.DATA_FIRST,
+                ),
+            ]
+        )
+    )
     rows.append(AblationRow("priority", "instruction first", instruction_first))
     rows.append(AblationRow("priority", "data first", data_first))
     delta = abs(instruction_first - data_first) / max(instruction_first, data_first)
@@ -141,12 +141,12 @@ def _ablation_d(context: ExperimentContext) -> tuple[list[AblationRow], list[Cla
         ("fixed32", fixed_program, InstructionFormat.FIXED32),
         ("parcel", parcel_program, InstructionFormat.PARCEL),
     ):
-        cycles = simulate(
+        cycles = context.simulate(
             MachineConfig.pipe(
                 "16-16", 128, memory_access_time=6, input_bus_width=8,
                 instruction_format=fmt,
             ),
-            program,
+            program=program,
         ).cycles
         results[fmt_name] = cycles
         rows.append(AblationRow("format", fmt_name, cycles))

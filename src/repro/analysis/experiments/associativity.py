@@ -9,7 +9,6 @@ the benchmark's loop-after-loop layout causes conflict misses.
 from __future__ import annotations
 
 from ...core.config import MachineConfig
-from ...core.simulator import simulate
 from ..claims import ClaimCheck
 from . import ExperimentContext, ExperimentReport
 
@@ -19,21 +18,22 @@ _SIZES = (64, 128)
 
 
 def run(context: ExperimentContext) -> ExperimentReport:
-    table: dict[tuple[str, int, int], int] = {}
+    points: list[tuple[str, int, int]] = []
+    configs: list[MachineConfig] = []
     for size in _SIZES:
         for ways in _WAYS:
-            pipe = MachineConfig.pipe(
-                "16-16", size, cache_associativity=ways, **_MEMORY
+            points.append(("PIPE 16-16", size, ways))
+            configs.append(
+                MachineConfig.pipe("16-16", size, cache_associativity=ways, **_MEMORY)
             )
-            table[("PIPE 16-16", size, ways)] = simulate(
-                pipe, context.program
-            ).cycles
-            conventional = MachineConfig.conventional(
-                size, cache_associativity=ways, **_MEMORY
+            points.append(("conventional", size, ways))
+            configs.append(
+                MachineConfig.conventional(size, cache_associativity=ways, **_MEMORY)
             )
-            table[("conventional", size, ways)] = simulate(
-                conventional, context.program
-            ).cycles
+    table: dict[tuple[str, int, int], int] = {
+        point: result.cycles
+        for point, result in zip(points, context.simulate_many(configs))
+    }
 
     lines = [
         "Cache associativity (LRU) at small sizes (T=6, 8B bus):",

@@ -16,7 +16,6 @@ resolution, so a cached loop pays no branch stalls at all.
 from __future__ import annotations
 
 from ...core.config import MachineConfig
-from ...core.simulator import simulate
 from ..claims import ClaimCheck
 from . import ExperimentContext, ExperimentReport
 
@@ -30,8 +29,8 @@ def run(context: ExperimentContext) -> ExperimentReport:
     ]
     static_avg = sum(pbr_delays) / len(pbr_delays) if pbr_delays else 0.0
 
-    result = simulate(
-        MachineConfig.pipe("16-16", 512, memory_access_time=1), context.program
+    result = context.simulate(
+        MachineConfig.pipe("16-16", 512, memory_access_time=1)
     )
     unresolved = result.stalls.get("branch_unresolved", 0)
 

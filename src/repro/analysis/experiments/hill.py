@@ -10,7 +10,6 @@ none) across cache sizes and checks that ranking on our workload.
 from __future__ import annotations
 
 from ...core.config import MachineConfig, PrefetchPolicy
-from ...core.simulator import simulate
 from ..claims import ClaimCheck
 from . import ExperimentContext, ExperimentReport
 
@@ -18,14 +17,22 @@ _MEMORY = {"memory_access_time": 6, "input_bus_width": 8}
 
 
 def run(context: ExperimentContext) -> ExperimentReport:
-    cycles: dict[PrefetchPolicy, dict[int, int]] = {}
-    for policy in PrefetchPolicy:
-        cycles[policy] = {}
-        for size in context.cache_sizes:
-            config = MachineConfig.conventional(
-                size, prefetch_policy=policy, **_MEMORY
-            )
-            cycles[policy][size] = simulate(config, context.program).cycles
+    points = [
+        (policy, size)
+        for policy in PrefetchPolicy
+        for size in context.cache_sizes
+    ]
+    results = context.simulate_many(
+        [
+            MachineConfig.conventional(size, prefetch_policy=policy, **_MEMORY)
+            for policy, size in points
+        ]
+    )
+    cycles: dict[PrefetchPolicy, dict[int, int]] = {
+        policy: {} for policy in PrefetchPolicy
+    }
+    for (policy, size), result in zip(points, results):
+        cycles[policy][size] = result.cycles
 
     lines = [
         "Hill's prefetch strategies on the conventional cache "

@@ -12,7 +12,6 @@ behind "excellent performance ... with a limited number of transistors"
 from __future__ import annotations
 
 from ...core.config import MachineConfig
-from ...core.simulator import simulate
 from ..claims import ClaimCheck
 from . import ExperimentContext, ExperimentReport
 
@@ -24,19 +23,19 @@ _CACHE = 128
 
 
 def run(context: ExperimentContext) -> ExperimentReport:
-    iq_cycles: dict[int, int] = {}
-    for iq_size in _IQ_SIZES:
-        config = MachineConfig.pipe(
-            "16-16", _CACHE, **_MEMORY
-        ).with_overrides(iq_size=iq_size)
-        iq_cycles[iq_size] = simulate(config, context.program).cycles
-
-    iqb_cycles: dict[int, int] = {}
-    for iqb_size in _IQB_SIZES:
-        config = MachineConfig.pipe(
-            "16-16", _CACHE, **_MEMORY
-        ).with_overrides(iqb_size=iqb_size)
-        iqb_cycles[iqb_size] = simulate(config, context.program).cycles
+    base = MachineConfig.pipe("16-16", _CACHE, **_MEMORY)
+    configs = [base.with_overrides(iq_size=size) for size in _IQ_SIZES] + [
+        base.with_overrides(iqb_size=size) for size in _IQB_SIZES
+    ]
+    results = context.simulate_many(configs)
+    iq_cycles = {
+        size: result.cycles
+        for size, result in zip(_IQ_SIZES, results[: len(_IQ_SIZES)])
+    }
+    iqb_cycles = {
+        size: result.cycles
+        for size, result in zip(_IQB_SIZES, results[len(_IQ_SIZES) :])
+    }
 
     lines = [
         "IQ/IQB size sensitivity (16-byte line, 128B cache, T=6, 8B bus):",

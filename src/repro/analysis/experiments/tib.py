@@ -10,7 +10,6 @@ both halves of the sentence against the paper's own strategies.
 from __future__ import annotations
 
 from ...core.config import MachineConfig
-from ...core.simulator import simulate
 from ..claims import ClaimCheck
 from . import ExperimentContext, ExperimentReport
 
@@ -29,11 +28,18 @@ def _ifetch_traffic(result) -> int:
 
 def run(context: ExperimentContext) -> ExperimentReport:
     rows: list[tuple[str, int, int, str]] = []
-    tib_results = {}
-    for entries, entry_bytes in _TIB_SHAPES:
-        config = MachineConfig.tib(entries, entry_bytes, **_MEMORY)
-        result = simulate(config, context.program)
-        tib_results[(entries, entry_bytes)] = result
+    configs = [
+        MachineConfig.tib(entries, entry_bytes, **_MEMORY)
+        for entries, entry_bytes in _TIB_SHAPES
+    ] + [
+        MachineConfig.conventional(32, **_MEMORY),
+        MachineConfig.conventional(128, **_MEMORY),
+        MachineConfig.pipe("16-16", 32, **_MEMORY),
+    ]
+    results = context.simulate_many(configs)
+    tib_results = dict(zip(_TIB_SHAPES, results[: len(_TIB_SHAPES)]))
+    conventional_small, conventional_big, pipe_small = results[len(_TIB_SHAPES) :]
+    for (entries, entry_bytes), result in tib_results.items():
         rows.append(
             (
                 f"TIB {entries}x{entry_bytes}B ({entries * entry_bytes}B)",
@@ -42,15 +48,6 @@ def run(context: ExperimentContext) -> ExperimentReport:
                 f"{result.ipc:.3f}",
             )
         )
-    conventional_small = simulate(
-        MachineConfig.conventional(32, **_MEMORY), context.program
-    )
-    conventional_big = simulate(
-        MachineConfig.conventional(128, **_MEMORY), context.program
-    )
-    pipe_small = simulate(
-        MachineConfig.pipe("16-16", 32, **_MEMORY), context.program
-    )
     for label, result in (
         ("conventional 32B cache", conventional_small),
         ("conventional 128B cache", conventional_big),

@@ -26,6 +26,7 @@ from typing import Sequence
 
 from ..asm.program import Program
 from ..core.config import PAPER_CACHE_SIZES
+from ..core.simcache import SimulationCache
 from ..core.sweep import SweepSeries, run_cache_sweep
 from .tables import render_series_table
 
@@ -72,10 +73,14 @@ def run_figure(
     figure_id: str,
     program: Program,
     cache_sizes: Sequence[int] = PAPER_CACHE_SIZES,
+    jobs: int | None = 1,
+    cache: SimulationCache | None = None,
 ) -> list[SweepSeries]:
     """Run the sweep behind one figure panel."""
     spec = FIGURES[figure_id]
-    return run_cache_sweep(program, cache_sizes=cache_sizes, **spec.overrides())
+    return run_cache_sweep(
+        program, cache_sizes=cache_sizes, jobs=jobs, cache=cache, **spec.overrides()
+    )
 
 
 def ascii_plot(

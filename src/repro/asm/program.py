@@ -16,8 +16,9 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
-from ..isa.encoding import InstructionFormat, decode_instruction
+from ..isa.encoding import InstructionFormat
 from ..isa.instruction import Instruction
+from ..isa.predecode import PredecodedImage
 
 __all__ = ["Program", "WORD_BYTES"]
 
@@ -40,10 +41,26 @@ class Program:
     symbols: dict[str, int] = field(default_factory=dict)
     markers: dict[str, int] = field(default_factory=dict)
     layout: list[tuple[int, Instruction]] = field(default_factory=list)
+    _predecoded: PredecodedImage | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     @property
     def memory_size(self) -> int:
         return len(self.image)
+
+    @property
+    def predecoded(self) -> PredecodedImage:
+        """The shared decode table for this program's code image.
+
+        Built once (seeded from the layout) and reused by every fetch
+        frontend simulating this program, so hot loops never re-decode
+        the same bytes.  Valid because the code image is read-only at
+        run time — simulators mutate a private copy of the image.
+        """
+        if self._predecoded is None:
+            self._predecoded = PredecodedImage(self.image, self.fmt, self.layout)
+        return self._predecoded
 
     # ------------------------------------------------------------------
     # Word access helpers (little-endian, like the encodings)
@@ -89,7 +106,7 @@ class Program:
 
     def instruction_at(self, address: int) -> Instruction:
         """Decode the instruction stored at ``address``."""
-        instruction, _size = decode_instruction(self.image, address, self.fmt)
+        instruction, _size = self.predecoded.at(address)
         return instruction
 
     def code_span(self, begin_marker: str, end_marker: str) -> int:

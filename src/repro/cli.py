@@ -9,9 +9,16 @@ Subcommands::
     repro-sim profile    per-loop cycle attribution for one machine
     repro-sim disasm     disassemble the generated benchmark program
     repro-sim report     run every experiment (the EXPERIMENTS.md content)
+    repro-sim cache      manage the on-disk simulation result cache
 
 The ``--scale`` option shrinks the benchmark's iteration counts for
 quick looks (e.g. ``--scale 0.15``); the paper-fidelity run is scale 1.
+
+Sweep-heavy commands (``figure``, ``experiment``, ``report``) accept
+``--jobs N`` to fan independent simulation points out over worker
+processes (default: ``REPRO_JOBS`` or the CPU count) and use a
+content-addressed result cache under ``.repro_cache/`` (bypass with
+``--no-cache``; relocate with ``--cache-dir`` or ``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from .analysis.experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from .analysis.figures import FIGURES, render_figure, run_figure
 from .analysis.tables import render_series_csv, render_table1, render_table2
 from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
+from .core.parallel import parallel_map, resolve_jobs
+from .core.simcache import SimulationCache
 from .core.simulator import simulate
 from .kernels.suite import cached_livermore_suite
 
@@ -36,6 +45,34 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         default=1.0,
         help="benchmark workload scale (1.0 = paper fidelity)",
     )
+
+
+def _add_perf(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the sweep-heavy commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent simulation points "
+        "(default: REPRO_JOBS or the CPU count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk simulation result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="simulation cache directory "
+        "(default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> SimulationCache | None:
+    if args.no_cache:
+        return None
+    return SimulationCache(args.cache_dir)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -71,7 +108,13 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     suite = cached_livermore_suite(scale=args.scale)
     sizes = args.sizes or list(PAPER_CACHE_SIZES)
-    series = run_figure(args.panel, suite.program, cache_sizes=sizes)
+    series = run_figure(
+        args.panel,
+        suite.program,
+        cache_sizes=sizes,
+        jobs=resolve_jobs(args.jobs),
+        cache=_make_cache(args),
+    )
     if args.csv:
         print(render_series_csv(series, sizes))
     else:
@@ -79,9 +122,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_context(scale: float) -> ExperimentContext:
+def _make_context(
+    scale: float,
+    jobs: int = 1,
+    cache: SimulationCache | None = None,
+) -> ExperimentContext:
     suite = cached_livermore_suite(scale=scale)
-    return ExperimentContext(program=suite.program, suite=suite, scale=scale)
+    return ExperimentContext(
+        program=suite.program, suite=suite, scale=scale, jobs=jobs, cache=cache
+    )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -120,7 +169,9 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    context = _make_context(args.scale)
+    context = _make_context(
+        args.scale, jobs=resolve_jobs(args.jobs), cache=_make_cache(args)
+    )
     report = run_experiment(args.name, context)
     print(report.text)
     print()
@@ -128,20 +179,113 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if report.all_passed else 1
 
 
+def _report_worker(task: tuple) -> tuple[str, str, str, bool, int, int]:
+    """Run one experiment in a worker process (``report --jobs N``).
+
+    Workers share results through the on-disk simulation cache (when
+    enabled); sweeps inside a worker stay serial so pools never nest.
+    Returns ``(id, text, checks, passed, cache_hits, cache_misses)``.
+    """
+    experiment_id, scale, cache_dir, use_cache = task
+    cache = SimulationCache(cache_dir) if use_cache else None
+    context = _make_context(scale, jobs=1, cache=cache)
+    report = run_experiment(experiment_id, context)
+    stats = cache.stats if cache is not None else None
+    return (
+        experiment_id,
+        report.text,
+        report.render_checks(),
+        report.all_passed,
+        stats.hits if stats else 0,
+        stats.misses if stats else 0,
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    context = _make_context(args.scale)
+    jobs = resolve_jobs(args.jobs)
+    cache = _make_cache(args)
+    print(
+        f"repro-sim report: scale={args.scale} jobs={jobs} "
+        f"cache={'off' if cache is None else cache.root}"
+    )
+    print()
     failed = False
-    for experiment_id in EXPERIMENTS:
-        report = run_experiment(experiment_id, context)
-        print(f"{'=' * 70}")
-        print(f"Experiment: {experiment_id}")
-        print(f"{'=' * 70}")
-        print(report.text)
-        print()
-        print(report.render_checks())
-        print()
-        failed = failed or not report.all_passed
+    hits = misses = 0
+    if jobs > 1:
+        if cache is not None:
+            # Pre-warm the cache with the standard sweeps shared by the
+            # figure/headline/ablation experiments, parallelized at the
+            # *point* level — so concurrent experiments never re-simulate
+            # a shared point.
+            from .core.sweep import run_cache_sweep
+
+            program = cached_livermore_suite(scale=args.scale).program
+            for access, bus, pipelined in (
+                (1, 4, False),
+                (1, 8, False),
+                (6, 4, False),
+                (6, 8, False),
+                (6, 8, True),
+            ):
+                run_cache_sweep(
+                    program,
+                    jobs=jobs,
+                    cache=cache,
+                    memory_access_time=access,
+                    input_bus_width=bus,
+                    memory_pipelined=pipelined,
+                )
+        # Independent experiments fan out across workers; shared sweep
+        # points flow between them through the content-addressed cache.
+        tasks = [
+            (experiment_id, args.scale, args.cache_dir, cache is not None)
+            for experiment_id in EXPERIMENTS
+        ]
+        outcomes = parallel_map(_report_worker, tasks, jobs=jobs)
+        for experiment_id, text, checks, passed, exp_hits, exp_misses in outcomes:
+            print(f"{'=' * 70}")
+            print(f"Experiment: {experiment_id}")
+            print(f"{'=' * 70}")
+            print(text)
+            print()
+            print(checks)
+            print()
+            failed = failed or not passed
+            hits += exp_hits
+            misses += exp_misses
+        if cache is not None:  # include the pre-warm phase's traffic
+            hits += cache.stats.hits
+            misses += cache.stats.misses
+    else:
+        context = _make_context(args.scale, jobs=jobs, cache=cache)
+        for experiment_id in EXPERIMENTS:
+            report = run_experiment(experiment_id, context)
+            print(f"{'=' * 70}")
+            print(f"Experiment: {experiment_id}")
+            print(f"{'=' * 70}")
+            print(report.text)
+            print()
+            print(report.render_checks())
+            print()
+            failed = failed or not report.all_passed
+        if cache is not None:
+            hits, misses = cache.stats.hits, cache.stats.misses
+    if cache is not None:
+        print(
+            f"simulation cache: {hits} hits, {misses} misses "
+            f"({cache.root})"
+        )
     return 1 if failed else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = SimulationCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.describe())
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--csv", action="store_true")
     figure_parser.add_argument("--no-plot", action="store_true")
     _add_scale(figure_parser)
+    _add_perf(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     profile_parser = sub.add_parser("profile", help="per-loop cycle profile")
@@ -202,11 +347,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser = sub.add_parser("experiment", help="run one experiment")
     experiment_parser.add_argument("name", choices=EXPERIMENTS)
     _add_scale(experiment_parser)
+    _add_perf(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
     report_parser = sub.add_parser("report", help="run every experiment")
     _add_scale(report_parser)
+    _add_perf(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    cache_parser = sub.add_parser(
+        "cache", help="manage the simulation result cache"
+    )
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     return parser
 

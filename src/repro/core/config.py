@@ -23,7 +23,7 @@ the paper's Table II.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from ..frontend.conventional import PrefetchPolicy
 from ..isa.encoding import InstructionFormat
@@ -213,6 +213,45 @@ class MachineConfig:
     def with_overrides(self, **overrides) -> "MachineConfig":
         """A copy with some fields replaced (configs are immutable)."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization (simulation-cache keys and persisted results)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dict carrying every field, in declaration order.
+
+        Enums serialize as their ``.value``; :class:`FpuLatencies` as a
+        nested dict.  :meth:`from_dict` round-trips exactly, and the
+        simulation cache fingerprints the canonical JSON of this dict —
+        so *any* field change changes the fingerprint.
+        """
+        out: dict = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            elif isinstance(value, FpuLatencies):
+                value = {
+                    "add": value.add,
+                    "sub": value.sub,
+                    "mul": value.mul,
+                    "div": value.div,
+                }
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Rebuild a config serialized by :meth:`to_dict`."""
+        kwargs = dict(data)
+        kwargs["fetch_strategy"] = FetchStrategy(kwargs["fetch_strategy"])
+        kwargs["instruction_format"] = InstructionFormat(
+            kwargs["instruction_format"]
+        )
+        kwargs["priority"] = RequestPriority(kwargs["priority"])
+        kwargs["prefetch_policy"] = PrefetchPolicy(kwargs["prefetch_policy"])
+        kwargs["fpu_latencies"] = FpuLatencies(**kwargs["fpu_latencies"])
+        return cls(**kwargs)
 
     def describe(self) -> str:
         """One-line human-readable summary used in experiment reports."""

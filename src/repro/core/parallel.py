@@ -1,0 +1,145 @@
+"""Parallel fan-out of independent simulation points.
+
+Every point of a cache-size sweep — and most experiment loops — is an
+independent, deterministic ``simulate(config, program)`` call, so they
+parallelize trivially across a :class:`~concurrent.futures.ProcessPoolExecutor`
+(processes, not threads: the simulator is pure Python and CPU-bound).
+
+Job-count resolution, in priority order: an explicit ``jobs`` argument
+(the ``--jobs`` CLI flag), the ``REPRO_JOBS`` environment variable,
+``os.cpu_count()``.  ``jobs=1`` — and any platform where worker
+processes cannot be spawned — degrades gracefully to the serial path.
+Results always come back in submission order, so parallel runs are
+bit-identical to serial ones.
+
+The benchmark program is shipped to each worker once (pool initializer)
+rather than once per point; workers then receive only the small
+:class:`MachineConfig` per task.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from pickle import PicklingError
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..asm.program import Program
+from .config import MachineConfig
+from .results import SimulationResult
+
+__all__ = ["JOBS_ENV", "parallel_map", "resolve_jobs", "simulate_many"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_JOBS`` > cpu count."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(f"ignoring non-integer {JOBS_ENV}={env!r}")
+    return os.cpu_count() or 1
+
+
+def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> list[R]:
+    """``[fn(item) for item in items]`` across worker processes.
+
+    Deterministic: results are returned in input order regardless of
+    completion order.  Falls back to the serial path when only one job
+    is requested, there is at most one item, or the platform cannot
+    spawn workers (missing fork support, pickling failure, sandboxed
+    environments); exceptions raised by ``fn`` itself propagate
+    unchanged in both modes.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), len(items))
+    if jobs <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return _serial_map(fn, items)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=initializer, initargs=initargs
+        ) as pool:
+            return list(pool.map(fn, items))
+    # pickle signals an unpicklable callable as AttributeError/TypeError
+    # depending on the object; a genuine fn error re-raises identically
+    # from the serial retry, so the broad net cannot change semantics.
+    except (
+        BrokenExecutor,
+        PicklingError,
+        OSError,
+        ImportError,
+        AttributeError,
+        TypeError,
+    ) as exc:
+        warnings.warn(
+            f"parallel execution unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial"
+        )
+        if initializer is not None:
+            initializer(*initargs)
+        return _serial_map(fn, items)
+
+
+# ----------------------------------------------------------------------
+# Simulation fan-out: the program lives in each worker, configs travel.
+# ----------------------------------------------------------------------
+_worker_program: Program | None = None
+
+
+def _init_simulation_worker(program: Program) -> None:
+    global _worker_program
+    _worker_program = program
+
+
+def _simulate_point(config: MachineConfig) -> SimulationResult:
+    from .simulator import simulate
+
+    assert _worker_program is not None, "worker initialized without a program"
+    return simulate(config, _worker_program)
+
+
+def simulate_many(
+    program: Program,
+    configs: Sequence[MachineConfig],
+    jobs: int | None = None,
+) -> list[SimulationResult]:
+    """Simulate every config against ``program``, fanned out over workers.
+
+    Results are returned in ``configs`` order and are bit-identical to
+    running the same list serially.
+    """
+    configs = list(configs)
+    jobs = min(resolve_jobs(jobs), len(configs))
+    if jobs <= 1:
+        from .simulator import simulate
+
+        return [simulate(config, program) for config in configs]
+    return parallel_map(
+        _simulate_point,
+        configs,
+        jobs=jobs,
+        initializer=_init_simulation_worker,
+        initargs=(program,),
+    )

@@ -10,14 +10,21 @@ pressure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..frontend.base import FetchStats
 from ..frontend.icache import CacheStats
+from ..frontend.tib import TibStats
 from ..memory.system import MemoryStats
 from .config import MachineConfig
 
 __all__ = ["QueueSnapshot", "SimulationResult"]
+
+#: Tags used to round-trip the concrete FetchStats class through JSON.
+_FETCH_STATS_KINDS: dict[str, type[FetchStats]] = {
+    "fetch": FetchStats,
+    "tib": TibStats,
+}
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,60 @@ class SimulationResult:
     @property
     def total_stalls(self) -> int:
         return sum(self.stalls.values())
+
+    # ------------------------------------------------------------------
+    # Serialization (the simulation cache persists results as JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dict; :meth:`from_dict` round-trips to equality."""
+        fetch_kind = next(
+            tag
+            for tag, cls in _FETCH_STATS_KINDS.items()
+            if type(self.fetch) is cls
+        )
+        return {
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "halted": self.halted,
+            "cache": asdict(self.cache),
+            "fetch_kind": fetch_kind,
+            "fetch": asdict(self.fetch),
+            "memory": asdict(self.memory),
+            "stalls": dict(self.stalls),
+            "queues": {name: asdict(snap) for name, snap in self.queues.items()},
+            "branches": self.branches,
+            "branches_taken": self.branches_taken,
+            "loads": self.loads,
+            "stores": self.stores,
+            "fpu_operations": self.fpu_operations,
+            "ordering_hazards": self.ordering_hazards,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        fetch_cls = _FETCH_STATS_KINDS[data.get("fetch_kind", "fetch")]
+        return cls(
+            config=MachineConfig.from_dict(data["config"]),
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            halted=data["halted"],
+            cache=CacheStats(**data["cache"]),
+            fetch=fetch_cls(**data["fetch"]),
+            memory=MemoryStats(**data["memory"]),
+            stalls=dict(data["stalls"]),
+            queues={
+                name: QueueSnapshot(**snap)
+                for name, snap in data["queues"].items()
+            },
+            branches=data["branches"],
+            branches_taken=data["branches_taken"],
+            loads=data["loads"],
+            stores=data["stores"],
+            fpu_operations=data["fpu_operations"],
+            ordering_hazards=data["ordering_hazards"],
+        )
 
     def summary(self) -> str:
         """Multi-line human-readable report."""

@@ -1,0 +1,208 @@
+"""Content-addressed, on-disk cache of simulation results.
+
+The paper's evaluation is hundreds of ``simulate(config, program)``
+points, and the experiments overlap heavily: figure5b, figure6a, the
+headline claim, and the ablations all re-visit the same ``(T=6, 8B
+bus)`` sweep, and a ``repro-sim report`` re-runs every one of them from
+scratch.  Each point is fully determined by its inputs — the simulator
+is deterministic — so results can be cached *by content*:
+
+* a **program fingerprint**: SHA-256 over the instruction format, the
+  entry point, and the raw image bytes (anything that changes the
+  assembled benchmark — workload scale, kernel edits, seed — changes
+  the image, and therefore the fingerprint);
+* a **config fingerprint**: SHA-256 over the canonical JSON of
+  :meth:`MachineConfig.to_dict` (every field participates, so changing
+  any parameter invalidates the entry);
+* the entry key is the SHA-256 of both, and the payload is the JSON of
+  :meth:`SimulationResult.to_dict` stored under
+  ``.repro_cache/<key[:2]>/<key>.json``.
+
+``CACHE_FORMAT_VERSION`` is folded into the key so schema changes
+invalidate old blobs instead of misparsing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..asm.program import Program
+from .config import MachineConfig
+from .results import SimulationResult
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "SimulationCache",
+    "cached_simulate",
+    "config_fingerprint",
+    "program_fingerprint",
+    "result_key",
+]
+
+#: Bumped whenever the serialized result schema changes shape.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def program_fingerprint(program: Program) -> str:
+    """Stable hex digest of everything the simulator reads from a program."""
+    h = hashlib.sha256()
+    h.update(program.fmt.value.encode())
+    h.update(program.entry_point.to_bytes(8, "little"))
+    h.update(bytes(program.image))
+    return h.hexdigest()
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Stable hex digest of a machine configuration (every field counts)."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def result_key(config: MachineConfig, program: Program) -> str:
+    """The content address of one ``(config, program)`` simulation point."""
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_FORMAT_VERSION}".encode())
+    h.update(config_fingerprint(config).encode())
+    h.update(program_fingerprint(program).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`SimulationCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class SimulationCache:
+    """Persists :class:`SimulationResult` blobs keyed by content address.
+
+    The cache is safe for concurrent writers (sweep points running in
+    parallel processes share one directory): writes go to a unique temp
+    file and are published with an atomic rename, and a corrupt or
+    truncated blob reads as a miss, never an error.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.stats = CacheStats()
+        #: program fingerprints are expensive (they hash the image), so
+        #: memoize them per Program identity for the lifetime of the cache
+        self._program_keys: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, config: MachineConfig, program: Program) -> str:
+        pkey = self._program_keys.get(id(program))
+        if pkey is None:
+            pkey = program_fingerprint(program)
+            self._program_keys[id(program)] = pkey
+        h = hashlib.sha256()
+        h.update(f"v{CACHE_FORMAT_VERSION}".encode())
+        h.update(config_fingerprint(config).encode())
+        h.update(pkey.encode())
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, config: MachineConfig, program: Program
+    ) -> SimulationResult | None:
+        """The cached result for this point, or ``None`` on a miss."""
+        path = self._path(self._key(config, program))
+        try:
+            payload = json.loads(path.read_text())
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(
+        self, config: MachineConfig, program: Program, result: SimulationResult
+    ) -> None:
+        """Persist one finished simulation point (atomic publish)."""
+        key = self._key(config, program)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    # Management (the ``repro-sim cache`` subcommand)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached blob; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        for child in self.root.glob("*"):
+            if child.is_dir():
+                try:
+                    child.rmdir()
+                except OSError:
+                    pass  # non-empty (e.g. a concurrent writer's temp file)
+        return removed
+
+    def describe(self) -> str:
+        entries = self.entries()
+        total = sum(path.stat().st_size for path in entries)
+        return (
+            f"cache dir : {self.root}\n"
+            f"entries   : {len(entries)}\n"
+            f"size      : {total / 1024:.1f} KiB"
+        )
+
+
+def cached_simulate(
+    config: MachineConfig,
+    program: Program,
+    cache: SimulationCache | None = None,
+) -> SimulationResult:
+    """:func:`~repro.core.simulator.simulate` through an optional cache."""
+    from .simulator import simulate  # late import: simulator is heavy
+
+    if cache is None:
+        return simulate(config, program)
+    result = cache.lookup(config, program)
+    if result is None:
+        result = simulate(config, program)
+        cache.store(config, program, result)
+    return result

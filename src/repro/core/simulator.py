@@ -80,6 +80,10 @@ class Simulator:
             priority=config.priority,
             fpu_latencies=config.fpu_latencies,
         )
+        # All frontends share the program's predecoded-instruction
+        # table, so the decode work for a hot loop is paid once per
+        # program image rather than once per fetch.
+        predecode = program.predecoded
         if config.fetch_strategy is FetchStrategy.PIPE:
             self.frontend = PipeFetchUnit(
                 image=program.image,
@@ -90,6 +94,7 @@ class Simulator:
                 entry_point=program.entry_point,
                 next_seq=next_seq,
                 true_prefetch=config.true_prefetch,
+                predecode=predecode,
             )
         elif config.fetch_strategy is FetchStrategy.TIB:
             self.frontend = TibFetchUnit(
@@ -101,6 +106,7 @@ class Simulator:
                 tib_entries=config.tib_entries,
                 tib_entry_bytes=config.tib_entry_bytes,
                 stream_buffer_bytes=config.stream_buffer_bytes,
+                predecode=predecode,
             )
         else:
             self.frontend = ConventionalFetchUnit(
@@ -111,6 +117,7 @@ class Simulator:
                 entry_point=program.entry_point,
                 next_seq=next_seq,
                 prefetch_policy=config.prefetch_policy,
+                predecode=predecode,
             )
         self.engine = DataQueueEngine(
             program=program,
@@ -142,7 +149,7 @@ class Simulator:
         engine = self.engine
         frontend = self.frontend
         backend = self.backend
-        last_progress_sig = (-1, -1, -1)
+        last_progress_sig: tuple = ()
         last_progress_at = 0
         while True:
             memory.begin_cycle(now)
@@ -160,6 +167,11 @@ class Simulator:
                 backend.instructions,
                 memory.stats.output_bus_busy_cycles,
                 memory.stats.input_bus_busy_cycles,
+                frontend.progress_signature(),
+                engine.laq.total_pushes,
+                engine.ldq.total_pops,
+                engine.saq.total_pops,
+                engine.sdq.total_pops,
             )
             if signature != last_progress_sig:
                 last_progress_sig = signature
@@ -170,7 +182,9 @@ class Simulator:
                     f"({backend.instructions} instructions issued; "
                     f"stalls={backend.stalls}; LAQ={len(engine.laq)} "
                     f"LDQ={len(engine.ldq)} SAQ={len(engine.saq)} "
-                    f"SDQ={len(engine.sdq)})"
+                    f"SDQ={len(engine.sdq)}; "
+                    f"frontend {type(frontend).__name__}: "
+                    f"{frontend.describe_state()})"
                 )
             if now >= max_cycles:
                 raise SimulationTimeout(

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from ..isa.encoding import InstructionFormat, decode_instruction
 from ..isa.instruction import Instruction
+from ..isa.predecode import PredecodedImage
 from ..memory.requests import MemoryRequest
 
 __all__ = ["FetchStats", "FetchUnit", "decode_at", "delay_region_end"]
@@ -70,6 +71,23 @@ class FetchUnit(abc.ABC):
     #: set by :meth:`halt`; no new fetch work may start afterwards
     _halted: bool = False
 
+    def _install_decoder(
+        self,
+        image: bytes | bytearray,
+        fmt: InstructionFormat,
+        predecode: PredecodedImage | None = None,
+    ) -> None:
+        """Adopt the program's shared decode table (or build a private one).
+
+        Called from subclass constructors; sets :attr:`image`,
+        :attr:`fmt`, and :attr:`predecode`.
+        """
+        self.image = image
+        self.fmt = fmt
+        self.predecode = (
+            predecode if predecode is not None else PredecodedImage(image, fmt)
+        )
+
     def halt(self) -> None:
         """The back-end issued HALT: stop generating fetch work.
 
@@ -77,6 +95,34 @@ class FetchUnit(abc.ABC):
         request still waiting for the output bus is withdrawn.
         """
         self._halted = True
+
+    # -- progress reporting ------------------------------------------------
+    def progress_signature(self) -> tuple:
+        """Counters that change whenever the frontend makes real progress.
+
+        The simulator folds this into its deadlock-detection signature so
+        a frontend-only livelock (nothing issuing, no bus traffic, but
+        the frontend still churning) is distinguished from forward
+        progress, and so the resulting :class:`DeadlockError` can say
+        what the frontend was doing.  Subclasses may extend the tuple
+        with strategy-specific state.
+        """
+        s = self.stats
+        return (
+            s.instructions_supplied,
+            s.demand_requests,
+            s.prefetch_requests,
+            s.prefetch_promotions,
+            s.redirects,
+        )
+
+    def describe_state(self) -> str:
+        """One-line state summary for deadlock/timeout diagnostics."""
+        s = self.stats
+        return (
+            f"supplied={s.instructions_supplied} demand={s.demand_requests} "
+            f"prefetch={s.prefetch_requests} redirects={s.redirects}"
+        )
 
     # -- per-cycle phases ------------------------------------------------
     @abc.abstractmethod

@@ -29,8 +29,9 @@ import enum
 
 from ..isa.encoding import InstructionFormat
 from ..isa.instruction import Instruction
+from ..isa.predecode import PredecodedImage
 from ..memory.requests import MemoryRequest, RequestKind
-from .base import FetchStats, FetchUnit, decode_at
+from .base import FetchStats, FetchUnit
 from .icache import InstructionCache
 
 __all__ = ["ConventionalFetchUnit", "PrefetchPolicy"]
@@ -72,9 +73,9 @@ class ConventionalFetchUnit(FetchUnit):
         entry_point: int,
         next_seq,
         prefetch_policy: PrefetchPolicy = PrefetchPolicy.ALWAYS,
+        predecode: PredecodedImage | None = None,
     ):
-        self.image = image
-        self.fmt = fmt
+        self._install_decoder(image, fmt, predecode)
         self.cache = cache
         self.block_size = input_bus_width  #: bytes returned per request
         self.prefetch_policy = prefetch_policy
@@ -107,7 +108,7 @@ class ConventionalFetchUnit(FetchUnit):
     def _current_instruction_resident(self) -> bool:
         if not self.cache.probe(self._pc, 2):
             return False
-        _instruction, size = decode_at(self.image, self.fmt, self._pc)
+        _instruction, size = self.predecode.at(self._pc)
         return self.cache.probe(self._pc, size)
 
     def _maybe_promote(self) -> None:
@@ -129,7 +130,7 @@ class ConventionalFetchUnit(FetchUnit):
             # The miss may be on the instruction's tail parcel.
             probe_addr = self._pc
             if self.cache.probe(self._pc, 2):
-                _instr, size = decode_at(self.image, self.fmt, self._pc)
+                _instr, size = self.predecode.at(self._pc)
                 position = self._pc
                 while position < self._pc + size and self.cache.probe(position, 2):
                     position += 2
@@ -174,7 +175,7 @@ class ConventionalFetchUnit(FetchUnit):
             self._tagged_blocks.add(current)
             candidate = current + self.block_size
         else:  # ALWAYS: the next sequential location, even across lines
-            _instruction, size = decode_at(self.image, self.fmt, self._pc)
+            _instruction, size = self.predecode.at(self._pc)
             candidate = self._block_address(self._pc + size)
         if self._prefetchable(candidate):
             return candidate
@@ -232,11 +233,11 @@ class ConventionalFetchUnit(FetchUnit):
     def next_instruction(self) -> tuple[int, Instruction, int] | None:
         if not self._current_instruction_resident():
             return None
-        instruction, size = decode_at(self.image, self.fmt, self._pc)
+        instruction, size = self.predecode.at(self._pc)
         return (self._pc, instruction, size)
 
     def consume(self, now: int) -> None:
-        _instruction, size = decode_at(self.image, self.fmt, self._pc)
+        _instruction, size = self.predecode.at(self._pc)
         self._pc += size
         self.stats.instructions_supplied += 1
         self.cache.stats.hits += 1  # each issued instruction came from the array
@@ -254,3 +255,15 @@ class ConventionalFetchUnit(FetchUnit):
     def redirect(self, target: int, now: int) -> None:
         self.stats.redirects += 1
         self._pc = target
+
+    # ------------------------------------------------------------------
+    # Progress reporting
+    # ------------------------------------------------------------------
+    def progress_signature(self) -> tuple:
+        return super().progress_signature() + (self._pc,)
+
+    def describe_state(self) -> str:
+        return (
+            f"{super().describe_state()} pc={self._pc:#x} "
+            f"outstanding={'yes' if self._request is not None else 'no'}"
+        )

@@ -40,8 +40,9 @@ from dataclasses import dataclass
 
 from ..isa.encoding import DecodeError, InstructionFormat
 from ..isa.instruction import Instruction
+from ..isa.predecode import PredecodedImage
 from ..memory.requests import MemoryRequest, RequestKind
-from .base import FetchStats, FetchUnit, decode_at, delay_region_end
+from .base import FetchStats, FetchUnit
 from .icache import InstructionCache
 
 __all__ = ["PipeFetchUnit"]
@@ -72,6 +73,7 @@ class PipeFetchUnit(FetchUnit):
         entry_point: int,
         next_seq,
         true_prefetch: bool = True,
+        predecode: PredecodedImage | None = None,
     ):
         line_size = cache.line_size
         if iqb_size < line_size:
@@ -80,8 +82,7 @@ class PipeFetchUnit(FetchUnit):
             )
         if iq_size < 4:
             raise ValueError("IQ must hold at least one instruction (4 bytes)")
-        self.image = image
-        self.fmt = fmt
+        self._install_decoder(image, fmt, predecode)
         self.cache = cache
         self.iq_size = iq_size
         self.iqb_size = iqb_size
@@ -165,7 +166,7 @@ class PipeFetchUnit(FetchUnit):
             if self._iqb_base != self.cache.line_address(pc + 2):
                 return
             try:
-                instruction, size = decode_at(self.image, self.fmt, pc)
+                instruction, size = self.predecode.at(pc)
             except DecodeError:
                 return
             if self._iqb_valid_end < pc + size:
@@ -182,7 +183,7 @@ class PipeFetchUnit(FetchUnit):
             if pc >= line_end or pc >= self._iqb_valid_end:
                 break
             try:
-                instruction, size = decode_at(self.image, self.fmt, pc)
+                instruction, size = self.predecode.at(pc)
             except DecodeError:
                 # Speculative bytes past the code (e.g. prefetch ran into
                 # the data segment).  They can never issue; stop staging.
@@ -296,9 +297,7 @@ class PipeFetchUnit(FetchUnit):
             return self._branch.delay_end_pc
         for pc, instruction, size in self._iq:
             if instruction.is_branch:
-                return delay_region_end(
-                    self.image, self.fmt, pc + size, instruction.delay
-                )
+                return self.predecode.delay_region_end(pc + size, instruction.delay)
         return _FAR_FUTURE
 
     # ------------------------------------------------------------------
@@ -349,7 +348,7 @@ class PipeFetchUnit(FetchUnit):
     # Branch protocol
     # ------------------------------------------------------------------
     def note_branch(self, pbr_pc: int, next_pc: int, delay: int, target: int) -> None:
-        delay_end = delay_region_end(self.image, self.fmt, next_pc, delay)
+        delay_end = self.predecode.delay_region_end(next_pc, delay)
         self._branch = _PendingBranch(target=target, delay_end_pc=delay_end)
 
     def branch_resolved(self, taken: bool) -> None:
@@ -381,6 +380,24 @@ class PipeFetchUnit(FetchUnit):
                 self._request_discarded = True
         # Give the decoder a chance to issue from the target this cycle.
         self._advance(now)
+
+    # ------------------------------------------------------------------
+    # Progress reporting
+    # ------------------------------------------------------------------
+    def progress_signature(self) -> tuple:
+        return super().progress_signature() + (
+            len(self._iq),
+            self._iq_next_pc,
+            self._iqb_read_pc,
+            self._iqb_valid_end,
+        )
+
+    def describe_state(self) -> str:
+        return (
+            f"{super().describe_state()} IQ={len(self._iq)} entries "
+            f"next_pc={self._iq_next_pc:#x} IQB=[{self._iqb_base:#x},"
+            f"{self._iqb_valid_end:#x}) loaded={self._iqb_loaded}"
+        )
 
     # ------------------------------------------------------------------
     # Introspection for tests

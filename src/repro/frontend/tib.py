@@ -33,8 +33,9 @@ from dataclasses import dataclass, field
 
 from ..isa.encoding import DecodeError, InstructionFormat
 from ..isa.instruction import Instruction
+from ..isa.predecode import PredecodedImage
 from ..memory.requests import MemoryRequest, RequestKind
-from .base import FetchStats, FetchUnit, decode_at
+from .base import FetchStats, FetchUnit
 
 __all__ = ["TibFetchUnit", "TibStats"]
 
@@ -74,13 +75,13 @@ class TibFetchUnit(FetchUnit):
         tib_entries: int = 4,
         tib_entry_bytes: int = 16,
         stream_buffer_bytes: int = 32,
+        predecode: PredecodedImage | None = None,
     ):
         if tib_entries < 1 or tib_entry_bytes < 4:
             raise ValueError("TIB needs at least one entry of one instruction")
         if stream_buffer_bytes < 2 * input_bus_width:
             raise ValueError("stream buffer must hold two bus transfers")
-        self.image = image
-        self.fmt = fmt
+        self._install_decoder(image, fmt, predecode)
         self.block_size = input_bus_width
         self.entry_bytes = tib_entry_bytes
         self.stream_capacity = stream_buffer_bytes
@@ -216,7 +217,7 @@ class TibFetchUnit(FetchUnit):
         if self._pc + 2 > self._valid_end:
             return False
         try:
-            _instruction, size = decode_at(self.image, self.fmt, self._pc)
+            _instruction, size = self.predecode.at(self._pc)
         except DecodeError:
             return False
         return self._pc + size <= self._valid_end
@@ -224,11 +225,11 @@ class TibFetchUnit(FetchUnit):
     def next_instruction(self) -> tuple[int, Instruction, int] | None:
         if not self._has_instruction():
             return None
-        instruction, size = decode_at(self.image, self.fmt, self._pc)
+        instruction, size = self.predecode.at(self._pc)
         return (self._pc, instruction, size)
 
     def consume(self, now: int) -> None:
-        _instruction, size = decode_at(self.image, self.fmt, self._pc)
+        _instruction, size = self.predecode.at(self._pc)
         self._pc += size
         self.stats.instructions_supplied += 1
 
@@ -237,6 +238,16 @@ class TibFetchUnit(FetchUnit):
     # ------------------------------------------------------------------
     def note_branch(self, pbr_pc: int, next_pc: int, delay: int, target: int) -> None:
         pass  # targets are served at redirect time, from the TIB
+
+    def progress_signature(self) -> tuple:
+        return super().progress_signature() + (self._pc, self._valid_end)
+
+    def describe_state(self) -> str:
+        return (
+            f"{super().describe_state()} pc={self._pc:#x} "
+            f"stream_end={self._valid_end:#x} "
+            f"tib_hits={self.stats.tib_hits}/{self.stats.tib_hits + self.stats.tib_misses}"
+        )
 
     def branch_resolved(self, taken: bool) -> None:
         pass

@@ -91,6 +91,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PASS" in out
 
+    def test_figure_uses_the_result_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["figure", "4b", "--scale", "0.03", "--sizes", "32", "--no-plot"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 5" in out
+        # the warm rerun must answer from the cache, bit-identically
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "Figure 4b" in warm
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 5" in out
+
+    def test_no_cache_leaves_no_entries(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = [
+            "figure", "4b", "--scale", "0.03", "--sizes", "32",
+            "--no-plot", "--no-cache",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_experiment_accepts_jobs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(
+            ["experiment", "table2", "--scale", "0.03", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
 
 class TestDisasm:
     def test_full_listing(self, capsys):

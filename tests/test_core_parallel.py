@@ -1,0 +1,93 @@
+"""Tests of the parallel simulation fan-out."""
+
+import os
+import warnings
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.parallel import (
+    JOBS_ENV,
+    parallel_map,
+    resolve_jobs,
+    simulate_many,
+)
+from repro.core.simulator import simulate
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_environment_beats_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_bad_environment_value_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "lots")
+        with pytest.warns(UserWarning, match="non-integer"):
+            assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_floor_of_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = parallel_map(lambda x: x + 1, [1, 2, 3], jobs=2)
+        assert result == [2, 3, 4]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(boom, [1], jobs=1)
+
+
+class TestSimulateMany:
+    def test_parallel_matches_serial_for_all_strategies(self, tiny_program):
+        memory = {"memory_access_time": 6, "input_bus_width": 8}
+        configs = [
+            MachineConfig.pipe("8-8", 128, **memory),
+            MachineConfig.pipe("16-16", 128, **memory),
+            MachineConfig.pipe("16-32", 128, **memory),
+            MachineConfig.pipe("32-32", 128, **memory),
+            MachineConfig.conventional(128, **memory),
+        ]
+        serial = simulate_many(tiny_program, configs, jobs=1)
+        parallel = simulate_many(tiny_program, configs, jobs=2)
+        assert [r.cycles for r in serial] == [r.cycles for r in parallel]
+        assert serial == parallel
+
+    def test_results_align_with_configs(self, tiny_program):
+        configs = [
+            MachineConfig.conventional(size, memory_access_time=1)
+            for size in (32, 64, 128)
+        ]
+        results = simulate_many(tiny_program, configs, jobs=2)
+        for config, result in zip(configs, results):
+            assert result.config == config
+            assert result == simulate(config, tiny_program)

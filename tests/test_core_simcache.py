@@ -1,0 +1,137 @@
+"""Tests of the content-addressed simulation result cache."""
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.config import MachineConfig
+from repro.core.simcache import (
+    SimulationCache,
+    cached_simulate,
+    config_fingerprint,
+    program_fingerprint,
+    result_key,
+)
+from repro.core.simulator import simulate
+
+
+def _pipe(**overrides) -> MachineConfig:
+    return MachineConfig.pipe(
+        "16-16", 128, memory_access_time=6, input_bus_width=8, **overrides
+    )
+
+
+class TestFingerprints:
+    def test_config_fingerprint_is_stable(self):
+        assert config_fingerprint(_pipe()) == config_fingerprint(_pipe())
+
+    def test_config_fingerprint_is_stable_across_processes(self):
+        """Keys must not depend on PYTHONHASHSEED / process identity."""
+        script = (
+            "from repro.core.config import MachineConfig\n"
+            "from repro.core.simcache import config_fingerprint\n"
+            "c = MachineConfig.pipe('16-16', 128, memory_access_time=6,"
+            " input_bus_width=8)\n"
+            "print(config_fingerprint(c))\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": src, "PYTHONHASHSEED": seed},
+            ).stdout.strip()
+            for seed in ("0", "12345")
+        }
+        assert runs == {config_fingerprint(_pipe())}
+
+    def test_every_config_field_enters_the_fingerprint(self):
+        """The fingerprint hashes to_dict(), which must cover every field."""
+        base = _pipe()
+        assert set(base.to_dict()) == {
+            field.name for field in dataclasses.fields(base)
+        }
+
+    def test_field_changes_invalidate_the_fingerprint(self):
+        base = _pipe()
+        baseline = config_fingerprint(base)
+        variants = [
+            base.with_overrides(icache_size=256),
+            base.with_overrides(iq_size=8),
+            base.with_overrides(memory_access_time=1),
+            base.with_overrides(memory_pipelined=True),
+            base.with_overrides(max_cycles=base.max_cycles * 2),
+            MachineConfig.conventional(
+                128, memory_access_time=6, input_bus_width=8
+            ),
+        ]
+        fingerprints = {config_fingerprint(config) for config in variants}
+        assert baseline not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_program_change_invalidates_key(self, tiny_program, small_program):
+        config = _pipe()
+        assert program_fingerprint(tiny_program) != program_fingerprint(
+            small_program
+        )
+        assert result_key(config, tiny_program) != result_key(
+            config, small_program
+        )
+
+
+class TestRoundTrip:
+    def test_result_json_round_trip(self, tiny_program):
+        result = simulate(_pipe(), tiny_program)
+        rebuilt = type(result).from_dict(result.to_dict())
+        assert rebuilt == result
+
+    def test_tib_result_json_round_trip(self, tiny_program):
+        config = MachineConfig.tib(4, 16, memory_access_time=6, input_bus_width=8)
+        result = simulate(config, tiny_program)
+        rebuilt = type(result).from_dict(result.to_dict())
+        assert type(rebuilt.fetch) is type(result.fetch)
+        assert rebuilt == result
+
+
+class TestSimulationCache:
+    def test_miss_then_hit(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        config = _pipe()
+        first = cached_simulate(config, tiny_program, cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        second = cached_simulate(config, tiny_program, cache)
+        assert cache.stats.hits == 1
+        assert first == second
+
+    def test_hits_survive_a_fresh_cache_object(self, tiny_program, tmp_path):
+        config = _pipe()
+        first = cached_simulate(config, tiny_program, SimulationCache(tmp_path))
+        reopened = SimulationCache(tmp_path)
+        second = cached_simulate(config, tiny_program, reopened)
+        assert reopened.stats.hits == 1
+        assert first == second
+
+    def test_corrupt_entry_is_a_miss(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        config = _pipe()
+        cached_simulate(config, tiny_program, cache)
+        (entry,) = cache.entries()
+        entry.write_text("{not json")
+        assert cache.lookup(config, tiny_program) is None
+
+    def test_clear_and_stats(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        cached_simulate(_pipe(), tiny_program, cache)
+        cached_simulate(_pipe().with_overrides(iq_size=8), tiny_program, cache)
+        assert len(cache.entries()) == 2
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_no_cache_passthrough(self, tiny_program):
+        result = cached_simulate(_pipe(), tiny_program, None)
+        assert result.cycles > 0

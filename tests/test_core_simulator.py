@@ -4,7 +4,12 @@ import pytest
 
 from repro.asm import assemble
 from repro.core.config import FetchStrategy, MachineConfig
-from repro.core.simulator import SimulationTimeout, Simulator, simulate
+from repro.core.simulator import (
+    DeadlockError,
+    SimulationTimeout,
+    Simulator,
+    simulate,
+)
 from repro.cpu.functional import FunctionalSimulator
 from repro.isa.encoding import InstructionFormat
 
@@ -86,6 +91,23 @@ class TestGuards:
         config = MachineConfig.pipe("16-16", 512, max_cycles=2_000)
         with pytest.raises(SimulationTimeout):
             simulate(config, program)
+
+    def test_starved_frontend_reports_deadlock_with_frontend_state(self):
+        """A frontend that stops supplying instructions and stops asking
+        for memory is a livelock: nothing moves, so the progress signature
+        freezes and the run must die as a DeadlockError naming the
+        frontend — not limp on to SimulationTimeout."""
+        program = assemble("loop: lbr b0, loop\npbra b0, 0\nhalt")
+        config = MachineConfig.pipe("16-16", 512, max_cycles=2_000)
+        sim = Simulator(config, program)
+        sim.DEADLOCK_CYCLES = 200
+        sim.frontend.next_instruction = lambda: None
+        sim.frontend.poll_requests = lambda now: []
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "PipeFetchUnit" in message
+        assert "IQ=" in message
 
     def test_format_mismatch_rejected(self):
         program = assemble("halt", fmt=InstructionFormat.PARCEL)

@@ -64,3 +64,30 @@ class TestSweep:
         series = SweepSeries("x", [32, 64, 128], [300, 200, 100])
         assert series.as_dict() == {32: 300, 64: 200, 128: 100}
         assert series.flatness == 3.0
+
+    def test_flatness_of_empty_series(self):
+        """A curve with no surviving points must not crash flatness."""
+        assert SweepSeries("empty", [], []).flatness == 1.0
+
+    def test_flatness_of_singleton_series(self):
+        assert SweepSeries("one", [64], [1234]).flatness == 1.0
+
+    def test_parallel_sweep_matches_serial(self, tiny_program):
+        serial = run_cache_sweep(
+            tiny_program,
+            cache_sizes=(32, 128),
+            memory_access_time=1,
+            input_bus_width=8,
+            jobs=1,
+        )
+        parallel = run_cache_sweep(
+            tiny_program,
+            cache_sizes=(32, 128),
+            memory_access_time=1,
+            input_bus_width=8,
+            jobs=2,
+        )
+        assert [s.label for s in serial] == [s.label for s in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.cache_sizes == b.cache_sizes
+            assert a.cycles == b.cycles
