@@ -5,10 +5,12 @@ the functional simulator, so regressions in the simulator's own speed
 are visible in benchmark history.
 """
 
+import time
+
 import pytest
 
 from repro.core.config import MachineConfig
-from repro.core.simulator import simulate
+from repro.core.simulator import simulate, simulate_traced
 from repro.core.sweep import run_cache_sweep
 from repro.cpu.functional import run_functional
 
@@ -38,6 +40,51 @@ def test_functional_simulation_speed(context, benchmark):
     )
     assert result.halted
     benchmark.extra_info["instructions"] = result.instructions
+
+
+def test_trace_overhead_when_disabled(context, benchmark):
+    """Guard: instrumentation must stay near-free while tracing is off.
+
+    Every emit site in the hot loop is one ``if tracer.enabled:`` branch
+    against the shared NULL_TRACER, so a plain ``simulate()`` *is* the
+    disabled-tracing path — there is no un-instrumented simulator left
+    to measure against in-process.  Two checks keep the cost honest:
+
+    * pytest-benchmark records the disabled-path wall time, so the
+      cross-commit history (which spans the pre-instrumentation
+      simulator) shows any regression in the hot loop itself;
+    * within this run, the disabled path must be at least as fast as the
+      same simulation with a live metrics sink (5% noise allowance) —
+      if "disabled" ever approaches the cost of actually aggregating
+      every event, the guard trips.
+
+    Timings use min-of-N so scheduler noise lengthens neither side.
+    """
+    config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+    rounds = 3
+
+    def timed(fn) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+            assert result.halted
+        return best
+
+    enabled_best = timed(lambda: simulate_traced(config, context.program))
+    disabled_best = timed(lambda: simulate(config, context.program))
+    result = benchmark.pedantic(
+        lambda: simulate(config, context.program), rounds=1, iterations=1
+    )
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    benchmark.extra_info["disabled_seconds"] = round(disabled_best, 4)
+    benchmark.extra_info["enabled_metrics_seconds"] = round(enabled_best, 4)
+    assert disabled_best <= enabled_best * 1.05, (
+        f"disabled tracing took {disabled_best:.3f}s, within 5% of the "
+        f"fully aggregated run ({enabled_best:.3f}s) — the disabled "
+        "branch is no longer near-free"
+    )
 
 
 _SWEEP_SIZES = (64, 128, 256)

@@ -10,6 +10,7 @@ from typing import Sequence
 
 from ..core.config import PIPE_CONFIGURATIONS
 from ..core.sweep import SweepSeries
+from ..core.trace import TraceMetrics
 from ..kernels.loops import PAPER_INNER_LOOP_BYTES
 from ..kernels.suite import LivermoreSuite
 
@@ -18,6 +19,7 @@ __all__ = [
     "render_series_table",
     "render_table1",
     "render_table2",
+    "render_trace_summary",
     "table1_rows",
 ]
 
@@ -83,3 +85,54 @@ def render_series_csv(series: Sequence[SweepSeries], cache_sizes: Sequence[int])
         cells = ",".join(str(cycles_by_size.get(size, "")) for size in cache_sizes)
         rows.append(f"{curve.label},{cells}")
     return "\n".join(rows)
+
+
+def render_trace_summary(metrics: TraceMetrics) -> str:
+    """The trace summary panel (``repro-sim trace`` / ``run --trace-out``).
+
+    Derived per-component figures aggregated from the event stream: the
+    cycle/instruction headline, the I-cache miss picture, both bus
+    utilisations, IQ depth, and the stall breakdown.
+    """
+    lines = [
+        "trace summary",
+        f"events        : {metrics.events}",
+        f"cycles        : {metrics.cycles}",
+        f"instructions  : {metrics.instructions} (IPC {metrics.ipc:.3f})",
+        f"icache        : {metrics.cache_hits} hits / {metrics.cache_misses} "
+        f"misses (miss rate {metrics.cache_miss_rate:.1%}), "
+        f"{metrics.cache_fills} fills, "
+        f"{metrics.cache_line_replacements} replacements",
+        f"fetch         : {metrics.demand_requests} demand + "
+        f"{metrics.prefetch_requests} prefetch requests, "
+        f"{metrics.prefetch_promotions} promotions, "
+        f"{metrics.fetch_cancels} cancels, {metrics.redirects} redirects",
+        f"output bus    : {metrics.output_bus_busy_cycles} busy cycles "
+        f"(utilization {metrics.output_port_utilization:.1%}), "
+        f"{metrics.acceptance_conflicts} conflicts",
+        f"input bus     : {metrics.input_bus_busy_cycles} busy cycles "
+        f"(utilization {metrics.input_port_utilization:.1%}), "
+        f"{metrics.input_bus_bytes} bytes",
+    ]
+    if metrics.iq_depth_samples:
+        lines.append(
+            f"IQ            : mean depth {metrics.mean_iq_depth:.2f}, "
+            f"max {metrics.iq_max_depth} entries / {metrics.iq_max_bytes} bytes"
+        )
+    if metrics.tib_hits or metrics.tib_misses:
+        total = metrics.tib_hits + metrics.tib_misses
+        rate = metrics.tib_hits / total if total else 0.0
+        lines.append(
+            f"TIB           : {metrics.tib_hits}/{total} target hits "
+            f"({rate:.1%}), {metrics.tib_bytes_supplied} bytes supplied"
+        )
+    stall_parts = [
+        f"{name}={count}" for name, count in sorted(metrics.stalls.items()) if count
+    ]
+    lines.append(f"stalls        : {' '.join(stall_parts) or 'none'}")
+    queue_parts = [
+        f"{name}:max={queue.max_occupancy}"
+        for name, queue in metrics.queues.items()
+    ]
+    lines.append(f"queues        : {' '.join(queue_parts) or 'n/a'}")
+    return "\n".join(lines)

@@ -28,11 +28,17 @@ import sys
 
 from .analysis.experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from .analysis.figures import FIGURES, render_figure, run_figure
-from .analysis.tables import render_series_csv, render_table1, render_table2
+from .analysis.tables import (
+    render_series_csv,
+    render_table1,
+    render_table2,
+    render_trace_summary,
+)
 from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
 from .core.parallel import parallel_map, resolve_jobs
 from .core.simcache import SimulationCache
-from .core.simulator import simulate
+from .core.simulator import simulate, simulate_traced
+from .core.trace import TraceMetrics
 from .kernels.suite import cached_livermore_suite
 
 __all__ = ["main"]
@@ -75,25 +81,52 @@ def _make_cache(args: argparse.Namespace) -> SimulationCache | None:
     return SimulationCache(args.cache_dir)
 
 
+def _machine_config(args: argparse.Namespace, **extra) -> MachineConfig:
+    """Build the machine the run/profile/trace commands describe."""
+    common = dict(
+        memory_access_time=args.access,
+        input_bus_width=args.bus,
+        memory_pipelined=getattr(args, "pipelined", False),
+        **extra,
+    )
+    if args.strategy == "pipe":
+        return MachineConfig.pipe(args.config, icache_size=args.cache, **common)
+    if args.strategy == "tib":
+        return MachineConfig.tib(**common)
+    return MachineConfig.conventional(icache_size=args.cache, **common)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     suite = cached_livermore_suite(scale=args.scale)
-    if args.strategy == "pipe":
-        config = MachineConfig.pipe(
-            args.config,
-            icache_size=args.cache,
-            memory_access_time=args.access,
-            input_bus_width=args.bus,
-            memory_pipelined=args.pipelined,
-        )
+    config = _machine_config(args)
+    if args.trace_out is not None:
+        result = simulate_traced(config, suite.program, trace_path=args.trace_out)
+        print(result.summary())
+        print()
+        print(render_trace_summary(TraceMetrics.from_dict(result.trace_metrics)))
+        print(f"trace written : {args.trace_out}")
     else:
-        config = MachineConfig.conventional(
-            icache_size=args.cache,
-            memory_access_time=args.access,
-            input_bus_width=args.bus,
-            memory_pipelined=args.pipelined,
-        )
-    result = simulate(config, suite.program)
-    print(result.summary())
+        result = simulate(config, suite.program)
+        print(result.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    loops = (args.loop,) if args.loop is not None else None
+    suite = cached_livermore_suite(scale=args.scale, loops=loops)
+    config = _machine_config(args)
+    result = simulate_traced(config, suite.program, trace_path=args.out)
+    metrics = TraceMetrics.from_dict(result.trace_metrics)
+    print(render_trace_summary(metrics))
+    if args.out is not None:
+        print(f"trace written : {args.out}")
+    problems = metrics.verify_against(result)
+    if problems:
+        print("trace/result mismatch:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("cross-check   : trace metrics match simulator counters")
     return 0
 
 
@@ -137,19 +170,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .analysis.profile import profile_program, render_profile
 
     suite = cached_livermore_suite(scale=args.scale)
-    if args.strategy == "pipe":
-        config = MachineConfig.pipe(
-            args.config,
-            icache_size=args.cache,
-            memory_access_time=args.access,
-            input_bus_width=args.bus,
-        )
-    else:
-        config = MachineConfig.conventional(
-            icache_size=args.cache,
-            memory_access_time=args.access,
-            input_bus_width=args.bus,
-        )
+    config = _machine_config(args)
     report = profile_program(config, suite.program, suite.regions())
     print(render_profile(report))
     return 0
@@ -297,7 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="simulate one configuration")
     run_parser.add_argument(
-        "--strategy", choices=("pipe", "conventional"), default="pipe"
+        "--strategy", choices=("pipe", "conventional", "tib"), default="pipe"
     )
     run_parser.add_argument(
         "--config", choices=sorted(PIPE_CONFIGURATIONS), default="16-16"
@@ -306,8 +327,40 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--access", type=int, default=6)
     run_parser.add_argument("--bus", type=int, default=8)
     run_parser.add_argument("--pipelined", action="store_true")
+    run_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also capture a JSONL event trace to PATH (with summary panel)",
+    )
     _add_scale(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    trace_parser = sub.add_parser(
+        "trace", help="capture a cycle-level event trace of one run"
+    )
+    trace_parser.add_argument(
+        "--strategy", choices=("pipe", "conventional", "tib"), default="pipe"
+    )
+    trace_parser.add_argument(
+        "--config", choices=sorted(PIPE_CONFIGURATIONS), default="16-16"
+    )
+    trace_parser.add_argument("--cache", type=int, default=128)
+    trace_parser.add_argument("--access", type=int, default=6)
+    trace_parser.add_argument("--bus", type=int, default=8)
+    trace_parser.add_argument("--pipelined", action="store_true")
+    trace_parser.add_argument(
+        "--loop", type=int, choices=range(1, 15), default=None,
+        help="trace only this Livermore loop (a much smaller program)",
+    )
+    trace_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL event stream to PATH (omit for summary only)",
+    )
+    _add_scale(trace_parser)
+    trace_parser.set_defaults(func=_cmd_trace)
 
     table_parser = sub.add_parser("table", help="print Table I or II")
     table_parser.add_argument("number", type=int, choices=(1, 2))

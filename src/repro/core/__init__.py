@@ -1,25 +1,46 @@
-"""Simulator core: configuration, the cycle-level machine, and results."""
+"""Simulator core: configuration, the cycle-level machine, and results.
 
-from .config import (
-    PAPER_CACHE_SIZES,
-    PIPE_CONFIGURATIONS,
-    FetchStrategy,
-    MachineConfig,
-    PipeConfiguration,
-)
-from .results import QueueSnapshot, SimulationResult
-from .simulator import DeadlockError, SimulationTimeout, Simulator, simulate
+Public names are imported lazily (PEP 562, like the top-level package)
+so that low-level modules — the queues, the instruction cache, the
+frontends — can import :mod:`repro.core.trace` without dragging the
+whole simulator in and creating an import cycle.
+"""
 
-__all__ = [
-    "DeadlockError",
-    "FetchStrategy",
-    "MachineConfig",
-    "PAPER_CACHE_SIZES",
-    "PIPE_CONFIGURATIONS",
-    "PipeConfiguration",
-    "QueueSnapshot",
-    "SimulationResult",
-    "SimulationTimeout",
-    "Simulator",
-    "simulate",
-]
+from __future__ import annotations
+
+_EXPORTS = {
+    "DeadlockError": ("repro.core.simulator", "DeadlockError"),
+    "FetchStrategy": ("repro.core.config", "FetchStrategy"),
+    "MachineConfig": ("repro.core.config", "MachineConfig"),
+    "PAPER_CACHE_SIZES": ("repro.core.config", "PAPER_CACHE_SIZES"),
+    "PIPE_CONFIGURATIONS": ("repro.core.config", "PIPE_CONFIGURATIONS"),
+    "PipeConfiguration": ("repro.core.config", "PipeConfiguration"),
+    "QueueSnapshot": ("repro.core.results", "QueueSnapshot"),
+    "SimulationResult": ("repro.core.results", "SimulationResult"),
+    "SimulationTimeout": ("repro.core.simulator", "SimulationTimeout"),
+    "Simulator": ("repro.core.simulator", "Simulator"),
+    "simulate": ("repro.core.simulator", "simulate"),
+    "simulate_traced": ("repro.core.simulator", "simulate_traced"),
+    "MetricsSink": ("repro.core.trace", "MetricsSink"),
+    "TraceMetrics": ("repro.core.trace", "TraceMetrics"),
+    "Tracer": ("repro.core.trace", "Tracer"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -56,6 +56,9 @@ class SimulationResult:
     stores: int = 0
     fpu_operations: int = 0
     ordering_hazards: int = 0
+    #: trace-derived counters (``TraceMetrics.to_dict()``) when the run
+    #: was traced with a metrics sink; ``None`` for untraced runs
+    trace_metrics: dict | None = None
 
     @property
     def ipc(self) -> float:
@@ -97,6 +100,7 @@ class SimulationResult:
             "stores": self.stores,
             "fpu_operations": self.fpu_operations,
             "ordering_hazards": self.ordering_hazards,
+            "trace_metrics": self.trace_metrics,
         }
 
     @classmethod
@@ -122,6 +126,7 @@ class SimulationResult:
             stores=data["stores"],
             fpu_operations=data["fpu_operations"],
             ordering_hazards=data["ordering_hazards"],
+            trace_metrics=data.get("trace_metrics"),
         )
 
     def summary(self) -> str:

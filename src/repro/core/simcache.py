@@ -45,7 +45,8 @@ __all__ = [
 ]
 
 #: Bumped whenever the serialized result schema changes shape.
-CACHE_FORMAT_VERSION = 1
+#: v2: results carry the optional ``trace_metrics`` aggregate.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -165,10 +166,18 @@ class SimulationCache:
         return sorted(self.root.glob("*/*.json"))
 
     def size_bytes(self) -> int:
-        return sum(path.stat().st_size for path in self.entries())
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass  # blob deleted between the glob and the stat
+        return total
 
     def clear(self) -> int:
         """Delete every cached blob; returns the number removed."""
+        if not self.root.is_dir():
+            return 0  # nothing to do on a missing (or non-directory) root
         removed = 0
         for path in self.entries():
             path.unlink(missing_ok=True)
@@ -183,7 +192,7 @@ class SimulationCache:
 
     def describe(self) -> str:
         entries = self.entries()
-        total = sum(path.stat().st_size for path in entries)
+        total = self.size_bytes()
         return (
             f"cache dir : {self.root}\n"
             f"entries   : {len(entries)}\n"
@@ -195,14 +204,27 @@ def cached_simulate(
     config: MachineConfig,
     program: Program,
     cache: SimulationCache | None = None,
+    traced: bool = False,
 ) -> SimulationResult:
-    """:func:`~repro.core.simulator.simulate` through an optional cache."""
-    from .simulator import simulate  # late import: simulator is heavy
+    """:func:`~repro.core.simulator.simulate` through an optional cache.
+
+    With ``traced``, a cold run aggregates its event stream through a
+    metrics sink and the cached blob carries the counters, so a later
+    cache hit returns the *same* ``trace_metrics`` as the run that
+    populated it.  A hit on a blob stored without metrics re-simulates
+    (and re-stores) rather than returning a metrics-less result.
+    """
+    from .simulator import simulate, simulate_traced  # late: simulator is heavy
+
+    def run() -> SimulationResult:
+        if traced:
+            return simulate_traced(config, program)
+        return simulate(config, program)
 
     if cache is None:
-        return simulate(config, program)
+        return run()
     result = cache.lookup(config, program)
-    if result is None:
-        result = simulate(config, program)
+    if result is None or (traced and result.trace_metrics is None):
+        result = run()
         cache.store(config, program, result)
     return result

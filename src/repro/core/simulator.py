@@ -33,8 +33,15 @@ from ..frontend.tib import TibFetchUnit
 from ..memory.system import MemorySystem
 from .config import FetchStrategy, MachineConfig
 from .results import QueueSnapshot, SimulationResult
+from .trace import NULL_TRACER, JsonLinesSink, MetricsSink, TraceSink, Tracer
 
-__all__ = ["DeadlockError", "SimulationTimeout", "Simulator", "simulate"]
+__all__ = [
+    "DeadlockError",
+    "SimulationTimeout",
+    "Simulator",
+    "simulate",
+    "simulate_traced",
+]
 
 
 class SimulationTimeout(RuntimeError):
@@ -55,7 +62,12 @@ class DeadlockError(RuntimeError):
 class Simulator:
     """One machine instance, ready to :meth:`run` one program."""
 
-    def __init__(self, config: MachineConfig, program: Program):
+    def __init__(
+        self,
+        config: MachineConfig,
+        program: Program,
+        tracer: Tracer | None = None,
+    ):
         if program.fmt is not config.instruction_format:
             raise ValueError(
                 f"program was assembled for {program.fmt.value} but the "
@@ -63,6 +75,8 @@ class Simulator:
             )
         self.config = config
         self.program = program
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        tracer = self.tracer
 
         seq = itertools.count()
         next_seq = lambda: next(seq)  # noqa: E731 - tiny shared counter
@@ -72,6 +86,7 @@ class Simulator:
             line_size=config.line_size,
             sub_block_size=config.sub_block_size,
             associativity=config.cache_associativity,
+            tracer=tracer,
         )
         self.memory = MemorySystem(
             access_time=config.memory_access_time,
@@ -79,6 +94,7 @@ class Simulator:
             input_bus_width=config.input_bus_width,
             priority=config.priority,
             fpu_latencies=config.fpu_latencies,
+            tracer=tracer,
         )
         # All frontends share the program's predecoded-instruction
         # table, so the decode work for a hot loop is paid once per
@@ -95,6 +111,7 @@ class Simulator:
                 next_seq=next_seq,
                 true_prefetch=config.true_prefetch,
                 predecode=predecode,
+                tracer=tracer,
             )
         elif config.fetch_strategy is FetchStrategy.TIB:
             self.frontend = TibFetchUnit(
@@ -107,6 +124,7 @@ class Simulator:
                 tib_entry_bytes=config.tib_entry_bytes,
                 stream_buffer_bytes=config.stream_buffer_bytes,
                 predecode=predecode,
+                tracer=tracer,
             )
         else:
             self.frontend = ConventionalFetchUnit(
@@ -118,6 +136,7 @@ class Simulator:
                 next_seq=next_seq,
                 prefetch_policy=config.prefetch_policy,
                 predecode=predecode,
+                tracer=tracer,
             )
         self.engine = DataQueueEngine(
             program=program,
@@ -126,11 +145,13 @@ class Simulator:
             ldq_capacity=config.ldq_capacity,
             saq_capacity=config.saq_capacity,
             sdq_capacity=config.sdq_capacity,
+            tracer=tracer,
         )
         self.backend = Backend(
             frontend=self.frontend,
             engine=self.engine,
             branch_resolution_latency=config.branch_resolution_latency,
+            tracer=tracer,
         )
         # Arbitration polls sources in registration order; order is
         # irrelevant because priority is decided per request.
@@ -149,9 +170,21 @@ class Simulator:
         engine = self.engine
         frontend = self.frontend
         backend = self.backend
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.cycle = 0
+            tracer.emit(
+                "sim",
+                "begin",
+                strategy=self.config.fetch_strategy.value,
+                config=self.config.describe(),
+            )
         last_progress_sig: tuple = ()
         last_progress_at = 0
         while True:
+            if traced:
+                tracer.cycle = now
             memory.begin_cycle(now)
             engine.update(now)
             frontend.update(now)
@@ -162,6 +195,15 @@ class Simulator:
             memory.end_cycle(now)
             now += 1
             if backend.halted and engine.drained and memory.drained:
+                if traced:
+                    tracer.cycle = now
+                    tracer.emit(
+                        "sim",
+                        "end",
+                        cycles=now,
+                        instructions=backend.instructions,
+                        halted=backend.halted,
+                    )
                 break
             signature = (
                 backend.instructions,
@@ -205,7 +247,7 @@ class Simulator:
             )
             for queue in (engine.laq, engine.ldq, engine.saq, engine.sdq)
         }
-        return SimulationResult(
+        result = SimulationResult(
             config=self.config,
             cycles=cycles,
             instructions=self.backend.instructions,
@@ -222,8 +264,45 @@ class Simulator:
             fpu_operations=engine.fpu_core.operations_started,
             ordering_hazards=engine.stats.ordering_hazards,
         )
+        metrics = self.tracer.metrics()
+        if metrics is not None:
+            result.trace_metrics = metrics.to_dict()
+        return result
 
 
-def simulate(config: MachineConfig, program: Program) -> SimulationResult:
+def simulate(
+    config: MachineConfig,
+    program: Program,
+    tracer: Tracer | None = None,
+) -> SimulationResult:
     """Build a machine for ``config`` and run ``program`` to completion."""
-    return Simulator(config, program).run()
+    return Simulator(config, program, tracer=tracer).run()
+
+
+def simulate_traced(
+    config: MachineConfig,
+    program: Program,
+    trace_path=None,
+    *,
+    sinks: tuple[TraceSink, ...] = (),
+    metrics: bool = True,
+) -> SimulationResult:
+    """Run ``program`` with tracing enabled.
+
+    ``trace_path`` (optional) receives the JSONL event stream; with
+    ``metrics`` (the default) a :class:`MetricsSink` aggregates the same
+    stream and the result's :attr:`~SimulationResult.trace_metrics`
+    carries its counters.  Extra ``sinks`` are attached as given.  All
+    sinks are closed when the run finishes (or fails).
+    """
+    tracer = Tracer()
+    if trace_path is not None:
+        tracer.attach(JsonLinesSink(trace_path))
+    if metrics:
+        tracer.attach(MetricsSink())
+    for sink in sinks:
+        tracer.attach(sink)
+    try:
+        return Simulator(config, program, tracer=tracer).run()
+    finally:
+        tracer.close()

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.trace import NULL_TRACER, Tracer
 from ..frontend.base import FetchUnit
 from .data_engine import DataQueueEngine
 from .executor import execute, queue_effects
@@ -90,10 +91,12 @@ class Backend:
         frontend: FetchUnit,
         engine: DataQueueEngine,
         branch_resolution_latency: int = 2,
+        tracer: Tracer | None = None,
     ):
         self.frontend = frontend
         self.engine = engine
         self.branch_resolution_latency = branch_resolution_latency
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.state = ArchState()
         self.halted = False
         self.instructions = 0
@@ -108,6 +111,8 @@ class Backend:
     # ------------------------------------------------------------------
     def _stall(self, reason: str) -> None:
         self.stalls[reason] += 1
+        if self._tracer.enabled:
+            self._tracer.emit("backend", "stall", reason=reason)
 
     def _handle_branch_bookkeeping(self, now: int) -> bool:
         """Resolve/redirect pending branches.  Returns False on a stall."""
@@ -162,6 +167,8 @@ class Backend:
         self.frontend.consume(now)
         self.instructions += 1
         self.last_pc = pc
+        if self._tracer.enabled:
+            self._tracer.emit("backend", "issue", pc=pc)
         if outcome.halted:
             self.halted = True
             return True
@@ -169,6 +176,15 @@ class Backend:
             self.branches += 1
             if outcome.branch_taken:
                 self.branches_taken += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "backend",
+                    "branch",
+                    pc=pc,
+                    taken=outcome.branch_taken,
+                    target=outcome.branch_target,
+                    delay=outcome.branch_delay,
+                )
             self._pending = _PendingBranch(
                 target=outcome.branch_target,
                 taken=outcome.branch_taken,

@@ -28,6 +28,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..asm.program import WORD_BYTES, Program
+from ..core.trace import NULL_TRACER, Tracer
 from ..memory.fpu import FPU_BASE, FpuCore, is_fpu_address
 from ..memory.requests import MemoryRequest, RequestKind
 from .queues import ArchitecturalQueue
@@ -81,6 +82,7 @@ class DataQueueEngine:
         ldq_capacity: int = 8,
         saq_capacity: int = 8,
         sdq_capacity: int = 8,
+        tracer: Tracer | None = None,
     ):
         if program.memory_size > FPU_BASE:
             raise ValueError(
@@ -90,10 +92,20 @@ class DataQueueEngine:
         self.memory = bytearray(program.image)
         self.fpu_core = FpuCore()
         self._next_seq = next_seq
-        self.laq: ArchitecturalQueue[_LaqEntry] = ArchitecturalQueue("LAQ", laq_capacity)
-        self.ldq: ArchitecturalQueue[int] = ArchitecturalQueue("LDQ", ldq_capacity)
-        self.saq: ArchitecturalQueue[_SaqEntry] = ArchitecturalQueue("SAQ", saq_capacity)
-        self.sdq: ArchitecturalQueue[_SdqEntry] = ArchitecturalQueue("SDQ", sdq_capacity)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        tracer = self._tracer
+        self.laq: ArchitecturalQueue[_LaqEntry] = ArchitecturalQueue(
+            "LAQ", laq_capacity, tracer=tracer
+        )
+        self.ldq: ArchitecturalQueue[int] = ArchitecturalQueue(
+            "LDQ", ldq_capacity, tracer=tracer
+        )
+        self.saq: ArchitecturalQueue[_SaqEntry] = ArchitecturalQueue(
+            "SAQ", saq_capacity, tracer=tracer
+        )
+        self.sdq: ArchitecturalQueue[_SdqEntry] = ArchitecturalQueue(
+            "SDQ", sdq_capacity, tracer=tracer
+        )
         self._in_flight_loads: deque[_InFlightLoad] = deque()
         #: store pairs committed functionally but not yet paired in the
         #: timing queues (addresses awaiting their SDQ half)
@@ -124,7 +136,10 @@ class DataQueueEngine:
     def _functional_write(self, address: int, value: int) -> None:
         self._check_address(address)
         if is_fpu_address(address):
+            before = self.fpu_core.operations_started
             self.fpu_core.write(address, value)
+            if self._tracer.enabled and self.fpu_core.operations_started > before:
+                self._tracer.emit("engine", "fpu_op", addr=address)
         else:
             self.memory[address : address + WORD_BYTES] = (
                 value & 0xFFFFFFFF
@@ -168,6 +183,8 @@ class DataQueueEngine:
         for entry in self.saq:
             if entry.address == address:
                 self.stats.ordering_hazards += 1
+                if self._tracer.enabled:
+                    self._tracer.emit("engine", "hazard", addr=address)
         value = self._functional_read(address)
         self.laq.push(_LaqEntry(address=address, value=value, seq=self._next_seq()))
         self.stats.loads_issued += 1

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Generic, Iterator, TypeVar
 
+from ..core.trace import NULL_TRACER, Tracer
+
 __all__ = [
     "QueueEmptyError",
     "QueueFullError",
@@ -47,7 +49,12 @@ class ArchitecturalQueue(Generic[T]):
     simulator, where queue pressure is irrelevant).
     """
 
-    def __init__(self, name: str, capacity: int | None = None):
+    def __init__(
+        self,
+        name: str,
+        capacity: int | None = None,
+        tracer: Tracer | None = None,
+    ):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"queue {name}: capacity must be positive or None")
         self.name = name
@@ -56,6 +63,7 @@ class ArchitecturalQueue(Generic[T]):
         self.total_pushes = 0
         self.total_pops = 0
         self.max_occupancy = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -85,12 +93,17 @@ class ArchitecturalQueue(Generic[T]):
         self._items.append(item)
         self.total_pushes += 1
         self.max_occupancy = max(self.max_occupancy, len(self._items))
+        if self._tracer.enabled:
+            self._tracer.emit("queue", "push", queue=self.name, depth=len(self._items))
 
     def pop(self) -> T:
         if not self._items:
             raise QueueEmptyError(f"queue {self.name} is empty")
         self.total_pops += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        if self._tracer.enabled:
+            self._tracer.emit("queue", "pop", queue=self.name, depth=len(self._items))
+        return item
 
     def peek(self) -> T:
         if not self._items:

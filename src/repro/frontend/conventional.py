@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import enum
 
+from ..core.trace import NULL_TRACER, Tracer
 from ..isa.encoding import InstructionFormat
 from ..isa.instruction import Instruction
 from ..isa.predecode import PredecodedImage
@@ -74,6 +75,7 @@ class ConventionalFetchUnit(FetchUnit):
         next_seq,
         prefetch_policy: PrefetchPolicy = PrefetchPolicy.ALWAYS,
         predecode: PredecodedImage | None = None,
+        tracer: Tracer | None = None,
     ):
         self._install_decoder(image, fmt, predecode)
         self.cache = cache
@@ -81,6 +83,7 @@ class ConventionalFetchUnit(FetchUnit):
         self.prefetch_policy = prefetch_policy
         self._next_seq = next_seq
         self.stats = FetchStats()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
         self._pc = entry_point
         self._request: MemoryRequest | None = None
@@ -121,6 +124,8 @@ class ConventionalFetchUnit(FetchUnit):
             request.promote_to_demand()
             self._request_is_demand = True
             self.stats.prefetch_promotions += 1
+            if self._tracer.enabled:
+                self._tracer.emit("fetch", "promote", seq=request.seq)
 
     def _maybe_request(self, now: int) -> None:
         if self._halted or self._request is not None:
@@ -135,11 +140,10 @@ class ConventionalFetchUnit(FetchUnit):
                 while position < self._pc + size and self.cache.probe(position, 2):
                     position += 2
                 probe_addr = position
-            self.cache.stats.misses += 1
             block = self._block_address(probe_addr)
             if self.prefetch_policy is PrefetchPolicy.ON_MISS:
                 self._miss_prefetch_block = block + self.block_size
-            self._issue_request(block, demand=True, now=now)
+            self._issue_request(block, demand=True, now=now, miss_addr=probe_addr)
             return
         prefetch_block = self._choose_prefetch()
         if prefetch_block is not None:
@@ -181,7 +185,13 @@ class ConventionalFetchUnit(FetchUnit):
             return candidate
         return None
 
-    def _issue_request(self, block_address: int, demand: bool, now: int) -> None:
+    def _issue_request(
+        self,
+        block_address: int,
+        demand: bool,
+        now: int,
+        miss_addr: int | None = None,
+    ) -> None:
         request = MemoryRequest(
             kind=RequestKind.IFETCH,
             address=block_address,
@@ -189,12 +199,23 @@ class ConventionalFetchUnit(FetchUnit):
             seq=self._next_seq(),
             demand=demand,
         )
+        if miss_addr is not None:
+            self.cache.record_miss(miss_addr, seq=request.seq)
         request.on_chunk = self._make_chunk_handler(request)
         request.on_complete = self._make_complete_handler(request)
         if demand:
             self.stats.demand_requests += 1
         else:
             self.stats.prefetch_requests += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "fetch",
+                "request",
+                addr=block_address,
+                bytes=self.block_size,
+                demand=demand,
+                seq=request.seq,
+            )
         self._request = request
         self._request_accepted = False
         self._request_is_demand = demand
@@ -209,6 +230,8 @@ class ConventionalFetchUnit(FetchUnit):
 
     def _make_complete_handler(self, request: MemoryRequest):
         def handler(now: int) -> None:
+            if self._tracer.enabled:
+                self._tracer.emit("fetch", "complete", seq=request.seq)
             if self._request is request:
                 self._request = None
 
@@ -219,6 +242,10 @@ class ConventionalFetchUnit(FetchUnit):
     # ------------------------------------------------------------------
     def poll_requests(self, now: int) -> list[MemoryRequest]:
         if self._halted and self._request is not None and not self._request_accepted:
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fetch", "cancel", seq=self._request.seq, reason="halt"
+                )
             self._request = None  # withdraw the unaccepted request
         if self._request is not None and not self._request_accepted:
             return [self._request]
@@ -238,9 +265,9 @@ class ConventionalFetchUnit(FetchUnit):
 
     def consume(self, now: int) -> None:
         _instruction, size = self.predecode.at(self._pc)
+        self.cache.record_hit(self._pc)  # each issued instruction came from the array
         self._pc += size
         self.stats.instructions_supplied += 1
-        self.cache.stats.hits += 1  # each issued instruction came from the array
 
     # ------------------------------------------------------------------
     # Branch protocol — the conventional frontend has no lookahead; it
@@ -254,6 +281,8 @@ class ConventionalFetchUnit(FetchUnit):
 
     def redirect(self, target: int, now: int) -> None:
         self.stats.redirects += 1
+        if self._tracer.enabled:
+            self._tracer.emit("fetch", "redirect", target=target, squashed=0)
         self._pc = target
 
     # ------------------------------------------------------------------

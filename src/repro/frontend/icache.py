@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.trace import NULL_TRACER, Tracer
+
 __all__ = ["CacheStats", "InstructionCache"]
 
 
@@ -62,6 +64,7 @@ class InstructionCache:
         line_size: int,
         sub_block_size: int = 4,
         associativity: int = 1,
+        tracer: Tracer | None = None,
     ):
         if size <= 0 or line_size <= 0 or sub_block_size <= 0:
             raise ValueError("cache dimensions must be positive")
@@ -89,6 +92,7 @@ class InstructionCache:
         ]
         self._clock = 0
         self.stats = CacheStats()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -138,11 +142,27 @@ class InstructionCache:
         """Like :meth:`probe` but counts a hit or a miss and touches LRU."""
         hit = self.probe(address, nbytes)
         if hit:
-            self.stats.hits += 1
+            self.record_hit(address)
             self.touch(address)
         else:
-            self.stats.misses += 1
+            self.record_miss(address)
         return hit
+
+    # ------------------------------------------------------------------
+    # Statistics entry points (every hit/miss flows through these, so
+    # the stats counters and the event stream can never drift apart)
+    # ------------------------------------------------------------------
+    def record_hit(self, address: int) -> None:
+        """Count a hit at ``address`` (and emit its trace event)."""
+        self.stats.hits += 1
+        if self._tracer.enabled:
+            self._tracer.emit("icache", "hit", addr=address)
+
+    def record_miss(self, address: int, seq: int = -1) -> None:
+        """Count a miss at ``address``; ``seq`` names the fill request."""
+        self.stats.misses += 1
+        if self._tracer.enabled:
+            self._tracer.emit("icache", "miss", addr=address, seq=seq)
 
     def touch(self, address: int) -> None:
         """Mark ``address``'s line most-recently-used (for LRU)."""
@@ -168,13 +188,14 @@ class InstructionCache:
             )
         position = address
         end = address + nbytes
+        replaced = 0
         while position < end:
             set_index, tag = self._set_and_tag(position)
             way = self._find_way(set_index, tag)
             if way is None:
                 way = min(self._sets[set_index], key=lambda candidate: candidate.stamp)
                 if way.tag is not None:
-                    self.stats.line_replacements += 1
+                    replaced += 1
                 way.tag = tag
                 way.valid = [False] * self.sub_blocks_per_line
             sub = (position % self.line_size) // self.sub_block_size
@@ -183,6 +204,11 @@ class InstructionCache:
             way.stamp = self._clock
             position += self.sub_block_size
         self.stats.fills += 1
+        self.stats.line_replacements += replaced
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "icache", "fill", addr=address, bytes=nbytes, replaced=replaced
+            )
 
     def invalidate_all(self) -> None:
         """Flush the cache (used between benchmark phases in tests)."""

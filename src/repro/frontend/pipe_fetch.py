@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from ..core.trace import NULL_TRACER, Tracer
 from ..isa.encoding import DecodeError, InstructionFormat
 from ..isa.instruction import Instruction
 from ..isa.predecode import PredecodedImage
@@ -74,6 +75,7 @@ class PipeFetchUnit(FetchUnit):
         next_seq,
         true_prefetch: bool = True,
         predecode: PredecodedImage | None = None,
+        tracer: Tracer | None = None,
     ):
         line_size = cache.line_size
         if iqb_size < line_size:
@@ -90,6 +92,7 @@ class PipeFetchUnit(FetchUnit):
         self.true_prefetch = true_prefetch
         self._next_seq = next_seq
         self.stats = FetchStats()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
         # Instruction queue: decoded (pc, instruction, size) entries.
         self._iq: deque[tuple[int, Instruction, int]] = deque()
@@ -142,6 +145,8 @@ class PipeFetchUnit(FetchUnit):
         ):
             request.promote_to_demand()
             self.stats.prefetch_promotions += 1
+            if self._tracer.enabled:
+                self._tracer.emit("fetch", "promote", seq=request.seq)
 
     # ------------------------------------------------------------------
     # IQB -> IQ transfer
@@ -176,6 +181,8 @@ class PipeFetchUnit(FetchUnit):
             self._iq_next_pc = pc + size
             self._iqb_read_pc = pc + size
             self._span_pc = None
+            if self._tracer.enabled:
+                self._tracer.emit("iq", "push", pc=pc, depth=len(self._iq), bytes=moved)
         elif self._iqb_read_pc != self._iq_next_pc:
             return  # IQB holds a different part of the stream (redirect soon)
         while True:
@@ -203,6 +210,8 @@ class PipeFetchUnit(FetchUnit):
             moved += size
             self._iq_next_pc = pc + size
             self._iqb_read_pc = pc + size
+            if self._tracer.enabled:
+                self._tracer.emit("iq", "push", pc=pc, depth=len(self._iq), bytes=moved)
         self._iq_bytes = sum(entry[2] for entry in self._iq)
 
     # ------------------------------------------------------------------
@@ -250,18 +259,19 @@ class PipeFetchUnit(FetchUnit):
     def _start_fill(self, start_pc: int, now: int) -> None:
         line_addr = self.cache.line_address(start_pc)
         if self.cache.probe(line_addr, self.line_size):
-            self.cache.stats.hits += 1
+            self.cache.record_hit(line_addr)
             self._iqb_loaded = True
             self._iqb_base = line_addr
             self._iqb_read_pc = start_pc
             self._iqb_valid_end = line_addr + self.line_size
+            if self._tracer.enabled:
+                self._tracer.emit("iqb", "assign", base=line_addr, source="cache")
             return
         # Off-chip.  Under the original PIPE policy the request may only
         # be made if the line is guaranteed to contain an instruction that
         # will execute; the presented results use true prefetch.
         if not self.true_prefetch and line_addr >= self._guaranteed_end():
             return  # retry next cycle; no statistics, nothing committed
-        self.cache.stats.misses += 1
         demand = not self._iq
         request = MemoryRequest(
             kind=RequestKind.IFETCH,
@@ -270,12 +280,23 @@ class PipeFetchUnit(FetchUnit):
             seq=self._next_seq(),
             demand=demand,
         )
+        self.cache.record_miss(line_addr, seq=request.seq)
         request.on_chunk = self._make_chunk_handler(request)
         request.on_complete = self._make_complete_handler(request)
         if demand:
             self.stats.demand_requests += 1
         else:
             self.stats.prefetch_requests += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "fetch",
+                "request",
+                addr=line_addr,
+                bytes=self.line_size,
+                demand=demand,
+                seq=request.seq,
+            )
+            self._tracer.emit("iqb", "assign", base=line_addr, source="memory")
         self._request = request
         self._request_accepted = False
         self._request_discarded = False
@@ -305,6 +326,10 @@ class PipeFetchUnit(FetchUnit):
     # ------------------------------------------------------------------
     def poll_requests(self, now: int) -> list[MemoryRequest]:
         if self._halted and self._request is not None and not self._request_accepted:
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fetch", "cancel", seq=self._request.seq, reason="halt"
+                )
             self._request = None  # withdraw the unaccepted request
         if self._request is not None and not self._request_accepted:
             return [self._request]
@@ -325,6 +350,12 @@ class PipeFetchUnit(FetchUnit):
 
     def _make_complete_handler(self, request: MemoryRequest):
         def handler(now: int) -> None:
+            # A redirect-discarded request already traced its "cancel";
+            # the line still drains into the cache, but the request's
+            # terminal event must stay unique.
+            discarded = self._request is request and self._request_discarded
+            if self._tracer.enabled and not discarded:
+                self._tracer.emit("fetch", "complete", seq=request.seq)
             if self._request is request:
                 self._request = None
                 self._request_discarded = False
@@ -343,6 +374,10 @@ class PipeFetchUnit(FetchUnit):
         pc, _instruction, size = self._iq.popleft()
         self._iq_bytes -= size
         self.stats.instructions_supplied += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "iq", "pop", pc=pc, depth=len(self._iq), bytes=self._iq_bytes
+            )
 
     # ------------------------------------------------------------------
     # Branch protocol
@@ -363,6 +398,8 @@ class PipeFetchUnit(FetchUnit):
     def redirect(self, target: int, now: int) -> None:
         self.stats.redirects += 1
         self.stats.squashed_instructions += len(self._iq)
+        if self._tracer.enabled:
+            self._tracer.emit("fetch", "redirect", target=target, squashed=len(self._iq))
         self._iq.clear()
         self._iq_bytes = 0
         self._iq_next_pc = target
@@ -378,6 +415,10 @@ class PipeFetchUnit(FetchUnit):
                 # Let the in-flight line finish into the cache, but the
                 # IQB no longer wants it.
                 self._request_discarded = True
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "fetch", "cancel", seq=self._request.seq, reason="redirect"
+                    )
         # Give the decoder a chance to issue from the target this cycle.
         self._advance(now)
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.trace import NULL_TRACER, Tracer
 from ..isa.encoding import DecodeError, InstructionFormat
 from ..isa.instruction import Instruction
 from ..isa.predecode import PredecodedImage
@@ -76,6 +77,7 @@ class TibFetchUnit(FetchUnit):
         tib_entry_bytes: int = 16,
         stream_buffer_bytes: int = 32,
         predecode: PredecodedImage | None = None,
+        tracer: Tracer | None = None,
     ):
         if tib_entries < 1 or tib_entry_bytes < 4:
             raise ValueError("TIB needs at least one entry of one instruction")
@@ -87,6 +89,7 @@ class TibFetchUnit(FetchUnit):
         self.stream_capacity = stream_buffer_bytes
         self._next_seq = next_seq
         self.stats = TibStats()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
         #: next instruction to issue / contiguous bytes on chip past it
         self._pc = entry_point
@@ -114,6 +117,8 @@ class TibFetchUnit(FetchUnit):
         if request is not None and not request.demand and not self._has_instruction():
             request.promote_to_demand()
             self.stats.prefetch_promotions += 1
+            if self._tracer.enabled:
+                self._tracer.emit("fetch", "promote", seq=request.seq)
 
     def _buffered_bytes(self) -> int:
         return self._valid_end - self._pc
@@ -144,6 +149,15 @@ class TibFetchUnit(FetchUnit):
             self.stats.demand_requests += 1
         else:
             self.stats.prefetch_requests += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "fetch",
+                "request",
+                addr=block,
+                bytes=self.block_size,
+                demand=demand,
+                seq=request.seq,
+            )
         self._request = request
         self._request_accepted = False
 
@@ -160,6 +174,8 @@ class TibFetchUnit(FetchUnit):
 
     def _make_complete_handler(self, request: MemoryRequest):
         def handler(now: int) -> None:
+            if self._tracer.enabled:
+                self._tracer.emit("fetch", "complete", seq=request.seq)
             if self._request is request:
                 self._request = None
 
@@ -202,6 +218,10 @@ class TibFetchUnit(FetchUnit):
     # ------------------------------------------------------------------
     def poll_requests(self, now: int) -> list[MemoryRequest]:
         if self._halted and self._request is not None and not self._request_accepted:
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fetch", "cancel", seq=self._request.seq, reason="halt"
+                )
             self._request = None  # withdraw the unaccepted request
         if self._request is not None and not self._request_accepted:
             return [self._request]
@@ -254,6 +274,8 @@ class TibFetchUnit(FetchUnit):
 
     def redirect(self, target: int, now: int) -> None:
         self.stats.redirects += 1
+        if self._tracer.enabled:
+            self._tracer.emit("fetch", "redirect", target=target, squashed=0)
         self._fill_entry = None
         entry = self._find_entry(target)
         if entry is not None:
@@ -265,16 +287,29 @@ class TibFetchUnit(FetchUnit):
             entry.stamp = self._clock
             self._pc = target
             self._valid_end = target + entry.valid_bytes
+            if self._tracer.enabled:
+                self._tracer.emit("tib", "hit", target=target, bytes=entry.valid_bytes)
         else:
             self.stats.tib_misses += 1
             self._pc = target
             self._valid_end = target
             self._fill_entry = self._allocate_entry(target)
+            if self._tracer.enabled:
+                self._tracer.emit("tib", "miss", target=target)
+                self._tracer.emit("tib", "alloc", target=target)
         # The in-flight sequential request (if any) belongs to the old
         # path; its data must not extend the new stream.
         if self._request is not None and not self._request_accepted:
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fetch", "cancel", seq=self._request.seq, reason="redirect"
+                )
             self._request = None  # withdraw before acceptance
         elif self._request is not None:
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fetch", "cancel", seq=self._request.seq, reason="redirect"
+                )
             self._request.on_chunk = None
             request = self._request
 

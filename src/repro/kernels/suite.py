@@ -98,9 +98,22 @@ def build_livermore_suite(
     fmt: InstructionFormat = InstructionFormat.FIXED32,
     scale: float = 1.0,
     seed: int = 20260707,
+    loops: tuple[int, ...] | None = None,
 ) -> LivermoreSuite:
-    """Compile, lay out, and assemble the 14-loop benchmark."""
+    """Compile, lay out, and assemble the 14-loop benchmark.
+
+    ``loops`` restricts the program to the named kernel numbers (e.g.
+    ``(3,)`` builds a single-loop program — handy for compact traces);
+    ``None`` keeps all 14.
+    """
     kernels = make_kernels(scale=scale)
+    if loops is not None:
+        wanted = {f"ll{number}" for number in loops}
+        known = {kernel.label for kernel in kernels}
+        missing = wanted - known
+        if missing:
+            raise ValueError(f"unknown Livermore loop(s): {sorted(missing)}")
+        kernels = [kernel for kernel in kernels if kernel.label in wanted]
     arrays = make_shared_arrays(seed=seed)
     lengths = {decl.name: decl.length for decl in arrays}
 
@@ -155,27 +168,34 @@ def build_livermore_suite(
 
 
 @functools.lru_cache(maxsize=8)
-def _cached_suite(fmt: InstructionFormat, scale: float, seed: int) -> LivermoreSuite:
-    return build_livermore_suite(fmt=fmt, scale=scale, seed=seed)
+def _cached_suite(
+    fmt: InstructionFormat,
+    scale: float,
+    seed: int,
+    loops: tuple[int, ...] | None = None,
+) -> LivermoreSuite:
+    return build_livermore_suite(fmt=fmt, scale=scale, seed=seed, loops=loops)
 
 
 def build_livermore_program(
     fmt: InstructionFormat = InstructionFormat.FIXED32,
     scale: float = 1.0,
     seed: int = 20260707,
+    loops: tuple[int, ...] | None = None,
 ) -> Program:
     """The assembled benchmark program (cached across callers).
 
     Callers must treat the returned program as read-only; simulators copy
     the image before running.
     """
-    return _cached_suite(fmt, scale, seed).program
+    return _cached_suite(fmt, scale, seed, loops).program
 
 
 def cached_livermore_suite(
     fmt: InstructionFormat = InstructionFormat.FIXED32,
     scale: float = 1.0,
     seed: int = 20260707,
+    loops: tuple[int, ...] | None = None,
 ) -> LivermoreSuite:
     """Cached variant of :func:`build_livermore_suite` for tests/benches."""
-    return _cached_suite(fmt, scale, seed)
+    return _cached_suite(fmt, scale, seed, loops)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from ..core.trace import NULL_TRACER, Tracer
 from .external import ExternalMemory
 from .fpu import FPU_BASE, FpuLatencies, is_fpu_address
 from .fpu import TRIGGER_OPERATIONS as _FPUTRIGGER_OPERATIONS
@@ -82,6 +83,7 @@ class MemorySystem:
         input_bus_width: int,
         priority: RequestPriority,
         fpu_latencies: FpuLatencies | None = None,
+        tracer: Tracer | None = None,
     ):
         if input_bus_width < 4:
             raise ValueError("input bus must be at least 4 bytes wide")
@@ -91,6 +93,7 @@ class MemorySystem:
         self.priority = priority
         self.stats = MemoryStats()
         self._sources: list[RequestSource] = []
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def register_source(self, source: RequestSource) -> None:
         self._sources.append(source)
@@ -118,12 +121,31 @@ class MemorySystem:
         candidates.sort(key=lambda item: item[0])
         _key, target, request = candidates[0]
         if target == "fpu":
-            self.fpu.deliver(now)
+            offset = 0
             transferred = request.size
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "mem",
+                    "deliver",
+                    source=target,
+                    seq=request.seq,
+                    offset=offset,
+                    bytes=transferred,
+                )
+            self.fpu.deliver(now)
         else:
             offset = request.delivered_bytes
             transferred = min(self.input_bus_width, request.remaining_bytes)
             request.delivered_bytes += transferred
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "mem",
+                    "deliver",
+                    source=target,
+                    seq=request.seq,
+                    offset=offset,
+                    bytes=transferred,
+                )
             if request.on_chunk is not None:
                 request.on_chunk(offset, transferred, now)
         self.stats.input_bus_busy_cycles += 1
@@ -141,12 +163,25 @@ class MemorySystem:
             return
         if len(candidates) > 1:
             self.stats.acceptance_conflicts += 1
+            if self._tracer.enabled:
+                self._tracer.emit("mem", "conflict", candidates=len(candidates))
         candidates.sort(key=lambda item: acceptance_order(item[0], self.priority))
         for request, source in candidates:
             if self._try_accept(request, now):
                 source.notify_accepted(request, now)
                 self.stats.output_bus_busy_cycles += 1
                 self._count_acceptance(request)
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "mem",
+                        "accept",
+                        kind=request.kind.value,
+                        addr=request.address,
+                        bytes=request.size,
+                        demand=request.demand,
+                        fpu=is_fpu_address(request.address),
+                        seq=request.seq,
+                    )
                 return
 
     def _try_accept(self, request: MemoryRequest, now: int) -> bool:

@@ -12,6 +12,21 @@ import pytest
 
 from repro.kernels.suite import cached_livermore_suite
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.jsonl from the current simulator "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")
+
 #: Scales used across the test suite.  "tiny" keeps every kernel at a
 #: handful of iterations (fast semantic checks); "small" is large enough
 #: for cache/queue behaviour to be representative of the full benchmark.

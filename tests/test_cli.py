@@ -127,6 +127,77 @@ class TestCommands:
         assert "PASS" in capsys.readouterr().out
 
 
+class TestTrace:
+    def test_parser_accepts_trace(self):
+        args = build_parser().parse_args(
+            ["trace", "--loop", "3", "--out", "t.jsonl"]
+        )
+        assert callable(args.func) and args.loop == 3
+
+    def test_bad_loop_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--loop", "15"])
+
+    def test_trace_single_loop(self, capsys, tmp_path):
+        out_path = tmp_path / "ll3.jsonl"
+        code = main(
+            ["trace", "--loop", "3", "--scale", "0.05", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "cross-check   : trace metrics match simulator counters" in out
+        assert out_path.stat().st_size > 0
+        first = out_path.read_text().splitlines()[0]
+        assert first.startswith('{"c":0,"o":"sim","k":"begin"')
+
+    @pytest.mark.parametrize("strategy", ["conventional", "tib"])
+    def test_trace_other_strategies(self, capsys, strategy):
+        code = main(
+            ["trace", "--strategy", strategy, "--loop", "3", "--scale", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "cross-check" in out
+
+    def test_run_with_trace_out(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "--scale", "0.03", "--trace-out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert f"trace written : {out_path}" in out
+        assert out_path.stat().st_size > 0
+
+
+class TestCacheStatsRobustness:
+    def test_stats_on_missing_dir(self, capsys, tmp_path):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert "size      : 0.0 KiB" in out
+        assert not missing.exists()  # stats must not create the directory
+
+    def test_stats_on_empty_dir(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_stats_when_root_is_a_file(self, capsys, tmp_path):
+        bogus = tmp_path / "cachefile"
+        bogus.write_text("not a directory")
+        assert main(["cache", "stats", "--cache-dir", str(bogus)]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_clear_on_missing_dir(self, capsys, tmp_path):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "clear", "--cache-dir", str(missing)]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+
 class TestDisasm:
     def test_full_listing(self, capsys):
         from repro.cli import main

@@ -1,0 +1,98 @@
+"""Trace-derived metrics must equal the simulator's own counters.
+
+The simulator keeps two parallel books: the stats objects every
+component updates inline (what :class:`SimulationResult` reports), and
+the event stream the tracer emits.  ``TraceMetrics.verify_against``
+compares every shared counter — cycles, instructions, the whole cache /
+fetch / memory / queue / backend picture — and any drift between an
+instrumented site's stats line and its event is a failure here.
+
+The matrix covers every configuration family the analysis layer sweeps:
+all Table II PIPE configurations, each of Hill's prefetch policies for
+the conventional cache, the TIB machine, and the ablation knobs
+(priority order, pipelined memory, bus width, associativity).
+"""
+
+import pytest
+
+from repro.core.config import (
+    PIPE_CONFIGURATIONS,
+    MachineConfig,
+    PrefetchPolicy,
+    RequestPriority,
+)
+from repro.core.simulator import simulate_traced
+from repro.core.trace import TraceMetrics
+from repro.kernels.suite import build_livermore_program
+
+CONFIGS: dict[str, MachineConfig] = {}
+for _name in PIPE_CONFIGURATIONS:
+    CONFIGS[f"pipe-{_name}"] = MachineConfig.pipe(_name, 128, memory_access_time=6)
+for _policy in PrefetchPolicy:
+    CONFIGS[f"conventional-{_policy.value}"] = MachineConfig.conventional(
+        128, memory_access_time=6, prefetch_policy=_policy
+    )
+CONFIGS["tib"] = MachineConfig.tib(memory_access_time=6)
+CONFIGS["pipe-data-first"] = MachineConfig.pipe(
+    "16-16", 128, memory_access_time=6, priority=RequestPriority.DATA_FIRST
+)
+CONFIGS["pipe-pipelined-mem"] = MachineConfig.pipe(
+    "16-16", 128, memory_access_time=6, memory_pipelined=True
+)
+CONFIGS["pipe-narrow-bus"] = MachineConfig.pipe(
+    "16-16", 128, memory_access_time=6, input_bus_width=4
+)
+CONFIGS["pipe-2way"] = MachineConfig.pipe(
+    "16-16", 128, memory_access_time=6, cache_associativity=2
+)
+CONFIGS["conventional-tiny-cache"] = MachineConfig.conventional(
+    32, memory_access_time=6
+)
+
+
+@pytest.fixture(scope="module")
+def single_loop_program():
+    # One Livermore loop keeps each of the ~15 matrix points fast while
+    # still exercising loads, stores, FPU traffic, and PBR redirects.
+    return build_livermore_program(scale=0.05, loops=(3,))
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_trace_metrics_match_result(name, single_loop_program):
+    result = simulate_traced(CONFIGS[name], single_loop_program)
+    assert result.halted
+    assert result.trace_metrics is not None
+    metrics = TraceMetrics.from_dict(result.trace_metrics)
+    mismatches = metrics.verify_against(result)
+    assert mismatches == []
+
+
+@pytest.mark.parametrize("strategy", ["pipe", "conventional", "tib"])
+def test_full_suite_crosscheck(strategy, tiny_program):
+    """The whole 14-loop benchmark (tiny scale), one run per strategy."""
+    config = {
+        "pipe": MachineConfig.pipe("16-16", 128, memory_access_time=6),
+        "conventional": MachineConfig.conventional(128, memory_access_time=6),
+        "tib": MachineConfig.tib(memory_access_time=6),
+    }[strategy]
+    result = simulate_traced(config, tiny_program)
+    metrics = TraceMetrics.from_dict(result.trace_metrics)
+    assert metrics.verify_against(result) == []
+    # and the summary's derived figures stay in range
+    assert 0.0 <= metrics.cache_miss_rate <= 1.0
+    assert 0.0 <= metrics.output_port_utilization <= 1.0
+    assert 0.0 <= metrics.input_port_utilization <= 1.0
+    assert metrics.ipc == pytest.approx(result.ipc)
+
+
+def test_file_replay_equals_live_aggregation(tmp_path, single_loop_program):
+    """Aggregating the JSONL from disk gives the same metrics object the
+    live MetricsSink produced during the run."""
+    config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+    trace_path = tmp_path / "trace.jsonl"
+    result = simulate_traced(config, single_loop_program, trace_path=trace_path)
+    from repro.core.trace import read_trace
+
+    replayed = TraceMetrics.from_events(read_trace(trace_path))
+    assert replayed == TraceMetrics.from_dict(result.trace_metrics)
+    assert replayed.verify_against(result) == []

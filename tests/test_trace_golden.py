@@ -1,0 +1,108 @@
+"""Golden-trace regression tests.
+
+Each test replays a tiny, fully deterministic kernel through one fetch
+strategy with a JSONL trace sink and asserts the produced file is
+**byte-identical** to the frozen golden under ``tests/goldens/``.  Any
+change to event ordering, payload fields, cycle accounting, or JSON
+serialisation shows up as a diff here before it can silently corrupt
+downstream consumers (metrics aggregation, golden tooling, CI history).
+
+Updating the goldens
+--------------------
+When a deliberate simulator or trace-format change invalidates them,
+regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_trace_golden.py --update-goldens
+
+then review the diff like any other code change (``git diff
+tests/goldens``) — the diff *is* the behaviour change — and commit the
+new files together with the change that caused them.
+
+On mismatch the freshly generated trace is left next to the golden as
+``<name>.actual.jsonl`` so CI can upload both for offline diffing.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import MachineConfig
+from repro.core.simulator import simulate_traced
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Same tiny loop the simulator integration tests use: 20 iterations of
+#: a load/queue/store body plus a branch — touches the cache, the data
+#: queues, the FPU-free memory path, and a PBR redirect per iteration.
+KERNEL = """
+    li r1, 20
+    la r2, data
+    li r3, 0
+    lbr b0, loop
+loop:
+    ldx r2, r3
+    popq r4
+    add r4, r4, r4
+    stx r2, r3
+    pushq r4
+    addi r3, r3, 4
+    subi r1, r1, 1
+    pbrne b0, r1, 2
+    nop
+    nop
+    halt
+    .align 4
+data:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+    .word 11, 12, 13, 14, 15, 16, 17, 18, 19, 20
+"""
+
+CONFIGS = {
+    "pipe-16-16": lambda: MachineConfig.pipe("16-16", 128, memory_access_time=6),
+    "conventional": lambda: MachineConfig.conventional(128, memory_access_time=6),
+    "tib": lambda: MachineConfig.tib(memory_access_time=6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_trace_matches_golden(name, tmp_path, update_goldens):
+    program = assemble(KERNEL)
+    config = CONFIGS[name]()
+    golden = GOLDEN_DIR / f"{name}.jsonl"
+
+    produced = tmp_path / f"{name}.jsonl"
+    result = simulate_traced(config, program, trace_path=produced)
+    assert result.halted
+    actual = produced.read_bytes()
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden.write_bytes(actual)
+        return
+
+    assert golden.is_file(), (
+        f"missing golden {golden}; generate it with "
+        "pytest tests/test_trace_golden.py --update-goldens"
+    )
+    expected = golden.read_bytes()
+    if actual != expected:
+        # Leave the regenerated trace beside the golden so a failing CI
+        # run can upload both files as artifacts for offline diffing.
+        (GOLDEN_DIR / f"{name}.actual.jsonl").write_bytes(actual)
+    assert actual == expected, (
+        f"trace for {name} diverged from {golden.name}; inspect "
+        f"goldens/{name}.actual.jsonl, and if the change is deliberate "
+        "rerun with --update-goldens"
+    )
+
+
+def test_goldens_are_committed():
+    """Every parametrised config has a frozen golden in the repo."""
+    missing = [
+        name for name in CONFIGS if not (GOLDEN_DIR / f"{name}.jsonl").is_file()
+    ]
+    assert not missing, (
+        f"goldens missing for {missing}; run "
+        "pytest tests/test_trace_golden.py --update-goldens"
+    )

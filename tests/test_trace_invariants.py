@@ -1,0 +1,166 @@
+"""Structural invariants of the event stream.
+
+These tests replay real workloads through every fetch strategy with an
+unbounded in-memory sink and check properties that must hold for *any*
+trace, independent of the workload:
+
+* cycle stamps never decrease, the stream opens with ``sim begin`` at
+  cycle 0 and (for a halting run) closes with ``sim end``;
+* every fetch request sequence number is issued exactly once, is closed
+  by exactly one ``complete`` or ``cancel``, and is never promoted or
+  closed before it is issued;
+* architectural-queue pops never precede pushes: the running depth
+  implied by push/pop events never goes negative and always equals the
+  ``depth`` field the event reports;
+* IQ occupancy obeys the same push/pop discipline (with redirects
+  squashing the whole queue) and its byte occupancy never exceeds the
+  configured ``iq_size``;
+* every cache miss that names a request sequence is paired with a
+  request issued in the same cycle, and — when that request completes —
+  with a cache fill of the missed line.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import MachineConfig
+from repro.core.simulator import Simulator
+from repro.core.trace import RingBufferSink, Tracer
+from tests.test_trace_golden import KERNEL
+
+CONFIGS = {
+    "pipe-16-16": lambda: MachineConfig.pipe("16-16", 128, memory_access_time=6),
+    "pipe-8-8": lambda: MachineConfig.pipe("8-8", 64, memory_access_time=6),
+    "conventional": lambda: MachineConfig.conventional(128, memory_access_time=6),
+    "tib": lambda: MachineConfig.tib(memory_access_time=6),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CONFIGS))
+def traced_run(request):
+    """(config, events, result) for one strategy over the tiny kernel."""
+    config = CONFIGS[request.param]()
+    tracer = Tracer()
+    ring = tracer.attach(RingBufferSink(capacity=None))
+    result = Simulator(config, assemble(KERNEL), tracer=tracer).run()
+    tracer.close()
+    return config, list(ring.events), result
+
+
+def test_cycles_monotonic_and_bracketed(traced_run):
+    _, events, result = traced_run
+    assert events[0]["o"] == "sim" and events[0]["k"] == "begin"
+    assert events[0]["c"] == 0
+    assert events[-1]["o"] == "sim" and events[-1]["k"] == "end"
+    assert events[-1]["halted"] is True
+    assert events[-1]["cycles"] == result.cycles
+    previous = -1
+    for event in events:
+        assert event["c"] >= previous, f"cycle regressed at {event}"
+        previous = event["c"]
+    assert previous <= result.cycles
+
+
+def test_fetch_request_lifecycle(traced_run):
+    _, events, _ = traced_run
+    state: dict[int, str] = {}
+    for event in events:
+        if event["o"] != "fetch":
+            continue
+        kind = event["k"]
+        if kind == "redirect":
+            continue
+        seq = event["seq"]
+        if kind == "request":
+            assert seq not in state, f"seq {seq} issued twice"
+            state[seq] = "open"
+        elif kind == "promote":
+            assert state.get(seq) == "open", f"promote of non-open seq {seq}"
+        else:  # complete / cancel
+            assert state.get(seq) == "open", f"{kind} of non-open seq {seq}"
+            state[seq] = kind
+    still_open = [seq for seq, status in state.items() if status == "open"]
+    assert not still_open, f"requests never closed: {still_open}"
+
+
+def test_queue_pops_never_precede_pushes(traced_run):
+    _, events, _ = traced_run
+    depths: dict[str, int] = {}
+    for event in events:
+        if event["o"] != "queue":
+            continue
+        name = event["queue"]
+        depth = depths.get(name, 0) + (1 if event["k"] == "push" else -1)
+        assert depth >= 0, f"{name} popped while empty at {event}"
+        assert event["depth"] == depth, (
+            f"{name} reported depth {event['depth']}, running count {depth}"
+        )
+        depths[name] = depth
+    assert all(depth == 0 for depth in depths.values()), (
+        f"queues not drained at halt: {depths}"
+    )
+
+
+def test_iq_occupancy_within_configured_size(traced_run):
+    config, events, _ = traced_run
+    depth = 0
+    for event in events:
+        if event["o"] == "iq":
+            depth += 1 if event["k"] == "push" else -1
+            assert depth >= 0, f"IQ popped while empty at {event}"
+            assert event["depth"] == depth
+            if event["k"] == "push":
+                assert event["bytes"] <= config.iq_size, (
+                    f"IQ holds {event['bytes']}B, configured {config.iq_size}B"
+                )
+        elif event["o"] == "fetch" and event["k"] == "redirect":
+            # A PIPE redirect squashes the whole IQ in one step; the
+            # event must account for exactly the entries present.
+            assert event["squashed"] == depth
+            depth = 0
+
+
+def test_every_miss_names_a_request_issued_that_cycle(traced_run):
+    _, events, _ = traced_run
+    requests = {
+        event["seq"]: event
+        for event in events
+        if event["o"] == "fetch" and event["k"] == "request"
+    }
+    for event in events:
+        if event["o"] == "icache" and event["k"] == "miss" and event["seq"] >= 0:
+            request = requests.get(event["seq"])
+            assert request is not None, f"miss names unknown seq: {event}"
+            assert request["c"] == event["c"], (
+                f"miss and its request disagree on cycle: {event} vs {request}"
+            )
+
+
+def test_completed_misses_are_filled(traced_run):
+    _, events, _ = traced_run
+    completed = {
+        event["seq"]
+        for event in events
+        if event["o"] == "fetch" and event["k"] == "complete"
+    }
+    fills_by_addr: dict[int, list[int]] = {}
+    for event in events:
+        if event["o"] == "icache" and event["k"] == "fill":
+            fills_by_addr.setdefault(event["addr"], []).append(event["c"])
+    for event in events:
+        if event["o"] != "icache" or event["k"] != "miss":
+            continue
+        if event["seq"] not in completed:
+            continue  # cancelled or withdrawn before delivery
+        fills = fills_by_addr.get(event["addr"], [])
+        assert any(cycle >= event["c"] for cycle in fills), (
+            f"completed miss never filled line {event['addr']:#x}: {event}"
+        )
+
+
+def test_backend_issue_count_matches_sim_end(traced_run):
+    _, events, result = traced_run
+    issues = sum(
+        1 for event in events if event["o"] == "backend" and event["k"] == "issue"
+    )
+    assert issues == events[-1]["instructions"] == result.instructions
