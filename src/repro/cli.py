@@ -24,6 +24,7 @@ content-addressed result cache under ``.repro_cache/`` (bypass with
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis.experiments import EXPERIMENTS, ExperimentContext, run_experiment
@@ -36,6 +37,7 @@ from .analysis.tables import (
 )
 from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
 from .core.parallel import parallel_map, resolve_jobs
+from .core.scheduler import NO_SKIP_ENV
 from .core.simcache import SimulationCache
 from .core.simulator import simulate, simulate_traced
 from .core.trace import TraceMetrics
@@ -314,6 +316,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="Reproduction of Farrens & Pleszkun (ISCA 1989)",
     )
+    parser.add_argument(
+        "--no-skip",
+        action="store_true",
+        help="use the reference cycle-by-cycle loop instead of the "
+        "idle-cycle-skipping scheduler (results are identical; "
+        "equivalent to REPRO_NO_SKIP=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="simulate one configuration")
@@ -424,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_skip:
+        # Via the environment so parallel sweep workers inherit it too.
+        os.environ[NO_SKIP_ENV] = "1"
     return args.func(args)
 
 

@@ -1,0 +1,84 @@
+"""Idle-cycle scheduling primitives: the progress clock and event hints.
+
+The cycle-level simulator spends most of its wall-clock time simulating
+cycles in which *nothing changes* — the machine waiting out
+``memory_access_time``, an FPU latency, or a branch-resolution delay.
+Two small pieces let :meth:`repro.core.simulator.Simulator.run` jump
+over such spans without changing a single reported number:
+
+* :class:`ProgressClock` — a shared monotonic counter every component
+  bumps on each *real* state mutation (a queue push/pop, a bus
+  transfer, an instruction issue, a cache fill, ...).  If an executed
+  cycle ends with the same tick count it started with, machine state is
+  provably frozen: every later cycle replays it exactly until a *timed*
+  event fires.  The tick count doubles as the deadlock detector's
+  progress signature, replacing the 8-tuple the old loop allocated
+  every cycle.
+
+* ``next_event_cycle(now)`` hints — each component reports the earliest
+  future cycle at which it can make progress *on its own*, or
+  :data:`IDLE` when only another component's activity can wake it.
+  Timed events exist in exactly three places: external-memory
+  ``ready_at``, FPU operation completion, and pending-branch
+  ``resolve_at``; everything else (frontends, the data engine, the
+  cache) is event-woken.  Hints may be conservative (an early wake
+  costs one probe cycle and nothing else); a *late* hint would change
+  results, which is why the scheduler only skips after observing a
+  zero-tick probe cycle.
+
+``REPRO_NO_SKIP=1`` (or ``Simulator(..., skip=False)``) keeps the
+reference cycle-by-cycle loop for differential testing.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "ENGINE_REVISION",
+    "IDLE",
+    "NO_SKIP_ENV",
+    "ProgressClock",
+    "skip_enabled_default",
+]
+
+#: Sentinel returned by ``next_event_cycle`` hints: no self-scheduled
+#: event; only another component's progress can wake this one.
+IDLE: int = 1 << 62
+
+#: Folded into simulation-cache keys so blobs produced by a different
+#: scheduling engine never satisfy a lookup.  Bump on any change to the
+#: skip scheduler's accounting.
+ENGINE_REVISION = "skip-1"
+
+#: Environment variable forcing the reference (no-skip) loop.
+NO_SKIP_ENV = "REPRO_NO_SKIP"
+
+
+def skip_enabled_default() -> bool:
+    """Idle-cycle skipping defaults to on unless ``REPRO_NO_SKIP`` is set."""
+    return os.environ.get(NO_SKIP_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+class ProgressClock:
+    """Monotonic counter of real state mutations, shared machine-wide.
+
+    Components bump :attr:`ticks` directly (``clock.ticks += 1``) on the
+    hot path; only the *equality* of two readings is ever interpreted,
+    so over-ticking (several bumps in one cycle) is harmless.
+    """
+
+    __slots__ = ("ticks",)
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def tick(self) -> None:
+        self.ticks += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ProgressClock ticks={self.ticks}>"

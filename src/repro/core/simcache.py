@@ -18,7 +18,8 @@ is deterministic — so results can be cached *by content*:
   :meth:`SimulationResult.to_dict` stored under
   ``.repro_cache/<key[:2]>/<key>.json``.
 
-``CACHE_FORMAT_VERSION`` is folded into the key so schema changes
+``CACHE_FORMAT_VERSION`` and the scheduler's ``ENGINE_REVISION`` are
+folded into the key so schema changes and simulation-engine changes
 invalidate old blobs instead of misparsing them.
 """
 
@@ -33,6 +34,7 @@ from pathlib import Path
 from ..asm.program import Program
 from .config import MachineConfig
 from .results import SimulationResult
+from .scheduler import ENGINE_REVISION
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -73,7 +75,7 @@ def config_fingerprint(config: MachineConfig) -> str:
 def result_key(config: MachineConfig, program: Program) -> str:
     """The content address of one ``(config, program)`` simulation point."""
     h = hashlib.sha256()
-    h.update(f"v{CACHE_FORMAT_VERSION}".encode())
+    h.update(f"v{CACHE_FORMAT_VERSION}:{ENGINE_REVISION}".encode())
     h.update(config_fingerprint(config).encode())
     h.update(program_fingerprint(program).encode())
     return h.hexdigest()
@@ -117,7 +119,7 @@ class SimulationCache:
             pkey = program_fingerprint(program)
             self._program_keys[id(program)] = pkey
         h = hashlib.sha256()
-        h.update(f"v{CACHE_FORMAT_VERSION}".encode())
+        h.update(f"v{CACHE_FORMAT_VERSION}:{ENGINE_REVISION}".encode())
         h.update(config_fingerprint(config).encode())
         h.update(pkey.encode())
         return h.hexdigest()

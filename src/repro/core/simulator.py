@@ -17,6 +17,20 @@ completion.  Per cycle, components are evaluated in this order:
 The run ends when the program has executed HALT **and** every queue and
 in-flight transaction has drained; the cycle count at that point is the
 paper's performance metric.
+
+**Idle-cycle skipping.**  Every component bumps a shared
+:class:`~repro.core.scheduler.ProgressClock` on each real state
+mutation.  When an executed cycle produces zero ticks the machine is
+provably frozen — the same stall, the same losing arbitration, the same
+busy memory — until the earliest *timed* event (external-memory
+``ready_at``, FPU completion, branch ``resolve_at``).  The scheduler
+then bulk-advances ``now`` to the min over the components'
+``next_event_cycle`` hints, applying the per-cycle accounting (stall
+counters, external-memory busy cycles, acceptance conflicts, and —
+when traced — the per-idle-cycle ``backend stall`` / ``mem conflict``
+events) arithmetically, so results and traces are byte-identical to
+the reference loop.  ``skip=False`` or ``REPRO_NO_SKIP=1`` selects the
+reference cycle-by-cycle loop for differential testing.
 """
 
 from __future__ import annotations
@@ -33,6 +47,7 @@ from ..frontend.tib import TibFetchUnit
 from ..memory.system import MemorySystem
 from .config import FetchStrategy, MachineConfig
 from .results import QueueSnapshot, SimulationResult
+from .scheduler import IDLE, ProgressClock, skip_enabled_default
 from .trace import NULL_TRACER, JsonLinesSink, MetricsSink, TraceSink, Tracer
 
 __all__ = [
@@ -45,7 +60,15 @@ __all__ = [
 
 
 class SimulationTimeout(RuntimeError):
-    """The run exceeded ``config.max_cycles`` without draining."""
+    """The run exceeded ``config.max_cycles`` without draining.
+
+    ``cycle`` is the architectural cycle at which the limit was hit
+    (exact even when the skip scheduler jumped into it); ``fast_path``
+    records whether idle-cycle skipping was active.
+    """
+
+    cycle: int = -1
+    fast_path: bool = False
 
 
 class DeadlockError(RuntimeError):
@@ -56,7 +79,19 @@ class DeadlockError(RuntimeError):
     than the LDQ can hold, which wedges any decoupled-queue machine
     (the LAQ cannot drain because the LDQ is full, and the LDQ cannot
     drain because issue is blocked on the full LAQ).
+
+    ``cycle`` is the architectural cycle at which the detector fired
+    (exact even when the skip scheduler jumped into it); ``fast_path``
+    records whether idle-cycle skipping was active.
     """
+
+    cycle: int = -1
+    fast_path: bool = False
+
+
+#: outcomes of a bulk-advance that lands on a detection horizon
+_FATE_DEADLOCK = "deadlock"
+_FATE_TIMEOUT = "timeout"
 
 
 class Simulator:
@@ -67,6 +102,7 @@ class Simulator:
         config: MachineConfig,
         program: Program,
         tracer: Tracer | None = None,
+        skip: bool | None = None,
     ):
         if program.fmt is not config.instruction_format:
             raise ValueError(
@@ -77,6 +113,10 @@ class Simulator:
         self.program = program
         self.tracer = tracer if tracer is not None else NULL_TRACER
         tracer = self.tracer
+        #: idle-cycle skipping; ``None`` defers to ``REPRO_NO_SKIP``
+        self.skip = skip_enabled_default() if skip is None else bool(skip)
+        self.clock = ProgressClock()
+        clock = self.clock
 
         seq = itertools.count()
         next_seq = lambda: next(seq)  # noqa: E731 - tiny shared counter
@@ -95,6 +135,7 @@ class Simulator:
             priority=config.priority,
             fpu_latencies=config.fpu_latencies,
             tracer=tracer,
+            clock=clock,
         )
         # All frontends share the program's predecoded-instruction
         # table, so the decode work for a hot loop is paid once per
@@ -112,6 +153,7 @@ class Simulator:
                 true_prefetch=config.true_prefetch,
                 predecode=predecode,
                 tracer=tracer,
+                clock=clock,
             )
         elif config.fetch_strategy is FetchStrategy.TIB:
             self.frontend = TibFetchUnit(
@@ -125,6 +167,7 @@ class Simulator:
                 stream_buffer_bytes=config.stream_buffer_bytes,
                 predecode=predecode,
                 tracer=tracer,
+                clock=clock,
             )
         else:
             self.frontend = ConventionalFetchUnit(
@@ -137,6 +180,7 @@ class Simulator:
                 prefetch_policy=config.prefetch_policy,
                 predecode=predecode,
                 tracer=tracer,
+                clock=clock,
             )
         self.engine = DataQueueEngine(
             program=program,
@@ -146,12 +190,14 @@ class Simulator:
             saq_capacity=config.saq_capacity,
             sdq_capacity=config.sdq_capacity,
             tracer=tracer,
+            clock=clock,
         )
         self.backend = Backend(
             frontend=self.frontend,
             engine=self.engine,
             branch_resolution_latency=config.branch_resolution_latency,
             tracer=tracer,
+            clock=clock,
         )
         # Arbitration polls sources in registration order; order is
         # irrelevant because priority is decided per request.
@@ -163,15 +209,27 @@ class Simulator:
     #: is declared deadlocked.  Far above any legitimate stall.
     DEADLOCK_CYCLES = 20_000
 
+    #: progress snapshots for deadlock detection happen when
+    #: ``now & SNAPSHOT_MASK == 0`` (every 256 cycles), so the hot loop
+    #: pays one integer compare per cycle instead of building a tuple.
+    SNAPSHOT_MASK = 0xFF
+
     def run(self) -> SimulationResult:
         now = 0
         max_cycles = self.config.max_cycles
         memory = self.memory
+        mem_stats = memory.stats
+        external = memory.external
         engine = self.engine
         frontend = self.frontend
         backend = self.backend
+        clock = self.clock
+        skip = self.skip
         tracer = self.tracer
         traced = tracer.enabled
+        deadlock_cycles = self.DEADLOCK_CYCLES
+        mask = self.SNAPSHOT_MASK
+        interval = mask + 1
         if traced:
             tracer.cycle = 0
             tracer.emit(
@@ -180,11 +238,15 @@ class Simulator:
                 strategy=self.config.fetch_strategy.value,
                 config=self.config.describe(),
             )
-        last_progress_sig: tuple = ()
+        # Deadlock detection: the tick count seen at the last snapshot
+        # and the snapshot cycle at which it last advanced.
+        last_ticks = clock.ticks
         last_progress_at = 0
         while True:
             if traced:
                 tracer.cycle = now
+            ticks_before = clock.ticks
+            conflicts_before = mem_stats.acceptance_conflicts
             memory.begin_cycle(now)
             engine.update(now)
             frontend.update(now)
@@ -205,36 +267,117 @@ class Simulator:
                         halted=backend.halted,
                     )
                 break
-            signature = (
-                backend.instructions,
-                memory.stats.output_bus_busy_cycles,
-                memory.stats.input_bus_busy_cycles,
-                frontend.progress_signature(),
-                engine.laq.total_pushes,
-                engine.ldq.total_pops,
-                engine.saq.total_pops,
-                engine.sdq.total_pops,
-            )
-            if signature != last_progress_sig:
-                last_progress_sig = signature
-                last_progress_at = now
-            elif now - last_progress_at > self.DEADLOCK_CYCLES:
-                raise DeadlockError(
-                    f"no progress since cycle {last_progress_at} "
-                    f"({backend.instructions} instructions issued; "
-                    f"stalls={backend.stalls}; LAQ={len(engine.laq)} "
-                    f"LDQ={len(engine.ldq)} SAQ={len(engine.saq)} "
-                    f"SDQ={len(engine.sdq)}; "
-                    f"frontend {type(frontend).__name__}: "
-                    f"{frontend.describe_state()})"
-                )
+            if not now & mask:
+                ticks = clock.ticks
+                if ticks != last_ticks:
+                    last_ticks = ticks
+                    last_progress_at = now
+                elif now - last_progress_at > deadlock_cycles:
+                    raise self._deadlock(now, last_progress_at, fast_path=False)
             if now >= max_cycles:
-                raise SimulationTimeout(
-                    f"no completion after {max_cycles} cycles "
-                    f"({backend.instructions} instructions issued; "
-                    f"halted={backend.halted})"
-                )
+                raise self._timeout(now, fast_path=False)
+            if skip and clock.ticks == ticks_before:
+                # Quiescent probe cycle: zero ticks means machine state
+                # is frozen, so every following cycle repeats this one
+                # exactly until the earliest timed event.  Jump there,
+                # applying the per-cycle accounting arithmetically.
+                wake = memory.next_event_cycle(now)
+                hint = backend.next_event_cycle(now)
+                if hint < wake:
+                    wake = hint
+                hint = engine.next_event_cycle(now)
+                if hint < wake:
+                    wake = hint
+                hint = frontend.next_event_cycle(now)
+                if hint < wake:
+                    wake = hint
+                # Replay the detector's arithmetic over the span: with
+                # the ticks frozen, only the first snapshot after `now`
+                # can still record progress; the detector then fires a
+                # fixed distance past the last recorded progress.
+                ticks = clock.ticks
+                if ticks != last_ticks:
+                    first_snapshot = (now | mask) + 1
+                    fire_base = first_snapshot
+                else:
+                    first_snapshot = None
+                    fire_base = last_progress_at
+                fire = -(-(fire_base + deadlock_cycles + 1) // interval) * interval
+                if fire <= wake and fire <= max_cycles:
+                    target, fate = fire, _FATE_DEADLOCK
+                elif max_cycles <= wake:
+                    target, fate = max_cycles, _FATE_TIMEOUT
+                else:
+                    target, fate = wake, None
+                if target > now:
+                    span = target - now
+                    stall_reason = (
+                        backend.last_stall_reason if not backend.halted else None
+                    )
+                    if stall_reason is not None:
+                        backend.stalls[stall_reason] += span
+                    conflict = mem_stats.acceptance_conflicts > conflicts_before
+                    if conflict:
+                        mem_stats.acceptance_conflicts += span
+                    if external.in_flight:
+                        external.busy_cycles += span
+                    if traced and (stall_reason is not None or conflict):
+                        # Re-emit the probe cycle's per-idle-cycle events
+                        # for every skipped cycle, in intra-cycle order
+                        # (the stall during backend.step, the conflict
+                        # during memory.end_cycle).
+                        candidates = memory.last_conflict_candidates
+                        emit = tracer.emit
+                        for cycle in range(now, target):
+                            tracer.cycle = cycle
+                            if stall_reason is not None:
+                                emit("backend", "stall", reason=stall_reason)
+                            if conflict:
+                                emit("mem", "conflict", candidates=candidates)
+                    if first_snapshot is not None and first_snapshot <= target:
+                        last_ticks = ticks
+                        last_progress_at = first_snapshot
+                    now = target
+                    if fate is _FATE_DEADLOCK:
+                        raise self._deadlock(now, last_progress_at, fast_path=True)
+                    if fate is _FATE_TIMEOUT:
+                        raise self._timeout(now, fast_path=True)
         return self._collect(now)
+
+    # ------------------------------------------------------------------
+    def _deadlock(
+        self, now: int, last_progress_at: int, fast_path: bool
+    ) -> DeadlockError:
+        engine = self.engine
+        backend = self.backend
+        frontend = self.frontend
+        error = DeadlockError(
+            f"no progress since cycle {last_progress_at} "
+            f"(detected at cycle {now}, "
+            f"{'idle-skip' if fast_path else 'reference'} engine; "
+            f"{backend.instructions} instructions issued; "
+            f"stalls={backend.stalls}; LAQ={len(engine.laq)} "
+            f"LDQ={len(engine.ldq)} SAQ={len(engine.saq)} "
+            f"SDQ={len(engine.sdq)}; "
+            f"frontend {type(frontend).__name__}: "
+            f"{frontend.describe_state()})"
+        )
+        error.cycle = now
+        error.fast_path = fast_path
+        return error
+
+    def _timeout(self, now: int, fast_path: bool) -> SimulationTimeout:
+        backend = self.backend
+        error = SimulationTimeout(
+            f"no completion after {self.config.max_cycles} cycles "
+            f"(at cycle {now}, "
+            f"{'idle-skip' if fast_path else 'reference'} engine; "
+            f"{backend.instructions} instructions issued; "
+            f"halted={backend.halted})"
+        )
+        error.cycle = now
+        error.fast_path = fast_path
+        return error
 
     def _collect(self, cycles: int) -> SimulationResult:
         engine = self.engine
@@ -274,9 +417,14 @@ def simulate(
     config: MachineConfig,
     program: Program,
     tracer: Tracer | None = None,
+    skip: bool | None = None,
 ) -> SimulationResult:
-    """Build a machine for ``config`` and run ``program`` to completion."""
-    return Simulator(config, program, tracer=tracer).run()
+    """Build a machine for ``config`` and run ``program`` to completion.
+
+    ``skip`` selects the idle-cycle-skipping scheduler (default: on,
+    unless ``REPRO_NO_SKIP`` is set); results are identical either way.
+    """
+    return Simulator(config, program, tracer=tracer, skip=skip).run()
 
 
 def simulate_traced(
@@ -286,6 +434,7 @@ def simulate_traced(
     *,
     sinks: tuple[TraceSink, ...] = (),
     metrics: bool = True,
+    skip: bool | None = None,
 ) -> SimulationResult:
     """Run ``program`` with tracing enabled.
 
@@ -293,7 +442,9 @@ def simulate_traced(
     ``metrics`` (the default) a :class:`MetricsSink` aggregates the same
     stream and the result's :attr:`~SimulationResult.trace_metrics`
     carries its counters.  Extra ``sinks`` are attached as given.  All
-    sinks are closed when the run finishes (or fails).
+    sinks are closed when the run finishes (or fails).  ``skip`` selects
+    the idle-cycle-skipping scheduler (default: on, unless
+    ``REPRO_NO_SKIP`` is set); the event stream is identical either way.
     """
     tracer = Tracer()
     if trace_path is not None:
@@ -303,6 +454,6 @@ def simulate_traced(
     for sink in sinks:
         tracer.attach(sink)
     try:
-        return Simulator(config, program, tracer=tracer).run()
+        return Simulator(config, program, tracer=tracer, skip=skip).run()
     finally:
         tracer.close()

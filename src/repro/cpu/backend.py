@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.scheduler import IDLE, ProgressClock
 from ..core.trace import NULL_TRACER, Tracer
 from ..frontend.base import FetchUnit
 from .data_engine import DataQueueEngine
@@ -92,11 +93,13 @@ class Backend:
         engine: DataQueueEngine,
         branch_resolution_latency: int = 2,
         tracer: Tracer | None = None,
+        clock: ProgressClock | None = None,
     ):
         self.frontend = frontend
         self.engine = engine
         self.branch_resolution_latency = branch_resolution_latency
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock if clock is not None else ProgressClock()
         self.state = ArchState()
         self.halted = False
         self.instructions = 0
@@ -104,6 +107,9 @@ class Backend:
         self.branches_taken = 0
         #: pc of the most recently issued instruction (cycle attribution)
         self.last_pc: int | None = None
+        #: reason of the most recent stall (the skip scheduler charges
+        #: every cycle of a quiescent span to this counter)
+        self.last_stall_reason: str | None = None
         self.stalls: dict[str, int] = {reason: 0 for reason in StallReason.ALL}
         self._pending: _PendingBranch | None = None
         self._env = _BackendEnv(engine)
@@ -111,6 +117,7 @@ class Backend:
     # ------------------------------------------------------------------
     def _stall(self, reason: str) -> None:
         self.stalls[reason] += 1
+        self.last_stall_reason = reason
         if self._tracer.enabled:
             self._tracer.emit("backend", "stall", reason=reason)
 
@@ -121,6 +128,7 @@ class Backend:
             return True
         if not pending.notified and now >= pending.resolve_at:
             pending.notified = True
+            self._clock.ticks += 1
             self.frontend.branch_resolved(pending.taken)
             if not pending.taken:
                 # Sequential flow simply continues; nothing left to do.
@@ -131,6 +139,7 @@ class Backend:
                 self._stall(StallReason.BRANCH_UNRESOLVED)
                 return False
             # Taken (not-taken branches were cleared at notification).
+            self._clock.ticks += 1
             self.frontend.redirect(pending.target, now)
             self._pending = None
         return True
@@ -164,6 +173,7 @@ class Backend:
             return False
 
         outcome = execute(instruction, self.state, self._env)
+        self._clock.ticks += 1
         self.frontend.consume(now)
         self.instructions += 1
         self.last_pc = pc
@@ -197,6 +207,20 @@ class Backend:
         elif self._pending is not None:
             self._pending.slots_remaining -= 1
         return True
+
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """Resolution time of an unresolved pending branch, else ``IDLE``.
+
+        ``resolve_at`` is the backend's only self-scheduled event: at
+        that cycle the condition resolves (waking the frontend through
+        ``branch_resolved``/``redirect``).  Everything else the backend
+        does is a reaction to frontend- or memory-side progress.
+        """
+        pending = self._pending
+        if pending is not None and not pending.notified:
+            return pending.resolve_at
+        return IDLE
 
     # ------------------------------------------------------------------
     @property

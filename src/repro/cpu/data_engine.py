@@ -28,6 +28,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..asm.program import WORD_BYTES, Program
+from ..core.scheduler import IDLE, ProgressClock
 from ..core.trace import NULL_TRACER, Tracer
 from ..memory.fpu import FPU_BASE, FpuCore, is_fpu_address
 from ..memory.requests import MemoryRequest, RequestKind
@@ -83,6 +84,7 @@ class DataQueueEngine:
         saq_capacity: int = 8,
         sdq_capacity: int = 8,
         tracer: Tracer | None = None,
+        clock: ProgressClock | None = None,
     ):
         if program.memory_size > FPU_BASE:
             raise ValueError(
@@ -94,17 +96,19 @@ class DataQueueEngine:
         self._next_seq = next_seq
         self._tracer = tracer if tracer is not None else NULL_TRACER
         tracer = self._tracer
+        clock = clock if clock is not None else ProgressClock()
+        self._clock = clock
         self.laq: ArchitecturalQueue[_LaqEntry] = ArchitecturalQueue(
-            "LAQ", laq_capacity, tracer=tracer
+            "LAQ", laq_capacity, tracer=tracer, clock=clock
         )
         self.ldq: ArchitecturalQueue[int] = ArchitecturalQueue(
-            "LDQ", ldq_capacity, tracer=tracer
+            "LDQ", ldq_capacity, tracer=tracer, clock=clock
         )
         self.saq: ArchitecturalQueue[_SaqEntry] = ArchitecturalQueue(
-            "SAQ", saq_capacity, tracer=tracer
+            "SAQ", saq_capacity, tracer=tracer, clock=clock
         )
         self.sdq: ArchitecturalQueue[_SdqEntry] = ArchitecturalQueue(
-            "SDQ", sdq_capacity, tracer=tracer
+            "SDQ", sdq_capacity, tracer=tracer, clock=clock
         )
         self._in_flight_loads: deque[_InFlightLoad] = deque()
         #: store pairs committed functionally but not yet paired in the
@@ -280,6 +284,18 @@ class DataQueueEngine:
 
         request.on_complete = on_complete
         self._in_flight_loads.append(flight)
+
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """Always ``IDLE``: the data engine is purely event-woken.
+
+        Arrived loads enter the LDQ at the ``update`` following their
+        delivery (an input-bus tick); a load blocked on a full LDQ waits
+        for an issue-side pop (an issue tick); queue heads waiting at
+        output-bus arbitration wait for acceptance (an acceptance tick).
+        The engine never schedules an event on its own clock.
+        """
+        return IDLE
 
     # ------------------------------------------------------------------
     @property

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Generic, Iterator, TypeVar
 
+from ..core.scheduler import ProgressClock
 from ..core.trace import NULL_TRACER, Tracer
 
 __all__ = [
@@ -54,6 +55,7 @@ class ArchitecturalQueue(Generic[T]):
         name: str,
         capacity: int | None = None,
         tracer: Tracer | None = None,
+        clock: ProgressClock | None = None,
     ):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"queue {name}: capacity must be positive or None")
@@ -64,6 +66,7 @@ class ArchitecturalQueue(Generic[T]):
         self.total_pops = 0
         self.max_occupancy = 0
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock if clock is not None else ProgressClock()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -91,6 +94,7 @@ class ArchitecturalQueue(Generic[T]):
         if self.is_full:
             raise QueueFullError(f"queue {self.name} is full (capacity {self.capacity})")
         self._items.append(item)
+        self._clock.ticks += 1
         self.total_pushes += 1
         self.max_occupancy = max(self.max_occupancy, len(self._items))
         if self._tracer.enabled:
@@ -100,6 +104,7 @@ class ArchitecturalQueue(Generic[T]):
         if not self._items:
             raise QueueEmptyError(f"queue {self.name} is empty")
         self.total_pops += 1
+        self._clock.ticks += 1
         item = self._items.popleft()
         if self._tracer.enabled:
             self._tracer.emit("queue", "pop", queue=self.name, depth=len(self._items))

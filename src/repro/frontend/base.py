@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from ..core.scheduler import IDLE
 from ..isa.encoding import InstructionFormat, decode_instruction
 from ..isa.instruction import Instruction
 from ..isa.predecode import PredecodedImage
@@ -95,6 +96,18 @@ class FetchUnit(abc.ABC):
         request still waiting for the output bus is withdrawn.
         """
         self._halted = True
+
+    # -- quiescence protocol ----------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest future cycle this frontend can make progress on its own.
+
+        Frontends are purely event-woken: every state change is a
+        reaction to input-bus data (a delivery tick), an issue/consume,
+        a branch resolution, or a redirect — all of which bump the
+        shared :class:`~repro.core.scheduler.ProgressClock` at their
+        origin.  ``IDLE`` is therefore always a safe (and exact) hint.
+        """
+        return IDLE
 
     # -- progress reporting ------------------------------------------------
     def progress_signature(self) -> tuple:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import enum
 
+from ..core.scheduler import ProgressClock
 from ..core.trace import NULL_TRACER, Tracer
 from ..isa.encoding import InstructionFormat
 from ..isa.instruction import Instruction
@@ -76,6 +77,7 @@ class ConventionalFetchUnit(FetchUnit):
         prefetch_policy: PrefetchPolicy = PrefetchPolicy.ALWAYS,
         predecode: PredecodedImage | None = None,
         tracer: Tracer | None = None,
+        clock: ProgressClock | None = None,
     ):
         self._install_decoder(image, fmt, predecode)
         self.cache = cache
@@ -84,6 +86,7 @@ class ConventionalFetchUnit(FetchUnit):
         self._next_seq = next_seq
         self.stats = FetchStats()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock if clock is not None else ProgressClock()
 
         self._pc = entry_point
         self._request: MemoryRequest | None = None
@@ -122,6 +125,7 @@ class ConventionalFetchUnit(FetchUnit):
         block = self._block_address(self._pc)
         if request.address == block and not self._current_instruction_resident():
             request.promote_to_demand()
+            self._clock.ticks += 1
             self._request_is_demand = True
             self.stats.prefetch_promotions += 1
             if self._tracer.enabled:
@@ -199,6 +203,7 @@ class ConventionalFetchUnit(FetchUnit):
             seq=self._next_seq(),
             demand=demand,
         )
+        self._clock.ticks += 1
         if miss_addr is not None:
             self.cache.record_miss(miss_addr, seq=request.seq)
         request.on_chunk = self._make_chunk_handler(request)

@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from ..core.scheduler import ProgressClock
 from ..core.trace import NULL_TRACER, Tracer
 from ..isa.encoding import DecodeError, InstructionFormat
 from ..isa.instruction import Instruction
@@ -76,6 +77,7 @@ class PipeFetchUnit(FetchUnit):
         true_prefetch: bool = True,
         predecode: PredecodedImage | None = None,
         tracer: Tracer | None = None,
+        clock: ProgressClock | None = None,
     ):
         line_size = cache.line_size
         if iqb_size < line_size:
@@ -93,6 +95,7 @@ class PipeFetchUnit(FetchUnit):
         self._next_seq = next_seq
         self.stats = FetchStats()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock if clock is not None else ProgressClock()
 
         # Instruction queue: decoded (pc, instruction, size) entries.
         self._iq: deque[tuple[int, Instruction, int]] = deque()
@@ -144,6 +147,7 @@ class PipeFetchUnit(FetchUnit):
             and not self._iq
         ):
             request.promote_to_demand()
+            self._clock.ticks += 1
             self.stats.prefetch_promotions += 1
             if self._tracer.enabled:
                 self._tracer.emit("fetch", "promote", seq=request.seq)
@@ -177,6 +181,7 @@ class PipeFetchUnit(FetchUnit):
             if self._iqb_valid_end < pc + size:
                 return  # tail parcel has not arrived yet
             self._iq.append((pc, instruction, size))
+            self._clock.ticks += 1
             moved = size
             self._iq_next_pc = pc + size
             self._iqb_read_pc = pc + size
@@ -201,12 +206,14 @@ class PipeFetchUnit(FetchUnit):
                 if moved == 0 and self._iqb_valid_end >= line_end:
                     self._span_pc = pc
                     self._iqb_read_pc = line_end
+                    self._clock.ticks += 1
                 break
             if pc + size > self._iqb_valid_end:
                 break  # tail parcel has not arrived yet
             if moved + size > self.iq_size:
                 break
             self._iq.append((pc, instruction, size))
+            self._clock.ticks += 1
             moved += size
             self._iq_next_pc = pc + size
             self._iqb_read_pc = pc + size
@@ -260,6 +267,7 @@ class PipeFetchUnit(FetchUnit):
         line_addr = self.cache.line_address(start_pc)
         if self.cache.probe(line_addr, self.line_size):
             self.cache.record_hit(line_addr)
+            self._clock.ticks += 1
             self._iqb_loaded = True
             self._iqb_base = line_addr
             self._iqb_read_pc = start_pc
@@ -280,6 +288,7 @@ class PipeFetchUnit(FetchUnit):
             seq=self._next_seq(),
             demand=demand,
         )
+        self._clock.ticks += 1
         self.cache.record_miss(line_addr, seq=request.seq)
         request.on_chunk = self._make_chunk_handler(request)
         request.on_complete = self._make_complete_handler(request)

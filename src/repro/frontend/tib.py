@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.scheduler import ProgressClock
 from ..core.trace import NULL_TRACER, Tracer
 from ..isa.encoding import DecodeError, InstructionFormat
 from ..isa.instruction import Instruction
@@ -78,6 +79,7 @@ class TibFetchUnit(FetchUnit):
         stream_buffer_bytes: int = 32,
         predecode: PredecodedImage | None = None,
         tracer: Tracer | None = None,
+        clock: ProgressClock | None = None,
     ):
         if tib_entries < 1 or tib_entry_bytes < 4:
             raise ValueError("TIB needs at least one entry of one instruction")
@@ -90,6 +92,7 @@ class TibFetchUnit(FetchUnit):
         self._next_seq = next_seq
         self.stats = TibStats()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._progress = clock if clock is not None else ProgressClock()
 
         #: next instruction to issue / contiguous bytes on chip past it
         self._pc = entry_point
@@ -116,6 +119,7 @@ class TibFetchUnit(FetchUnit):
         request = self._request
         if request is not None and not request.demand and not self._has_instruction():
             request.promote_to_demand()
+            self._progress.ticks += 1
             self.stats.prefetch_promotions += 1
             if self._tracer.enabled:
                 self._tracer.emit("fetch", "promote", seq=request.seq)
@@ -143,6 +147,7 @@ class TibFetchUnit(FetchUnit):
             seq=self._next_seq(),
             demand=demand,
         )
+        self._progress.ticks += 1
         request.on_chunk = self._make_chunk_handler(request)
         request.on_complete = self._make_complete_handler(request)
         if demand:

@@ -16,6 +16,7 @@ Parameters (paper simulation parameters 4 and 6):
 
 from __future__ import annotations
 
+from ..core.scheduler import IDLE, ProgressClock
 from .requests import MemoryRequest, RequestKind
 
 __all__ = ["ExternalMemory"]
@@ -24,7 +25,12 @@ __all__ = ["ExternalMemory"]
 class ExternalMemory:
     """In-flight request bookkeeping for the external cache."""
 
-    def __init__(self, access_time: int, pipelined: bool):
+    def __init__(
+        self,
+        access_time: int,
+        pipelined: bool,
+        clock: ProgressClock | None = None,
+    ):
         if access_time < 1:
             raise ValueError(f"access_time must be >= 1, got {access_time}")
         self.access_time = access_time
@@ -33,6 +39,7 @@ class ExternalMemory:
         self.total_accepted = 0
         self.busy_cycles = 0
         self._accepted_this_cycle = False
+        self._clock = clock if clock is not None else ProgressClock()
 
     # ------------------------------------------------------------------
     def begin_cycle(self, now: int) -> None:
@@ -56,6 +63,7 @@ class ExternalMemory:
         self.in_flight.append(request)
         self.total_accepted += 1
         self._accepted_this_cycle = True
+        self._clock.ticks += 1
 
     # ------------------------------------------------------------------
     def ready_requests(self, now: int) -> list[MemoryRequest]:
@@ -79,8 +87,24 @@ class ExternalMemory:
                 done = request.remaining_bytes == 0
             if done:
                 request.completed = True
+                self._clock.ticks += 1
                 if request.on_complete is not None:
                     request.on_complete(now)
             else:
                 still_flying.append(request)
         self.in_flight = still_flying
+
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest ``ready_at`` among in-flight requests, else ``IDLE``.
+
+        Once a request turns ready, its deliveries/retirement generate
+        ticks every cycle, so ``ready_at`` is the only timed event this
+        component owns.
+        """
+        nxt = IDLE
+        for request in self.in_flight:
+            ready = request.ready_at
+            if ready is not None and ready < nxt:
+                nxt = ready
+        return nxt

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..core.scheduler import IDLE, ProgressClock
 from .fpu import FPU_OPERAND_A, FPU_RESULT, FpuLatencies
 from .requests import MemoryRequest, RequestKind
 
@@ -31,7 +32,13 @@ __all__ = ["TimedFpu"]
 class TimedFpu:
     """Timing-only model of the memory-mapped floating-point chip."""
 
-    def __init__(self, latencies: FpuLatencies, trigger_kinds, op_queue_capacity: int = 8):
+    def __init__(
+        self,
+        latencies: FpuLatencies,
+        trigger_kinds,
+        op_queue_capacity: int = 8,
+        clock: ProgressClock | None = None,
+    ):
         """``trigger_kinds`` maps trigger addresses to operation names
         (taken from :mod:`repro.memory.fpu` so the two models can never
         disagree about the address map)."""
@@ -47,6 +54,7 @@ class TimedFpu:
         self._result_loads: deque[MemoryRequest] = deque()
         self.operations_started = 0
         self.results_delivered = 0
+        self._clock = clock if clock is not None else ProgressClock()
 
     # ------------------------------------------------------------------
     # Output-bus side
@@ -64,6 +72,7 @@ class TimedFpu:
 
     def accept(self, request: MemoryRequest, now: int) -> None:
         request.accepted_at = now
+        self._clock.ticks += 1
         if request.kind == RequestKind.STORE:
             kind = self._trigger_kinds.get(request.address)
             if kind is not None:
@@ -89,6 +98,7 @@ class TimedFpu:
         """Move finished operations to the ready-result FIFO."""
         while self._ops_pending and self._ops_pending[0] <= now:
             self._results_ready.append(self._ops_pending.popleft())
+            self._clock.ticks += 1
 
     def deliverable_load(self, now: int) -> MemoryRequest | None:
         """The oldest result load whose result is ready, if any."""
@@ -103,11 +113,26 @@ class TimedFpu:
         request.delivered_bytes = request.size
         request.completed = True
         self.results_delivered += 1
+        self._clock.ticks += 1
         if request.on_chunk is not None:
             request.on_chunk(0, request.size, now)
         if request.on_complete is not None:
             request.on_complete(now)
         return request
+
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """Completion time of the oldest pending operation, else ``IDLE``.
+
+        An operation finishing is the FPU's only timed event: it readies
+        a result for delivery *and* frees an op-queue slot (which can
+        unblock a trigger store waiting at output-bus arbitration).
+        Ready results and queued result loads are event-woken — they
+        only wait on input-bus arbitration or new acceptances.
+        """
+        if self._ops_pending:
+            return self._ops_pending[0]
+        return IDLE
 
     # ------------------------------------------------------------------
     @property

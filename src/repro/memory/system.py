@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from ..core.scheduler import ProgressClock
 from ..core.trace import NULL_TRACER, Tracer
 from .external import ExternalMemory
 from .fpu import FPU_BASE, FpuLatencies, is_fpu_address
@@ -84,16 +85,24 @@ class MemorySystem:
         priority: RequestPriority,
         fpu_latencies: FpuLatencies | None = None,
         tracer: Tracer | None = None,
+        clock: ProgressClock | None = None,
     ):
         if input_bus_width < 4:
             raise ValueError("input bus must be at least 4 bytes wide")
-        self.external = ExternalMemory(access_time, pipelined)
-        self.fpu = TimedFpu(fpu_latencies or FpuLatencies(), _FPUTRIGGER_OPERATIONS)
+        clock = clock if clock is not None else ProgressClock()
+        self._clock = clock
+        self.external = ExternalMemory(access_time, pipelined, clock=clock)
+        self.fpu = TimedFpu(
+            fpu_latencies or FpuLatencies(), _FPUTRIGGER_OPERATIONS, clock=clock
+        )
         self.input_bus_width = input_bus_width
         self.priority = priority
         self.stats = MemoryStats()
         self._sources: list[RequestSource] = []
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: candidate count of the most recent acceptance conflict (the
+        #: skip scheduler replays per-idle-cycle conflict events with it)
+        self.last_conflict_candidates = 0
 
     def register_source(self, source: RequestSource) -> None:
         self._sources.append(source)
@@ -150,6 +159,7 @@ class MemorySystem:
                 request.on_chunk(offset, transferred, now)
         self.stats.input_bus_busy_cycles += 1
         self.stats.input_bus_bytes += transferred
+        self._clock.ticks += 1
 
     # ------------------------------------------------------------------
     # Output bus (acceptances) — call last each cycle
@@ -163,6 +173,7 @@ class MemorySystem:
             return
         if len(candidates) > 1:
             self.stats.acceptance_conflicts += 1
+            self.last_conflict_candidates = len(candidates)
             if self._tracer.enabled:
                 self._tracer.emit("mem", "conflict", candidates=len(candidates))
         candidates.sort(key=lambda item: acceptance_order(item[0], self.priority))
@@ -211,6 +222,13 @@ class MemorySystem:
             stats.ifetch_demand_accepted += 1
         else:
             stats.ifetch_prefetch_accepted += 1
+
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest timed event across the external memory and the FPU."""
+        nxt = self.external.next_event_cycle(now)
+        fpu = self.fpu.next_event_cycle(now)
+        return fpu if fpu < nxt else nxt
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,193 @@
+"""Skip-on vs skip-off differential matrix.
+
+The idle-cycle-skipping scheduler (``repro.core.scheduler``) promises
+**trace-identical accounting**: for any configuration, running with
+``skip=True`` must produce the same cycle count, the same stats dict,
+and a byte-identical JSONL event stream as the reference cycle-by-cycle
+loop.  This suite enforces that promise over the same configuration
+matrix ``test_trace_crosscheck`` sweeps (all Table II PIPE points,
+Hill's prefetch policies, the TIB machine, and the ablation knobs), and
+pins down the satellite guarantees: errors raised mid-skip report the
+true architectural cycle, and the escape hatches actually select the
+reference engine.
+
+On mismatch a cycles-diff report is written to
+``test-reports/cycles-diff.txt`` (override the directory with
+``REPRO_DIFF_REPORT_DIR``) so CI can upload it as an artifact.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import MachineConfig
+from repro.core.scheduler import IDLE, ProgressClock, skip_enabled_default
+from repro.core.simulator import (
+    DeadlockError,
+    SimulationTimeout,
+    Simulator,
+    simulate,
+    simulate_traced,
+)
+from repro.kernels.suite import build_livermore_program
+from tests.test_trace_crosscheck import CONFIGS
+
+
+@pytest.fixture(scope="module")
+def single_loop_program():
+    return build_livermore_program(scale=0.05, loops=(3,))
+
+
+def _report_mismatch(name: str, lines: list[str]) -> None:
+    """Append a cycles-diff report for CI to upload on failure."""
+    report_dir = Path(os.environ.get("REPRO_DIFF_REPORT_DIR", "test-reports"))
+    report_dir.mkdir(parents=True, exist_ok=True)
+    with open(report_dir / "cycles-diff.txt", "a", encoding="utf-8") as fh:
+        fh.write(f"=== {name} ===\n")
+        for line in lines:
+            fh.write(line + "\n")
+
+
+def _first_trace_divergence(on_path: Path, off_path: Path) -> list[str]:
+    on_lines = on_path.read_text().splitlines()
+    off_lines = off_path.read_text().splitlines()
+    for index, (a, b) in enumerate(zip(on_lines, off_lines)):
+        if a != b:
+            return [
+                f"first divergence at trace line {index + 1}:",
+                f"  skip-on : {a}",
+                f"  skip-off: {b}",
+            ]
+    return [
+        f"trace lengths differ: skip-on={len(on_lines)} "
+        f"skip-off={len(off_lines)} lines"
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_skip_and_reference_are_byte_identical(name, single_loop_program, tmp_path):
+    config = CONFIGS[name]
+    on_path = tmp_path / "on.jsonl"
+    off_path = tmp_path / "off.jsonl"
+    result_on = simulate_traced(config, single_loop_program, on_path, skip=True)
+    result_off = simulate_traced(config, single_loop_program, off_path, skip=False)
+
+    lines: list[str] = []
+    if result_on.cycles != result_off.cycles:
+        lines.append(
+            f"cycles: skip-on={result_on.cycles} skip-off={result_off.cycles}"
+        )
+    dict_on, dict_off = result_on.to_dict(), result_off.to_dict()
+    if dict_on != dict_off:
+        for key in sorted(set(dict_on) | set(dict_off)):
+            if dict_on.get(key) != dict_off.get(key):
+                lines.append(
+                    f"stats[{key!r}]: skip-on={json.dumps(dict_on.get(key))} "
+                    f"skip-off={json.dumps(dict_off.get(key))}"
+                )
+    if on_path.read_bytes() != off_path.read_bytes():
+        lines.extend(_first_trace_divergence(on_path, off_path))
+    if lines:
+        _report_mismatch(name, lines)
+    assert lines == []
+
+
+def test_untraced_results_identical(single_loop_program):
+    """Without a tracer the stats books must still agree exactly."""
+    config = MachineConfig.conventional(128, memory_access_time=32)
+    result_on = simulate(config, single_loop_program, skip=True)
+    result_off = simulate(config, single_loop_program, skip=False)
+    assert result_on.to_dict() == result_off.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Errors raised mid-skip must report the true architectural cycle and
+# name the engine that was active (satellite: error fidelity).
+# ----------------------------------------------------------------------
+def test_timeout_mid_skip_reports_true_cycle(single_loop_program):
+    # A huge memory latency makes the run quiescent almost immediately,
+    # so the skip engine jumps straight into the max_cycles wall.
+    config = MachineConfig.conventional(
+        128, memory_access_time=1_000, max_cycles=50
+    )
+    with pytest.raises(SimulationTimeout) as fast:
+        simulate(config, single_loop_program, skip=True)
+    with pytest.raises(SimulationTimeout) as slow:
+        simulate(config, single_loop_program, skip=False)
+    assert fast.value.cycle == slow.value.cycle == 50
+    assert fast.value.fast_path is True
+    assert slow.value.fast_path is False
+    assert "idle-skip" in str(fast.value)
+    assert "reference" in str(slow.value)
+    assert "at cycle 50" in str(fast.value)
+
+
+def _starved_simulator(skip: bool) -> Simulator:
+    program = assemble("loop: lbr b0, loop\npbra b0, 0\nhalt")
+    config = MachineConfig.pipe("16-16", 512, max_cycles=100_000)
+    sim = Simulator(config, program, skip=skip)
+    sim.DEADLOCK_CYCLES = 200
+    sim.frontend.next_instruction = lambda: None
+    sim.frontend.poll_requests = lambda now: []
+    return sim
+
+
+def test_deadlock_mid_skip_matches_reference_cycle():
+    with pytest.raises(DeadlockError) as fast:
+        _starved_simulator(skip=True).run()
+    with pytest.raises(DeadlockError) as slow:
+        _starved_simulator(skip=False).run()
+    assert fast.value.cycle == slow.value.cycle
+    assert fast.value.fast_path is True
+    assert slow.value.fast_path is False
+    assert "no progress" in str(fast.value)
+    assert "idle-skip" in str(fast.value)
+    assert "reference" in str(slow.value)
+    # The two engines must also agree on when progress last happened.
+    assert str(fast.value).split("(")[0] == str(slow.value).split("(")[0]
+
+
+# ----------------------------------------------------------------------
+# Escape hatches
+# ----------------------------------------------------------------------
+def test_no_skip_env_var_disables_skipping(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_SKIP", "1")
+    assert skip_enabled_default() is False
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"))
+    assert sim.skip is False
+
+
+def test_skip_enabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_SKIP", raising=False)
+    assert skip_enabled_default() is True
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"))
+    assert sim.skip is True
+
+
+def test_explicit_skip_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_SKIP", "1")
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"), skip=True)
+    assert sim.skip is True
+
+
+# ----------------------------------------------------------------------
+# Protocol sanity
+# ----------------------------------------------------------------------
+def test_progress_clock_ticks():
+    clock = ProgressClock()
+    assert clock.ticks == 0
+    clock.tick()
+    assert clock.ticks == 1
+    assert "1" in repr(clock)
+
+
+def test_component_hints_are_idle_when_nothing_pending():
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"))
+    assert sim.memory.next_event_cycle(0) == IDLE
+    assert sim.backend.next_event_cycle(0) == IDLE
+    assert sim.engine.next_event_cycle(0) == IDLE
+    assert sim.frontend.next_event_cycle(0) == IDLE
+    assert sim.cache.next_event_cycle(0) == IDLE
