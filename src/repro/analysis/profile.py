@@ -18,7 +18,16 @@ from ..core.config import MachineConfig
 from ..core.simulator import Simulator
 from ..cpu.functional import FunctionalSimulator
 
-__all__ = ["LoopProfile", "ProfileReport", "profile_program", "render_profile"]
+__all__ = [
+    "EngineLoopProfile",
+    "EngineProfileReport",
+    "LoopProfile",
+    "ProfileReport",
+    "profile_engine",
+    "profile_program",
+    "render_engine_profile",
+    "render_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -118,6 +127,130 @@ def profile_program(
         )
     )
     return ProfileReport(config=config, total_cycles=now, loops=loops)
+
+
+# ----------------------------------------------------------------------
+# Engine-level profile: where the replay engine spends and saves cycles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineLoopProfile:
+    """One backedge target's replay statistics, mapped to its loop."""
+
+    name: str
+    target: int
+    phase: str
+    live_iterations: int
+    replayed_iterations: int
+    iteration_cycles: int | None
+    replayed_cycles: int
+    verify_failures: int
+    signature_restarts: int
+    signature_mismatches: int
+    divergences: int
+
+    @property
+    def live_cycles(self) -> int | None:
+        """Approximate cycles spent simulating this loop live."""
+        if self.iteration_cycles is None:
+            return None
+        return self.live_iterations * self.iteration_cycles
+
+    @property
+    def replayed_fraction(self) -> float:
+        """Share of this loop's iterations that were replayed."""
+        total = self.live_iterations + self.replayed_iterations
+        return self.replayed_iterations / total if total else 0.0
+
+
+@dataclass
+class EngineProfileReport:
+    config: MachineConfig
+    total_cycles: int
+    replayed_cycles: int
+    replayed_iterations: int
+    loops: list[EngineLoopProfile]
+
+    @property
+    def replayed_cycle_fraction(self) -> float:
+        return self.replayed_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+def profile_engine(
+    config: MachineConfig,
+    program: Program,
+    regions: list[tuple[str, int, int]],
+) -> EngineProfileReport:
+    """Run with the replay engine on and report what it memoized.
+
+    Each loop backedge target the :class:`~repro.core.replay.ReplayController`
+    tracked is mapped back to its benchmark loop, with live vs replayed
+    iteration and cycle counts plus the signature-match statistics
+    (verify failures, restarts, mismatches, divergences) that explain
+    why a loop did or did not engage.
+    """
+    region_map = _RegionMap(regions)
+    simulator = Simulator(config, program, replay=True)
+    result = simulator.run()
+    controller = simulator.replay_controller
+    loops = [
+        EngineLoopProfile(
+            name=region_map.lookup(report["target"]) or "(outside)",
+            target=report["target"],
+            phase=report["phase"],
+            live_iterations=report["live_iterations"],
+            replayed_iterations=report["replayed_iterations"],
+            iteration_cycles=report["iteration_cycles"],
+            replayed_cycles=report["replayed_cycles"],
+            verify_failures=report["verify_failures"],
+            signature_restarts=report["signature_restarts"],
+            signature_mismatches=report["signature_mismatches"],
+            divergences=report["divergences"],
+        )
+        for report in controller.loop_reports()
+    ]
+    return EngineProfileReport(
+        config=config,
+        total_cycles=result.cycles,
+        replayed_cycles=controller.replayed_cycles,
+        replayed_iterations=controller.replayed_iterations,
+        loops=loops,
+    )
+
+
+def render_engine_profile(report: EngineProfileReport) -> str:
+    """Text table: per-loop live vs replayed cycles and match statistics."""
+    lines = [
+        f"replay engine profile — {report.config.describe()}",
+        f"{'loop':<12}{'state':<11}{'live it':>8}{'replay it':>10}"
+        f"{'it cyc':>8}{'replay cyc':>11}{'replayed':>10}",
+    ]
+    for loop in report.loops:
+        iteration = loop.iteration_cycles if loop.iteration_cycles else "—"
+        lines.append(
+            f"{loop.name:<12}{loop.phase:<11}{loop.live_iterations:>8}"
+            f"{loop.replayed_iterations:>10}{iteration:>8}"
+            f"{loop.replayed_cycles:>11}{loop.replayed_fraction:>10.1%}"
+        )
+        troubles = []
+        if loop.verify_failures:
+            troubles.append(f"{loop.verify_failures} verify failure(s)")
+        if loop.signature_restarts:
+            troubles.append(f"{loop.signature_restarts} restart(s)")
+        if loop.signature_mismatches:
+            troubles.append(f"{loop.signature_mismatches} mismatch(es)")
+        if loop.divergences:
+            troubles.append(f"{loop.divergences} divergence(s)")
+        if troubles:
+            lines.append(f"{'':<12}  {', '.join(troubles)}")
+    lines.append(
+        f"{'total':<12}{'':<11}{'':>8}{report.replayed_iterations:>10}{'':>8}"
+        f"{report.replayed_cycles:>11}{report.replayed_cycle_fraction:>10.1%}"
+    )
+    lines.append(
+        f"{report.replayed_cycles} of {report.total_cycles} cycles "
+        f"({report.replayed_cycle_fraction:.1%}) accounted arithmetically"
+    )
+    return "\n".join(lines)
 
 
 def render_profile(report: ProfileReport) -> str:

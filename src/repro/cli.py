@@ -37,7 +37,7 @@ from .analysis.tables import (
 )
 from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
 from .core.parallel import parallel_map, resolve_jobs
-from .core.scheduler import NO_SKIP_ENV
+from .core.scheduler import NO_REPLAY_ENV, NO_SKIP_ENV
 from .core.simcache import SimulationCache
 from .core.simulator import simulate, simulate_traced
 from .core.trace import TraceMetrics
@@ -169,12 +169,22 @@ def _make_context(
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from .analysis.profile import profile_program, render_profile
+    from .analysis.profile import (
+        profile_engine,
+        profile_program,
+        render_engine_profile,
+        render_profile,
+    )
 
     suite = cached_livermore_suite(scale=args.scale)
     config = _machine_config(args)
-    report = profile_program(config, suite.program, suite.regions())
-    print(render_profile(report))
+    if args.engine:
+        print(render_engine_profile(
+            profile_engine(config, suite.program, suite.regions())
+        ))
+    else:
+        report = profile_program(config, suite.program, suite.regions())
+        print(render_profile(report))
     return 0
 
 
@@ -323,6 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
         "idle-cycle-skipping scheduler (results are identical; "
         "equivalent to REPRO_NO_SKIP=1)",
     )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="disable steady-state loop replay and simulate every warm "
+        "iteration live (results are identical; equivalent to "
+        "REPRO_NO_REPLAY=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="simulate one configuration")
@@ -395,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--cache", type=int, default=128)
     profile_parser.add_argument("--access", type=int, default=6)
     profile_parser.add_argument("--bus", type=int, default=8)
+    profile_parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="profile the replay engine instead: per-loop live vs "
+        "replayed cycle fractions and signature-match statistics",
+    )
     _add_scale(profile_parser)
     profile_parser.set_defaults(func=_cmd_profile)
 
@@ -436,6 +459,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.no_skip:
         # Via the environment so parallel sweep workers inherit it too.
         os.environ[NO_SKIP_ENV] = "1"
+    if args.no_replay:
+        os.environ[NO_REPLAY_ENV] = "1"
     return args.func(args)
 
 

@@ -37,8 +37,11 @@ import os
 __all__ = [
     "ENGINE_REVISION",
     "IDLE",
+    "NO_REPLAY_ENV",
     "NO_SKIP_ENV",
     "ProgressClock",
+    "SeqCounter",
+    "replay_enabled_default",
     "skip_enabled_default",
 ]
 
@@ -48,16 +51,28 @@ IDLE: int = 1 << 62
 
 #: Folded into simulation-cache keys so blobs produced by a different
 #: scheduling engine never satisfy a lookup.  Bump on any change to the
-#: skip scheduler's accounting.
-ENGINE_REVISION = "skip-1"
+#: skip scheduler's or the replay engine's accounting.
+ENGINE_REVISION = "skip-1+replay-1"
 
 #: Environment variable forcing the reference (no-skip) loop.
 NO_SKIP_ENV = "REPRO_NO_SKIP"
+
+#: Environment variable disabling steady-state loop replay.
+NO_REPLAY_ENV = "REPRO_NO_REPLAY"
 
 
 def skip_enabled_default() -> bool:
     """Idle-cycle skipping defaults to on unless ``REPRO_NO_SKIP`` is set."""
     return os.environ.get(NO_SKIP_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+def replay_enabled_default() -> bool:
+    """Loop replay defaults to on unless ``REPRO_NO_REPLAY`` is set."""
+    return os.environ.get(NO_REPLAY_ENV, "").strip().lower() not in (
         "1",
         "true",
         "yes",
@@ -82,3 +97,26 @@ class ProgressClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ProgressClock ticks={self.ticks}>"
+
+
+class SeqCounter:
+    """The machine-wide request/queue-entry sequence allocator.
+
+    Functionally ``itertools.count()``, but with the current position
+    exposed as :attr:`value` so the replay engine can fold a whole loop
+    iteration's allocations into one arithmetic advance (and the state
+    signature can express live sequence numbers relative to it).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def __call__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SeqCounter value={self.value}>"

@@ -31,11 +31,24 @@ when traced — the per-idle-cycle ``backend stall`` / ``mem conflict``
 events) arithmetically, so results and traces are byte-identical to
 the reference loop.  ``skip=False`` or ``REPRO_NO_SKIP=1`` selects the
 reference cycle-by-cycle loop for differential testing.
+
+**Steady-state loop replay.**  On top of idle-cycle skipping, the
+:class:`~repro.core.replay.ReplayController` memoizes warm loop
+iterations: at loop backedges the machine is fingerprinted via the
+components' ``state_signature`` hooks, and once a recorded iteration
+is reproduced exactly by the next live iteration, further iterations
+are applied *arithmetically* — a counter-silent shadow functional pass
+advances registers, memory, and queue values, every simulation counter
+advances by its recorded delta, and all timed state shifts by the
+iteration's cycle/sequence deltas.  The moment any input differs
+(branch outcome, FPU-window address, ordering-hazard count) the shadow
+is discarded and live simulation resumes from the untouched boundary
+state, so results, stats, and traces stay byte-identical to the
+reference engine.  ``replay=False`` or ``REPRO_NO_REPLAY=1`` disables
+it for differential testing.
 """
 
 from __future__ import annotations
-
-import itertools
 
 from ..asm.program import Program
 from ..cpu.backend import Backend
@@ -46,8 +59,15 @@ from ..frontend.pipe_fetch import PipeFetchUnit
 from ..frontend.tib import TibFetchUnit
 from ..memory.system import MemorySystem
 from .config import FetchStrategy, MachineConfig
+from .replay import ReplayController
 from .results import QueueSnapshot, SimulationResult
-from .scheduler import IDLE, ProgressClock, skip_enabled_default
+from .scheduler import (
+    IDLE,
+    ProgressClock,
+    SeqCounter,
+    replay_enabled_default,
+    skip_enabled_default,
+)
 from .trace import NULL_TRACER, JsonLinesSink, MetricsSink, TraceSink, Tracer
 
 __all__ = [
@@ -103,6 +123,7 @@ class Simulator:
         program: Program,
         tracer: Tracer | None = None,
         skip: bool | None = None,
+        replay: bool | None = None,
     ):
         if program.fmt is not config.instruction_format:
             raise ValueError(
@@ -115,11 +136,20 @@ class Simulator:
         tracer = self.tracer
         #: idle-cycle skipping; ``None`` defers to ``REPRO_NO_SKIP``
         self.skip = skip_enabled_default() if skip is None else bool(skip)
+        #: steady-state loop replay; ``None`` defers to ``REPRO_NO_REPLAY``
+        self.replay_enabled = (
+            replay_enabled_default() if replay is None else bool(replay)
+        )
+        #: the controller of the most recent :meth:`run` (``None`` when
+        #: replay is disabled); the engine profiler reads its reports
+        self.replay_controller: ReplayController | None = None
         self.clock = ProgressClock()
         clock = self.clock
 
-        seq = itertools.count()
-        next_seq = lambda: next(seq)  # noqa: E731 - tiny shared counter
+        #: shared sequence allocator (a plain counter object so the
+        #: replay engine can shift it across memoized iterations)
+        self.seq = SeqCounter()
+        next_seq = self.seq
 
         self.cache = InstructionCache(
             size=config.icache_size,
@@ -225,6 +255,8 @@ class Simulator:
         backend = self.backend
         clock = self.clock
         skip = self.skip
+        replay = ReplayController(self) if self.replay_enabled else None
+        self.replay_controller = replay
         tracer = self.tracer
         traced = tracer.enabled
         deadlock_cycles = self.DEADLOCK_CYCLES
@@ -267,6 +299,17 @@ class Simulator:
                         halted=backend.halted,
                     )
                 break
+            if replay is not None and backend.replay_backedge is not None:
+                target = backend.replay_backedge
+                backend.replay_backedge = None
+                jumped = replay.on_backedge(target, now)
+                if jumped != now:
+                    # Iterations were replayed arithmetically; the
+                    # reference engine recorded progress at every
+                    # snapshot inside the span.
+                    now = jumped
+                    last_ticks = clock.ticks
+                    last_progress_at = now & ~mask
             if not now & mask:
                 ticks = clock.ticks
                 if ticks != last_ticks:
@@ -274,6 +317,8 @@ class Simulator:
                     last_progress_at = now
                 elif now - last_progress_at > deadlock_cycles:
                     raise self._deadlock(now, last_progress_at, fast_path=False)
+                if replay is not None:
+                    replay.check_runaway()
             if now >= max_cycles:
                 raise self._timeout(now, fast_path=False)
             if skip and clock.ticks == ticks_before:
@@ -418,13 +463,16 @@ def simulate(
     program: Program,
     tracer: Tracer | None = None,
     skip: bool | None = None,
+    replay: bool | None = None,
 ) -> SimulationResult:
     """Build a machine for ``config`` and run ``program`` to completion.
 
     ``skip`` selects the idle-cycle-skipping scheduler (default: on,
-    unless ``REPRO_NO_SKIP`` is set); results are identical either way.
+    unless ``REPRO_NO_SKIP`` is set) and ``replay`` the steady-state
+    loop-replay engine (default: on, unless ``REPRO_NO_REPLAY`` is
+    set); results are identical either way.
     """
-    return Simulator(config, program, tracer=tracer, skip=skip).run()
+    return Simulator(config, program, tracer=tracer, skip=skip, replay=replay).run()
 
 
 def simulate_traced(
@@ -435,6 +483,7 @@ def simulate_traced(
     sinks: tuple[TraceSink, ...] = (),
     metrics: bool = True,
     skip: bool | None = None,
+    replay: bool | None = None,
 ) -> SimulationResult:
     """Run ``program`` with tracing enabled.
 
@@ -444,7 +493,9 @@ def simulate_traced(
     carries its counters.  Extra ``sinks`` are attached as given.  All
     sinks are closed when the run finishes (or fails).  ``skip`` selects
     the idle-cycle-skipping scheduler (default: on, unless
-    ``REPRO_NO_SKIP`` is set); the event stream is identical either way.
+    ``REPRO_NO_SKIP`` is set) and ``replay`` the steady-state
+    loop-replay engine (default: on, unless ``REPRO_NO_REPLAY`` is
+    set); the event stream is identical either way.
     """
     tracer = Tracer()
     if trace_path is not None:
@@ -454,6 +505,8 @@ def simulate_traced(
     for sink in sinks:
         tracer.attach(sink)
     try:
-        return Simulator(config, program, tracer=tracer, skip=skip).run()
+        return Simulator(
+            config, program, tracer=tracer, skip=skip, replay=replay
+        ).run()
     finally:
         tracer.close()

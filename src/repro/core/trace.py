@@ -97,12 +97,17 @@ class Tracer:
     ``if tracer.enabled:`` so the disabled path costs one branch.
     """
 
-    __slots__ = ("cycle", "enabled", "_sinks")
+    __slots__ = ("cycle", "enabled", "record", "_sinks")
 
     def __init__(self, sinks: Iterable[TraceSink] = ()):
         self._sinks: list[TraceSink] = list(sinks)
         self.enabled = bool(self._sinks)
         self.cycle = 0
+        #: When the replay engine records a loop iteration it points this
+        #: at a list; every emitted event is appended as
+        #: ``(cycle, component, kind, fields)`` alongside normal sink
+        #: delivery.  ``None`` (the default) records nothing.
+        self.record: list | None = None
 
     def attach(self, sink: TraceSink) -> TraceSink:
         """Add a sink (before the run starts) and return it."""
@@ -113,6 +118,8 @@ class Tracer:
     def emit(self, component: str, kind: str, /, **fields) -> None:
         for sink in self._sinks:
             sink.emit(self.cycle, component, kind, fields)
+        if self.record is not None:
+            self.record.append((self.cycle, component, kind, fields))
 
     def close(self) -> None:
         for sink in self._sinks:

@@ -113,6 +113,12 @@ class Backend:
         self.stalls: dict[str, int] = {reason: 0 for reason in StallReason.ALL}
         self._pending: _PendingBranch | None = None
         self._env = _BackendEnv(engine)
+        #: replay recording: when a list, every issue appends
+        #: ``("i", pc, instruction, outcome)``
+        self.issue_log: list | None = None
+        #: target of a backward redirect taken this cycle (a loop
+        #: backedge); the replay run loop reads and clears it
+        self.replay_backedge: int | None = None
 
     # ------------------------------------------------------------------
     def _stall(self, reason: str) -> None:
@@ -140,8 +146,11 @@ class Backend:
                 return False
             # Taken (not-taken branches were cleared at notification).
             self._clock.ticks += 1
-            self.frontend.redirect(pending.target, now)
+            target = pending.target
+            self.frontend.redirect(target, now)
             self._pending = None
+            if self.last_pc is not None and target < self.last_pc:
+                self.replay_backedge = target
         return True
 
     def step(self, now: int) -> bool:
@@ -173,6 +182,8 @@ class Backend:
             return False
 
         outcome = execute(instruction, self.state, self._env)
+        if self.issue_log is not None:
+            self.issue_log.append(("i", pc, instruction, outcome))
         self._clock.ticks += 1
         self.frontend.consume(now)
         self.instructions += 1
@@ -221,6 +232,33 @@ class Backend:
         if pending is not None and not pending.notified:
             return pending.resolve_at
         return IDLE
+
+    # ------------------------------------------------------------------
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """Issue-side fingerprint: pending branch, halt/stall posture,
+        and the branch registers (PBR targets recur; data registers are
+        excluded — functional re-execution advances them)."""
+        pending = self._pending
+        return (
+            self.halted,
+            self.last_pc,
+            self.last_stall_reason,
+            None
+            if pending is None
+            else (
+                pending.target,
+                pending.taken,
+                pending.resolve_at - now,
+                pending.slots_remaining,
+                pending.notified,
+            ),
+            self.state.branch_signature(),
+        )
+
+    def replay_shift(self, cycles: int, seqs: int) -> None:
+        """Advance the pending branch's resolution time after a replay."""
+        if self._pending is not None:
+            self._pending.resolve_at += cycles
 
     # ------------------------------------------------------------------
     @property

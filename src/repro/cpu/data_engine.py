@@ -118,6 +118,11 @@ class DataQueueEngine:
         self.stats = DataEngineStats()
         self._offered: MemoryRequest | None = None
         self._offered_is_store = False
+        #: replay recording: when a list, issue-side pushes append
+        #: ``("laq", addr, seq, hazards)`` / ``("saq", addr, seq)`` /
+        #: ``("sdq", value, seq)`` and store departures append
+        #: ``("sd",)``, in true temporal order
+        self.replay_log: list | None = None
 
     # ------------------------------------------------------------------
     # Functional memory
@@ -184,19 +189,27 @@ class DataQueueEngine:
                     f"load from {address:#x} while a store to the same address "
                     "awaits its SDQ data — miscompiled program"
                 )
+        hazards = 0
         for entry in self.saq:
             if entry.address == address:
+                hazards += 1
                 self.stats.ordering_hazards += 1
                 if self._tracer.enabled:
                     self._tracer.emit("engine", "hazard", addr=address)
         value = self._functional_read(address)
-        self.laq.push(_LaqEntry(address=address, value=value, seq=self._next_seq()))
+        seq = self._next_seq()
+        self.laq.push(_LaqEntry(address=address, value=value, seq=seq))
+        if self.replay_log is not None:
+            self.replay_log.append(("laq", address, seq, hazards))
         self.stats.loads_issued += 1
         if is_fpu_address(address):
             self.stats.fpu_loads += 1
 
     def push_saq(self, address: int) -> None:
-        self.saq.push(_SaqEntry(address=address, seq=self._next_seq()))
+        seq = self._next_seq()
+        self.saq.push(_SaqEntry(address=address, seq=seq))
+        if self.replay_log is not None:
+            self.replay_log.append(("saq", address, seq))
         self._uncommitted_addresses.append(address)
         self._commit_pending_stores()
         self.stats.stores_issued += 1
@@ -204,7 +217,10 @@ class DataQueueEngine:
             self.stats.fpu_stores += 1
 
     def push_sdq(self, value: int) -> None:
-        self.sdq.push(_SdqEntry(value=value, seq=self._next_seq()))
+        seq = self._next_seq()
+        self.sdq.push(_SdqEntry(value=value, seq=seq))
+        if self.replay_log is not None:
+            self.replay_log.append(("sdq", value, seq))
         self._uncommitted_data.append(value)
         self._commit_pending_stores()
 
@@ -275,6 +291,8 @@ class DataQueueEngine:
         if self._offered_is_store:
             self.saq.pop()
             self.sdq.pop()
+            if self.replay_log is not None:
+                self.replay_log.append(("sd",))
             return
         entry = self.laq.pop()
         flight = _InFlightLoad(value=entry.value)
@@ -296,6 +314,28 @@ class DataQueueEngine:
         The engine never schedules an event on its own clock.
         """
         return IDLE
+
+    # ------------------------------------------------------------------
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """Queue-pipeline fingerprint with anchor-relative seqs.
+
+        Addresses and values are data (they stride across iterations and
+        are re-derived by functional re-execution); what must recur is
+        the *shape*: occupancies, arrival flags, and each entry's age
+        relative to the sequence allocator, which drives load-vs-store
+        ordering at output-bus arbitration.  ``_offered`` is rebuilt by
+        every poll, so it never participates.
+        """
+        return (
+            self.ldq.state_signature(),
+            tuple(flight.arrived for flight in self._in_flight_loads),
+            tuple(entry.seq - base_seq for entry in self.laq),
+            tuple(entry.seq - base_seq for entry in self.saq),
+            tuple(entry.seq - base_seq for entry in self.sdq),
+            len(self._uncommitted_addresses),
+            len(self._uncommitted_data),
+            self.fpu_core.results_pending,
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -118,6 +118,17 @@ class ArchitecturalQueue(Generic[T]):
     def clear(self) -> None:
         self._items.clear()
 
+    # ------------------------------------------------------------------
+    def state_signature(self) -> tuple:
+        """Occupancy shape for the replay engine's machine fingerprint.
+
+        Entry *contents* are data (addresses and values stride across
+        loop iterations), so only the occupancy participates; the
+        data-engine signature layers entry sequence offsets on top for
+        the queues where relative age drives arbitration.
+        """
+        return (self.name, len(self._items))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<{type(self).__name__} {self.name} "

@@ -71,6 +71,9 @@ class FetchUnit(abc.ABC):
     stats: FetchStats
     #: set by :meth:`halt`; no new fetch work may start afterwards
     _halted: bool = False
+    #: the outstanding off-chip fetch, if any (subclasses rebind these)
+    _request: MemoryRequest | None = None
+    _request_accepted: bool = False
 
     def _install_decoder(
         self,
@@ -96,6 +99,35 @@ class FetchUnit(abc.ABC):
         request still waiting for the output bus is withdrawn.
         """
         self._halted = True
+
+    # -- replay protocol ---------------------------------------------------
+    def _request_signature(self, base_seq: int) -> tuple | None:
+        """Anchor-relative fingerprint of the outstanding fetch request.
+
+        The request's address is included: fetch addresses recur in
+        steady-state loops (unlike data addresses, which stride).
+        """
+        request = self._request
+        if request is None:
+            return None
+        return (
+            request.address,
+            request.size,
+            request.demand,
+            request.seq - base_seq,
+            self._request_accepted,
+            request.delivered_bytes,
+        )
+
+    def replay_shift(self, cycles: int, seqs: int) -> None:
+        """Advance the unaccepted request's seq after a replayed span.
+
+        An *accepted* request lives in the external memory's in-flight
+        set and is shifted there; shifting it here too would double-count.
+        """
+        request = self._request
+        if request is not None and not self._request_accepted:
+            request.seq += seqs
 
     # -- quiescence protocol ----------------------------------------------
     def next_event_cycle(self, now: int) -> int:

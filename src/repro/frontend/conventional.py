@@ -296,6 +296,17 @@ class ConventionalFetchUnit(FetchUnit):
     def progress_signature(self) -> tuple:
         return super().progress_signature() + (self._pc,)
 
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """PC, outstanding request, and prefetch-policy bookkeeping."""
+        return (
+            self._halted,
+            self._pc,
+            self._request_signature(base_seq),
+            self._request_is_demand,
+            self._miss_prefetch_block,
+            frozenset(self._tagged_blocks),
+        )
+
     def describe_state(self) -> str:
         return (
             f"{super().describe_state()} pc={self._pc:#x} "

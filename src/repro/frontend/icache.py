@@ -220,6 +220,21 @@ class InstructionCache:
         """
         return IDLE
 
+    def state_signature(self) -> tuple:
+        """Per-set (tag, valid-bits) in LRU-rank order.
+
+        The monotonic LRU clock never recurs, so absolute stamps are
+        normalised to their rank within the set — replacement decisions
+        depend only on that relative order.
+        """
+        return tuple(
+            tuple(
+                (way.tag, tuple(way.valid))
+                for way in sorted(ways, key=lambda way: way.stamp)
+            )
+            for ways in self._sets
+        )
+
     def invalidate_all(self) -> None:
         """Flush the cache (used between benchmark phases in tests)."""
         for ways in self._sets:

@@ -442,6 +442,30 @@ class PipeFetchUnit(FetchUnit):
             self._iqb_valid_end,
         )
 
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """Full fetch-pipeline fingerprint: IQ contents, IQB window,
+        outstanding request, latched span parcel, and pending PBR.
+
+        IQ entries reduce to ``(pc, size)`` — the image is immutable, so
+        the pc determines the instruction."""
+        branch = self._branch
+        base = self._request_signature(base_seq)
+        return (
+            self._halted,
+            tuple((pc, size) for pc, _instruction, size in self._iq),
+            self._iq_bytes,
+            self._iq_next_pc,
+            self._iqb_loaded,
+            self._iqb_base,
+            self._iqb_read_pc,
+            self._iqb_valid_end,
+            None if base is None else base + (self._request_discarded,),
+            self._span_pc,
+            None
+            if branch is None
+            else (branch.target, branch.delay_end_pc, branch.resolved, branch.taken),
+        )
+
     def describe_state(self) -> str:
         return (
             f"{super().describe_state()} IQ={len(self._iq)} entries "

@@ -274,6 +274,22 @@ class TibFetchUnit(FetchUnit):
             f"tib_hits={self.stats.tib_hits}/{self.stats.tib_hits + self.stats.tib_misses}"
         )
 
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """Stream window, outstanding request, and TIB entries in
+        LRU-rank order (the monotonic allocation clock never recurs, so
+        absolute stamps are normalised to their rank)."""
+        ranked = sorted(self._entries, key=lambda entry: entry.stamp)
+        return (
+            self._halted,
+            self._pc,
+            self._valid_end,
+            self._request_signature(base_seq),
+            tuple(
+                (entry.target, entry.valid_bytes, entry.filling) for entry in ranked
+            ),
+            None if self._fill_entry is None else ranked.index(self._fill_entry),
+        )
+
     def branch_resolved(self, taken: bool) -> None:
         pass
 

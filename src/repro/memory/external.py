@@ -95,6 +95,41 @@ class ExternalMemory:
         self.in_flight = still_flying
 
     # ------------------------------------------------------------------
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """In-flight request shape with times/seqs made anchor-relative.
+
+        Instruction-fetch addresses recur in a steady-state loop and are
+        kept verbatim; data addresses stride and are excluded (the replay
+        engine re-derives them functionally).  ``on_chunk``/``on_complete``
+        presence distinguishes an abandoned fetch from a live one.
+        """
+        return tuple(
+            (
+                request.kind.value,
+                request.address if request.kind is RequestKind.IFETCH else None,
+                request.size,
+                request.demand,
+                request.seq - base_seq,
+                None if request.accepted_at is None else request.accepted_at - now,
+                None if request.ready_at is None else request.ready_at - now,
+                request.delivered_bytes,
+                request.completed,
+                request.on_chunk is None,
+                request.on_complete is None,
+            )
+            for request in self.in_flight
+        )
+
+    def replay_shift(self, cycles: int, seqs: int) -> None:
+        """Advance every in-flight request by a replayed span's deltas."""
+        for request in self.in_flight:
+            if request.accepted_at is not None:
+                request.accepted_at += cycles
+            if request.ready_at is not None:
+                request.ready_at += cycles
+            request.seq += seqs
+
+    # ------------------------------------------------------------------
     def next_event_cycle(self, now: int) -> int:
         """Earliest ``ready_at`` among in-flight requests, else ``IDLE``.
 

@@ -121,6 +121,41 @@ class TimedFpu:
         return request
 
     # ------------------------------------------------------------------
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """Operation/result pipeline shape with anchor-relative times.
+
+        ``_busy_until`` in the past is normalised to ``None`` — the unit
+        only ever compares it against ``now`` via ``max()``, so any stale
+        value behaves identically.
+        """
+        return (
+            tuple(finish - now for finish in self._ops_pending),
+            len(self._results_ready),
+            self._busy_until - now if self._busy_until > now else None,
+            tuple(
+                (
+                    request.seq - base_seq,
+                    None
+                    if request.accepted_at is None
+                    else request.accepted_at - now,
+                )
+                for request in self._result_loads
+            ),
+        )
+
+    def replay_shift(self, cycles: int, seqs: int) -> None:
+        """Advance all absolute times/seqs by a replayed span's deltas."""
+        if self._ops_pending:
+            self._ops_pending = deque(t + cycles for t in self._ops_pending)
+        if self._results_ready:
+            self._results_ready = deque(t + cycles for t in self._results_ready)
+        self._busy_until += cycles
+        for request in self._result_loads:
+            if request.accepted_at is not None:
+                request.accepted_at += cycles
+            request.seq += seqs
+
+    # ------------------------------------------------------------------
     def next_event_cycle(self, now: int) -> int:
         """Completion time of the oldest pending operation, else ``IDLE``.
 

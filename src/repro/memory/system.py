@@ -224,6 +224,24 @@ class MemorySystem:
             stats.ifetch_prefetch_accepted += 1
 
     # ------------------------------------------------------------------
+    def state_signature(self, now: int, base_seq: int) -> tuple:
+        """Combined fingerprint of the external memory and the timed FPU.
+
+        The facade itself holds no timing state; ``_accepted_this_cycle``
+        and ``last_conflict_candidates`` are always rewritten before
+        their next read, so neither participates.
+        """
+        return (
+            self.external.state_signature(now, base_seq),
+            self.fpu.state_signature(now, base_seq),
+        )
+
+    def replay_shift(self, cycles: int, seqs: int) -> None:
+        """Advance all absolute times/seqs by a replayed span's deltas."""
+        self.external.replay_shift(cycles, seqs)
+        self.fpu.replay_shift(cycles, seqs)
+
+    # ------------------------------------------------------------------
     def next_event_cycle(self, now: int) -> int:
         """Earliest timed event across the external memory and the FPU."""
         nxt = self.external.next_event_cycle(now)

@@ -1,15 +1,18 @@
-"""Skip-on vs skip-off differential matrix.
+"""Three-way engine differential matrix.
 
-The idle-cycle-skipping scheduler (``repro.core.scheduler``) promises
-**trace-identical accounting**: for any configuration, running with
-``skip=True`` must produce the same cycle count, the same stats dict,
-and a byte-identical JSONL event stream as the reference cycle-by-cycle
-loop.  This suite enforces that promise over the same configuration
-matrix ``test_trace_crosscheck`` sweeps (all Table II PIPE points,
-Hill's prefetch policies, the TIB machine, and the ablation knobs), and
-pins down the satellite guarantees: errors raised mid-skip report the
-true architectural cycle, and the escape hatches actually select the
-reference engine.
+The fast-path engines promise **trace-identical accounting**: for any
+configuration, the idle-cycle-skipping scheduler (``skip=True``) and
+the steady-state loop-replay engine layered on top of it
+(``skip=True, replay=True``) must both produce the same cycle count,
+the same stats dict, and a byte-identical JSONL event stream as the
+reference cycle-by-cycle loop.  This suite enforces that promise over
+the same configuration matrix ``test_trace_crosscheck`` sweeps (all
+Table II PIPE points, Hill's prefetch policies, the TIB machine, and
+the ablation knobs), and pins down the satellite guarantees: errors
+raised mid-skip or mid-replay report the true architectural cycle, and
+the escape hatches (``skip=False`` / ``REPRO_NO_SKIP``,
+``replay=False`` / ``REPRO_NO_REPLAY``) actually select the reference
+paths.
 
 On mismatch a cycles-diff report is written to
 ``test-reports/cycles-diff.txt`` (override the directory with
@@ -24,7 +27,12 @@ import pytest
 
 from repro.asm import assemble
 from repro.core.config import MachineConfig
-from repro.core.scheduler import IDLE, ProgressClock, skip_enabled_default
+from repro.core.scheduler import (
+    IDLE,
+    ProgressClock,
+    replay_enabled_default,
+    skip_enabled_default,
+)
 from repro.core.simulator import (
     DeadlockError,
     SimulationTimeout,
@@ -34,6 +42,13 @@ from repro.core.simulator import (
 )
 from repro.kernels.suite import build_livermore_program
 from tests.test_trace_crosscheck import CONFIGS
+
+#: the three engines of the differential matrix: (tag, skip, replay)
+ENGINES = (
+    ("reference", False, False),
+    ("idle-skip", True, False),
+    ("skip+replay", True, True),
+)
 
 
 @pytest.fixture(scope="module")
@@ -51,61 +66,92 @@ def _report_mismatch(name: str, lines: list[str]) -> None:
             fh.write(line + "\n")
 
 
-def _first_trace_divergence(on_path: Path, off_path: Path) -> list[str]:
-    on_lines = on_path.read_text().splitlines()
-    off_lines = off_path.read_text().splitlines()
-    for index, (a, b) in enumerate(zip(on_lines, off_lines)):
+def _first_trace_divergence(tag: str, fast: Path, ref: Path) -> list[str]:
+    fast_lines = fast.read_text().splitlines()
+    ref_lines = ref.read_text().splitlines()
+    for index, (a, b) in enumerate(zip(fast_lines, ref_lines)):
         if a != b:
             return [
                 f"first divergence at trace line {index + 1}:",
-                f"  skip-on : {a}",
-                f"  skip-off: {b}",
+                f"  {tag}: {a}",
+                f"  reference: {b}",
             ]
     return [
-        f"trace lengths differ: skip-on={len(on_lines)} "
-        f"skip-off={len(off_lines)} lines"
+        f"trace lengths differ: {tag}={len(fast_lines)} "
+        f"reference={len(ref_lines)} lines"
     ]
 
 
-@pytest.mark.parametrize("name", sorted(CONFIGS))
-def test_skip_and_reference_are_byte_identical(name, single_loop_program, tmp_path):
-    config = CONFIGS[name]
-    on_path = tmp_path / "on.jsonl"
-    off_path = tmp_path / "off.jsonl"
-    result_on = simulate_traced(config, single_loop_program, on_path, skip=True)
-    result_off = simulate_traced(config, single_loop_program, off_path, skip=False)
-
+def _compare(name: str, tag: str, fast, ref, fast_path=None, ref_path=None):
+    """Cycles / stats-dict / trace-bytes equality with a diff report."""
     lines: list[str] = []
-    if result_on.cycles != result_off.cycles:
-        lines.append(
-            f"cycles: skip-on={result_on.cycles} skip-off={result_off.cycles}"
-        )
-    dict_on, dict_off = result_on.to_dict(), result_off.to_dict()
-    if dict_on != dict_off:
-        for key in sorted(set(dict_on) | set(dict_off)):
-            if dict_on.get(key) != dict_off.get(key):
+    if fast.cycles != ref.cycles:
+        lines.append(f"cycles: {tag}={fast.cycles} reference={ref.cycles}")
+    dict_fast, dict_ref = fast.to_dict(), ref.to_dict()
+    if dict_fast != dict_ref:
+        for key in sorted(set(dict_fast) | set(dict_ref)):
+            if dict_fast.get(key) != dict_ref.get(key):
                 lines.append(
-                    f"stats[{key!r}]: skip-on={json.dumps(dict_on.get(key))} "
-                    f"skip-off={json.dumps(dict_off.get(key))}"
+                    f"stats[{key!r}]: {tag}={json.dumps(dict_fast.get(key))} "
+                    f"reference={json.dumps(dict_ref.get(key))}"
                 )
-    if on_path.read_bytes() != off_path.read_bytes():
-        lines.extend(_first_trace_divergence(on_path, off_path))
+    if fast_path is not None and fast_path.read_bytes() != ref_path.read_bytes():
+        lines.extend(_first_trace_divergence(tag, fast_path, ref_path))
     if lines:
-        _report_mismatch(name, lines)
-    assert lines == []
+        _report_mismatch(f"{name} [{tag}]", lines)
+    assert lines == [], f"{name} [{tag}] diverged from the reference engine"
 
 
-def test_untraced_results_identical(single_loop_program):
-    """Without a tracer the stats books must still agree exactly."""
-    config = MachineConfig.conventional(128, memory_access_time=32)
-    result_on = simulate(config, single_loop_program, skip=True)
-    result_off = simulate(config, single_loop_program, skip=False)
-    assert result_on.to_dict() == result_off.to_dict()
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_engines_are_byte_identical(name, single_loop_program, tmp_path):
+    """Reference vs idle-skip vs idle-skip+replay, traced."""
+    config = CONFIGS[name]
+    runs = {}
+    for tag, skip, replay in ENGINES:
+        path = tmp_path / f"{tag.replace('+', '-')}.jsonl"
+        result = simulate_traced(
+            config, single_loop_program, path, skip=skip, replay=replay
+        )
+        runs[tag] = (result, path)
+    ref_result, ref_path = runs["reference"]
+    for tag in ("idle-skip", "skip+replay"):
+        result, path = runs[tag]
+        _compare(name, tag, result, ref_result, path, ref_path)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_engines_identical_untraced(name, single_loop_program):
+    """Without a tracer the stats books must still agree exactly.
+
+    This is the configuration under which replay actually engages on
+    data-striding loops (trace batches with striding payloads block
+    engagement when traced), so it is the stronger replay check.
+    """
+    config = CONFIGS[name]
+    results = {
+        tag: simulate(config, single_loop_program, skip=skip, replay=replay)
+        for tag, skip, replay in ENGINES
+    }
+    for tag in ("idle-skip", "skip+replay"):
+        _compare(name, tag, results[tag], results["reference"])
+
+
+def test_replay_actually_engages(single_loop_program):
+    """Guard against the matrix passing because replay never fires."""
+    config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+    sim = Simulator(config, single_loop_program, skip=True, replay=True)
+    result = sim.run()
+    controller = sim.replay_controller
+    assert controller is not None
+    assert controller.replayed_iterations > 0
+    assert 0 < controller.replayed_cycles < result.cycles
+    reports = controller.loop_reports()
+    assert any(report["phase"] == "engaged" for report in reports)
 
 
 # ----------------------------------------------------------------------
-# Errors raised mid-skip must report the true architectural cycle and
-# name the engine that was active (satellite: error fidelity).
+# Errors raised mid-skip/mid-replay must report the true architectural
+# cycle and name the engine that was active (satellite: error fidelity).
 # ----------------------------------------------------------------------
 def test_timeout_mid_skip_reports_true_cycle(single_loop_program):
     # A huge memory latency makes the run quiescent almost immediately,
@@ -123,6 +169,29 @@ def test_timeout_mid_skip_reports_true_cycle(single_loop_program):
     assert "idle-skip" in str(fast.value)
     assert "reference" in str(slow.value)
     assert "at cycle 50" in str(fast.value)
+
+
+def test_timeout_mid_replay_reports_true_cycle(single_loop_program):
+    """Replay must refuse to jump past ``max_cycles``.
+
+    The limit cuts the run off mid-loop, well after replay has engaged;
+    all three engines must hit the wall at the same architectural cycle
+    with the same counters.
+    """
+    config = MachineConfig.pipe(
+        "16-16", 128, memory_access_time=6, max_cycles=600
+    )
+    cycles = set()
+    instructions = set()
+    for _tag, skip, replay in ENGINES:
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulate(config, single_loop_program, skip=skip, replay=replay)
+        cycles.add(excinfo.value.cycle)
+        instructions.add(
+            str(excinfo.value).split(" instructions issued")[0].rsplit("; ")[-1]
+        )
+    assert cycles == {600}
+    assert len(instructions) == 1  # same issue count at the wall
 
 
 def _starved_simulator(skip: bool) -> Simulator:
@@ -171,6 +240,37 @@ def test_explicit_skip_argument_wins_over_env(monkeypatch):
     monkeypatch.setenv("REPRO_NO_SKIP", "1")
     sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"), skip=True)
     assert sim.skip is True
+
+
+def test_no_replay_env_var_disables_replay(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+    assert replay_enabled_default() is False
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"))
+    assert sim.replay_enabled is False
+    sim.run()
+    assert sim.replay_controller is None
+
+
+def test_replay_enabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_REPLAY", raising=False)
+    assert replay_enabled_default() is True
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"))
+    assert sim.replay_enabled is True
+
+
+def test_explicit_replay_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+    sim = Simulator(
+        MachineConfig.pipe("16-16", 128), assemble("halt"), replay=True
+    )
+    assert sim.replay_enabled is True
+
+
+def test_replay_false_matches_replay_true(single_loop_program):
+    config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+    on = simulate(config, single_loop_program, skip=True, replay=True)
+    off = simulate(config, single_loop_program, skip=True, replay=False)
+    assert on.to_dict() == off.to_dict()
 
 
 # ----------------------------------------------------------------------
