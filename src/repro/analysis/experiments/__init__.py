@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 from ...asm.program import Program
 from ...core.config import PAPER_CACHE_SIZES, MachineConfig
 from ...core.parallel import simulate_many
+from ...core.resilience import SweepSupervisor
 from ...core.results import SimulationResult
 from ...core.simcache import SimulationCache, cached_simulate
 from ...core.sweep import SweepSeries, run_cache_sweep
@@ -78,6 +79,7 @@ class ExperimentContext:
     scale: float = 1.0  #: workload scale the program was built with
     jobs: int = 1  #: worker processes for independent simulation points
     cache: SimulationCache | None = None  #: content-addressed result store
+    supervisor: SweepSupervisor | None = None  #: fault-tolerant execution
     _sweeps: dict[tuple, list[SweepSeries]] = field(default_factory=dict)
 
     def sweep(
@@ -100,6 +102,7 @@ class ExperimentContext:
                 cache_sizes=self.cache_sizes,
                 jobs=self.jobs,
                 cache=self.cache,
+                supervisor=self.supervisor,
                 memory_access_time=memory_access_time,
                 input_bus_width=input_bus_width,
                 memory_pipelined=memory_pipelined,

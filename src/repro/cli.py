@@ -19,11 +19,21 @@ Sweep-heavy commands (``figure``, ``experiment``, ``report``) accept
 processes (default: ``REPRO_JOBS`` or the CPU count) and use a
 content-addressed result cache under ``.repro_cache/`` (bypass with
 ``--no-cache``; relocate with ``--cache-dir`` or ``REPRO_CACHE_DIR``).
+
+They also accept the resilience options (``--supervised``,
+``--timeout``, ``--max-retries``, ``--resume``, ``--checkpoint``):
+supervised sweeps retry failed points, survive worker crashes and
+hangs, degrade broken fast-path engines per point, checkpoint progress
+for ``--resume``, and print a fault report of every recovery action —
+with numbers byte-identical to a clean run.  ``--inject-faults SPEC``
+arms the deterministic fault injectors (see :mod:`repro.core.faults`)
+to rehearse exactly those recoveries.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -35,10 +45,12 @@ from .analysis.tables import (
     render_table2,
     render_trace_summary,
 )
+from .core import faults
 from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
 from .core.parallel import parallel_map, resolve_jobs
+from .core.resilience import SweepCheckpoint, SweepSupervisor, ladder_simulate
 from .core.scheduler import NO_REPLAY_ENV, NO_SKIP_ENV
-from .core.simcache import SimulationCache
+from .core.simcache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, SimulationCache
 from .core.simulator import simulate, simulate_traced
 from .core.trace import TraceMetrics
 from .kernels.suite import cached_livermore_suite
@@ -75,12 +87,118 @@ def _add_perf(parser: argparse.ArgumentParser) -> None:
         help="simulation cache directory "
         "(default: REPRO_CACHE_DIR or .repro_cache)",
     )
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run the sweep under the fault supervisor (retries, crash "
+        "recovery, engine degradation, checkpointing); implied by the "
+        "other resilience options",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock limit; a point past it is charged a "
+        "retry and its hung worker is killed (implies --supervised)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="attempts per point beyond the first before the sweep "
+        "gives the point up (default: 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="pre-resolve points from the sweep checkpoint left by an "
+        "interrupted supervised run (implies --supervised)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="sweep checkpoint manifest "
+        "(default: <cache-dir>/sweep-checkpoint.json)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="arm the deterministic fault injectors: a bare seed, or "
+        "'seed=7,kill=0.3,hang=0.1,corrupt=0.5,diverge=0.5"
+        ",hang-seconds=2' (implies --supervised)",
+    )
+    parser.add_argument(
+        "--fault-report",
+        default=None,
+        metavar="PATH",
+        help="also write the supervised run's fault report as JSON",
+    )
 
 
 def _make_cache(args: argparse.Namespace) -> SimulationCache | None:
     if args.no_cache:
         return None
     return SimulationCache(args.cache_dir)
+
+
+def _make_supervisor(args: argparse.Namespace) -> SweepSupervisor | None:
+    """Build the sweep supervisor the resilience options describe.
+
+    Any resilience option implies supervision; with none present the
+    command runs the plain unsupervised path.
+    """
+    wanted = (
+        args.supervised
+        or args.resume
+        or args.timeout is not None
+        or args.inject_faults is not None
+    )
+    if not wanted:
+        return None
+    if args.inject_faults is not None:
+        faults.activate(faults.FaultPlan.parse(args.inject_faults))
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None:
+        root = (
+            args.cache_dir
+            or os.environ.get(CACHE_DIR_ENV)
+            or DEFAULT_CACHE_DIR
+        )
+        checkpoint_path = os.path.join(root, "sweep-checkpoint.json")
+    checkpoint = SweepCheckpoint(checkpoint_path)
+    if args.resume:
+        checkpoint.load()
+    return SweepSupervisor(
+        jobs=resolve_jobs(args.jobs),
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint=checkpoint,
+        resume=args.resume,
+    )
+
+
+def _finish_supervised(
+    args: argparse.Namespace, supervisor: SweepSupervisor | None
+) -> None:
+    """Print the recovery ledger and disarm any fault injectors."""
+    if supervisor is None:
+        return
+    if supervisor.resumed:
+        print(
+            f"resumed       : {supervisor.resumed} point(s) from "
+            f"{supervisor.checkpoint.path}"
+        )
+    print(supervisor.report.summary())
+    if args.fault_report is not None:
+        with open(args.fault_report, "w") as handle:
+            json.dump(supervisor.report.to_dict(), handle, indent=2)
+        print(f"fault report written : {args.fault_report}")
+    if args.inject_faults is not None:
+        faults.deactivate()
 
 
 def _machine_config(args: argparse.Namespace, **extra) -> MachineConfig:
@@ -101,6 +219,30 @@ def _machine_config(args: argparse.Namespace, **extra) -> MachineConfig:
 def _cmd_run(args: argparse.Namespace) -> int:
     suite = cached_livermore_suite(scale=args.scale)
     config = _machine_config(args)
+    if args.inject_faults is not None:
+        # Fault rehearsal: arm the injectors, run the point down the
+        # engine-degradation ladder, and report which rung delivered.
+        from .core.resilience import FaultReport
+
+        faults.activate(faults.FaultPlan.parse(args.inject_faults))
+        try:
+            report = FaultReport()
+            result, rung = ladder_simulate(
+                config,
+                suite.program,
+                report=report,
+                point=args.strategy,
+                traced=args.trace_out is not None,
+                trace_path=args.trace_out,
+            )
+        finally:
+            faults.deactivate()
+        print(result.summary())
+        print(f"engine rung   : {rung}")
+        print(report.summary())
+        if args.trace_out is not None:
+            print(f"trace written : {args.trace_out}")
+        return 0
     if args.trace_out is not None:
         result = simulate_traced(config, suite.program, trace_path=args.trace_out)
         print(result.summary())
@@ -143,13 +285,18 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     suite = cached_livermore_suite(scale=args.scale)
     sizes = args.sizes or list(PAPER_CACHE_SIZES)
-    series = run_figure(
-        args.panel,
-        suite.program,
-        cache_sizes=sizes,
-        jobs=resolve_jobs(args.jobs),
-        cache=_make_cache(args),
-    )
+    supervisor = _make_supervisor(args)
+    try:
+        series = run_figure(
+            args.panel,
+            suite.program,
+            cache_sizes=sizes,
+            jobs=resolve_jobs(args.jobs),
+            cache=_make_cache(args),
+            supervisor=supervisor,
+        )
+    finally:
+        _finish_supervised(args, supervisor)
     if args.csv:
         print(render_series_csv(series, sizes))
     else:
@@ -161,10 +308,16 @@ def _make_context(
     scale: float,
     jobs: int = 1,
     cache: SimulationCache | None = None,
+    supervisor: SweepSupervisor | None = None,
 ) -> ExperimentContext:
     suite = cached_livermore_suite(scale=scale)
     return ExperimentContext(
-        program=suite.program, suite=suite, scale=scale, jobs=jobs, cache=cache
+        program=suite.program,
+        suite=suite,
+        scale=scale,
+        jobs=jobs,
+        cache=cache,
+        supervisor=supervisor,
     )
 
 
@@ -202,10 +355,17 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    supervisor = _make_supervisor(args)
     context = _make_context(
-        args.scale, jobs=resolve_jobs(args.jobs), cache=_make_cache(args)
+        args.scale,
+        jobs=resolve_jobs(args.jobs),
+        cache=_make_cache(args),
+        supervisor=supervisor,
     )
-    report = run_experiment(args.name, context)
+    try:
+        report = run_experiment(args.name, context)
+    finally:
+        _finish_supervised(args, supervisor)
     print(report.text)
     print()
     print(report.render_checks())
@@ -237,6 +397,7 @@ def _report_worker(task: tuple) -> tuple[str, str, str, bool, int, int]:
 def _cmd_report(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
     cache = _make_cache(args)
+    supervisor = _make_supervisor(args)
     print(
         f"repro-sim report: scale={args.scale} jobs={jobs} "
         f"cache={'off' if cache is None else cache.root}"
@@ -249,25 +410,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
             # Pre-warm the cache with the standard sweeps shared by the
             # figure/headline/ablation experiments, parallelized at the
             # *point* level — so concurrent experiments never re-simulate
-            # a shared point.
+            # a shared point.  With a supervisor this is also where all
+            # the heavy simulation happens fault-tolerantly; experiment
+            # workers then mostly replay the warm cache.
             from .core.sweep import run_cache_sweep
 
             program = cached_livermore_suite(scale=args.scale).program
-            for access, bus, pipelined in (
-                (1, 4, False),
-                (1, 8, False),
-                (6, 4, False),
-                (6, 8, False),
-                (6, 8, True),
-            ):
-                run_cache_sweep(
-                    program,
-                    jobs=jobs,
-                    cache=cache,
-                    memory_access_time=access,
-                    input_bus_width=bus,
-                    memory_pipelined=pipelined,
-                )
+            try:
+                for access, bus, pipelined in (
+                    (1, 4, False),
+                    (1, 8, False),
+                    (6, 4, False),
+                    (6, 8, False),
+                    (6, 8, True),
+                ):
+                    run_cache_sweep(
+                        program,
+                        jobs=jobs,
+                        cache=cache,
+                        supervisor=supervisor,
+                        memory_access_time=access,
+                        input_bus_width=bus,
+                        memory_pipelined=pipelined,
+                    )
+            finally:
+                _finish_supervised(args, supervisor)
+            supervisor = None  # consumed by the pre-warm phase
         # Independent experiments fan out across workers; shared sweep
         # points flow between them through the content-addressed cache.
         tasks = [
@@ -290,19 +458,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
             hits += cache.stats.hits
             misses += cache.stats.misses
     else:
-        context = _make_context(args.scale, jobs=jobs, cache=cache)
-        for experiment_id in EXPERIMENTS:
-            report = run_experiment(experiment_id, context)
-            print(f"{'=' * 70}")
-            print(f"Experiment: {experiment_id}")
-            print(f"{'=' * 70}")
-            print(report.text)
-            print()
-            print(report.render_checks())
-            print()
-            failed = failed or not report.all_passed
+        context = _make_context(
+            args.scale, jobs=jobs, cache=cache, supervisor=supervisor
+        )
+        try:
+            for experiment_id in EXPERIMENTS:
+                report = run_experiment(experiment_id, context)
+                print(f"{'=' * 70}")
+                print(f"Experiment: {experiment_id}")
+                print(f"{'=' * 70}")
+                print(report.text)
+                print()
+                print(report.render_checks())
+                print()
+                failed = failed or not report.all_passed
+        finally:
+            _finish_supervised(args, supervisor)
+            supervisor = None
         if cache is not None:
             hits, misses = cache.stats.hits, cache.stats.misses
+    if supervisor is not None:  # parallel run without a pre-warm cache
+        _finish_supervised(args, supervisor)
     if cache is not None:
         print(
             f"simulation cache: {hits} hits, {misses} misses "
@@ -358,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also capture a JSONL event trace to PATH (with summary panel)",
+    )
+    run_parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="arm the deterministic fault injectors and run the point "
+        "down the engine-degradation ladder (reports the final rung)",
     )
     _add_scale(run_parser)
     run_parser.set_defaults(func=_cmd_run)

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 _EXPORTS = {
     "DeadlockError": ("repro.core.simulator", "DeadlockError"),
+    "FaultPlan": ("repro.core.faults", "FaultPlan"),
+    "FaultReport": ("repro.core.resilience", "FaultReport"),
     "FetchStrategy": ("repro.core.config", "FetchStrategy"),
+    "SweepCheckpoint": ("repro.core.resilience", "SweepCheckpoint"),
+    "SweepPointError": ("repro.core.resilience", "SweepPointError"),
+    "SweepSupervisor": ("repro.core.resilience", "SweepSupervisor"),
+    "ladder_simulate": ("repro.core.resilience", "ladder_simulate"),
+    "supervised_map": ("repro.core.resilience", "supervised_map"),
     "MachineConfig": ("repro.core.config", "MachineConfig"),
     "PAPER_CACHE_SIZES": ("repro.core.config", "PAPER_CACHE_SIZES"),
     "PIPE_CONFIGURATIONS": ("repro.core.config", "PIPE_CONFIGURATIONS"),

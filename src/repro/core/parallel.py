@@ -23,9 +23,10 @@ import os
 import tempfile
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 from pickle import PicklingError
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
 from ..asm.program import Program
 from .config import MachineConfig
@@ -33,7 +34,9 @@ from .results import SimulationResult
 
 __all__ = [
     "JOBS_ENV",
+    "ItemOutcome",
     "parallel_map",
+    "parallel_map_outcomes",
     "resolve_jobs",
     "simulate_many",
     "simulate_many_traced",
@@ -108,6 +111,87 @@ def parallel_map(
         if initializer is not None:
             initializer(*initargs)
         return _serial_map(fn, items)
+
+
+@dataclass
+class ItemOutcome(Generic[R]):
+    """One item's result *or* error from :func:`parallel_map_outcomes`."""
+
+    value: R | None = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> R:
+        """The value, re-raising the item's error if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value  # type: ignore[return-value]
+
+
+def parallel_map_outcomes(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> list[ItemOutcome[R]]:
+    """:func:`parallel_map` with per-item error capture.
+
+    One failed item no longer discards its completed siblings: every
+    item gets an :class:`ItemOutcome` (in input order) carrying either
+    its value or the exception it raised — including the
+    ``BrokenProcessPool`` a crashed worker leaves behind, which lands
+    only on the items that were in flight.  The supervisor layer
+    (:mod:`repro.core.resilience`) builds its retry/requeue policy on
+    exactly this contract.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), len(items))
+
+    def serial() -> list[ItemOutcome[R]]:
+        outcomes: list[ItemOutcome[R]] = []
+        for item in items:
+            try:
+                outcomes.append(ItemOutcome(value=fn(item)))
+            except Exception as exc:  # noqa: BLE001 — per-item boundary
+                outcomes.append(ItemOutcome(error=exc))
+        return outcomes
+
+    if jobs <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return serial()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=initializer, initargs=initargs
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(ItemOutcome(value=future.result()))
+                except (PicklingError, AttributeError, TypeError):
+                    # An unpicklable fn fails asynchronously, on every
+                    # item alike: that is pool trouble, not an item
+                    # error — retry the whole list serially (a genuine
+                    # fn error re-raises identically there).
+                    raise
+                except Exception as exc:  # noqa: BLE001
+                    outcomes.append(ItemOutcome(error=exc))
+            return outcomes
+    except (PicklingError, OSError, ImportError, AttributeError, TypeError) as exc:
+        # Pool machinery unavailable (sandbox, unpicklable fn): same
+        # degradation as parallel_map, with per-item capture preserved.
+        warnings.warn(
+            f"parallel execution unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial"
+        )
+        if initializer is not None:
+            initializer(*initargs)
+        return serial()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,723 @@
+"""Fault-tolerant execution: supervised sweeps that finish.
+
+A paper-scale design-space sweep is thousands of independent simulation
+points across worker processes, a content-addressed result cache, and
+three stacked fast-path engines.  Each of those layers can fail — a
+worker segfaults, a point wedges, a cache blob is truncated, a replay
+fast-path bug raises — and a single-shot sweep dies at 94% with its
+completed work discarded.  This module makes the failure modes
+survivable while keeping the numbers *exactly* what a clean serial
+reference run would produce:
+
+:class:`FaultReport`
+    the ledger: every recovery action (retry, timeout, worker crash,
+    pool respawn, serial fallback, engine degradation, cache
+    quarantine) is recorded as a :class:`FaultEvent` against the point
+    it happened to, so a sweep that healed itself says exactly how.
+
+:func:`supervised_map`
+    a worker-pool wrapper with per-point timeouts, bounded
+    retry-with-backoff, and ``BrokenProcessPool`` recovery: the pool is
+    respawned, in-flight points are requeued, and after repeated pool
+    failures the remaining points run serially in-process.  Completed
+    siblings are never discarded; points that stay broken after the
+    whole ladder of recoveries raise :class:`SweepPointError` *after*
+    everything recoverable has finished (and been checkpointed).
+
+:func:`ladder_simulate`
+    the engine-degradation ladder: a point that fails under the full
+    fast path (idle-skip + steady-state replay) is re-run under
+    idle-skip alone, then under the reference cycle-by-cycle loop —
+    :data:`~repro.core.scheduler.ENGINE_RUNGS` — recording which rung
+    finally produced the result.  Architectural outcomes
+    (:class:`~repro.core.simulator.DeadlockError`,
+    :class:`~repro.core.simulator.SimulationTimeout`) are identical on
+    every rung and therefore never degraded, only reported.
+
+:class:`SweepCheckpoint`
+    a periodic atomic manifest of completed sweep points keyed by the
+    simulation cache's content address, so ``repro-sim ... --resume``
+    restarts a killed sweep from where it died.
+
+:class:`SweepSupervisor` bundles the knobs for
+:func:`repro.core.sweep.run_cache_sweep`; the deterministic fault
+injectors live in :mod:`repro.core.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from pickle import PicklingError
+from typing import Callable, Sequence
+
+from ..asm.program import Program
+from .config import MachineConfig
+from .results import SimulationResult
+from .scheduler import ENGINE_RUNGS, rung_kwargs
+
+__all__ = [
+    "FaultEvent",
+    "FaultReport",
+    "SweepCheckpoint",
+    "SweepPointError",
+    "SweepSupervisor",
+    "ladder_simulate",
+    "supervised_map",
+    "supervised_simulate_many",
+]
+
+
+# ----------------------------------------------------------------------
+# The recovery ledger
+# ----------------------------------------------------------------------
+@dataclass
+class FaultEvent:
+    """One recovery action taken on behalf of one sweep point."""
+
+    point: str  #: point label (content-key prefix or index)
+    kind: str  #: retry | timeout | worker_crash | pool_respawn |
+    #: serial_fallback | engine_fault | degraded | cache_quarantine |
+    #: gave_up | resumed
+    detail: str = ""
+    attempt: int = 0
+    rung: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "kind": self.kind,
+            "detail": self.detail,
+            "attempt": self.attempt,
+            "rung": self.rung,
+        }
+
+    def __str__(self) -> str:
+        parts = [f"[{self.kind}] point {self.point}"]
+        if self.attempt:
+            parts.append(f"attempt {self.attempt}")
+        if self.rung:
+            parts.append(f"rung {self.rung}")
+        if self.detail:
+            parts.append(self.detail)
+        return " — ".join(parts)
+
+
+@dataclass
+class FaultReport:
+    """Every recovery action taken during one supervised sweep."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        point: str,
+        kind: str,
+        detail: str = "",
+        attempt: int = 0,
+        rung: str | None = None,
+    ) -> FaultEvent:
+        event = FaultEvent(
+            point=point, kind=kind, detail=detail, attempt=attempt, rung=rung
+        )
+        self.events.append(event)
+        return event
+
+    def extend(self, events: Sequence[FaultEvent]) -> None:
+        self.events.extend(events)
+
+    def counts(self) -> dict[str, int]:
+        """Event tally by kind, insertion-ordered."""
+        tally: dict[str, int] = {}
+        for event in self.events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    @property
+    def clean(self) -> bool:
+        return not self.events
+
+    def to_dict(self) -> dict:
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "counts": self.counts(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable report (the CLI prints this after a sweep)."""
+        if self.clean:
+            return "fault report  : clean (no recovery actions)"
+        lines = [f"fault report  : {len(self.events)} recovery action(s)"]
+        for kind, count in self.counts().items():
+            lines.append(f"  {kind:<16} {count}")
+        for event in self.events:
+            lines.append(f"  {event}")
+        return "\n".join(lines)
+
+
+class SweepPointError(RuntimeError):
+    """Points that stayed broken after every recovery was exhausted.
+
+    Raised only after all *recoverable* points have completed (and been
+    delivered through ``on_result``), so a partial sweep's progress is
+    preserved in the cache/checkpoint for a ``--resume``.
+    """
+
+    def __init__(self, failures: list[tuple[str, BaseException]]):
+        self.failures = failures
+        detail = "; ".join(
+            f"{label}: {type(exc).__name__}: {exc}" for label, exc in failures
+        )
+        super().__init__(
+            f"{len(failures)} sweep point(s) failed permanently: {detail}"
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine-degradation ladder
+# ----------------------------------------------------------------------
+def ladder_simulate(
+    config: MachineConfig,
+    program: Program,
+    report: FaultReport | None = None,
+    point: str = "?",
+    traced: bool = False,
+    trace_path=None,
+) -> tuple[SimulationResult, str]:
+    """Simulate one point, degrading engines instead of crashing.
+
+    Tries each rung of :data:`~repro.core.scheduler.ENGINE_RUNGS` in
+    order; any exception from a fast-path engine moves one rung down
+    and is recorded in ``report``.  Returns ``(result, rung)`` with the
+    rung that produced the result — byte-identical across rungs, so a
+    degraded point is indistinguishable in the numbers.
+
+    :class:`~repro.core.simulator.DeadlockError` and
+    :class:`~repro.core.simulator.SimulationTimeout` are *architectural*
+    outcomes (the same on every rung, with true cycle counts) and
+    propagate immediately; so does a reference-rung failure, which no
+    ladder can fix.
+    """
+    from .simulator import (  # late: the simulator is heavy
+        DeadlockError,
+        SimulationTimeout,
+        simulate,
+        simulate_traced,
+    )
+
+    last_exc: BaseException | None = None
+    for index, rung in enumerate(ENGINE_RUNGS):
+        kwargs = rung_kwargs(rung)
+        try:
+            if traced:
+                result = simulate_traced(
+                    config, program, trace_path=trace_path, **kwargs
+                )
+            else:
+                result = simulate(config, program, **kwargs)
+        except (DeadlockError, SimulationTimeout):
+            raise  # engine-independent architectural outcome
+        except Exception as exc:  # noqa: BLE001 — the ladder exists for these
+            last_exc = exc
+            if report is not None:
+                report.record(
+                    point,
+                    "engine_fault",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    rung=rung,
+                )
+            if index == len(ENGINE_RUNGS) - 1:
+                raise  # the reference loop itself failed: a real bug
+            continue
+        if index > 0 and report is not None:
+            report.record(
+                point,
+                "degraded",
+                detail=f"fast path failed ({type(last_exc).__name__}), "
+                f"result produced by the {rung} engine",
+                rung=rung,
+            )
+        return result, rung
+    raise AssertionError("unreachable: every rung either returned or raised")
+
+
+# ----------------------------------------------------------------------
+# The supervised worker pool
+# ----------------------------------------------------------------------
+#: consecutive pool deaths (crash or hang) tolerated before the
+#: supervisor abandons worker processes and finishes serially
+POOL_FAILURE_LIMIT = 4
+
+#: exceptions that mean "the pool is unusable", not "the point failed"
+_POOL_ERRORS = (BrokenExecutor, OSError, ImportError, PicklingError)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if its workers are wedged.
+
+    ``shutdown(wait=False)`` alone would leave a hung worker running
+    forever; terminating the processes first (a CPython implementation
+    detail, guarded accordingly) actually frees the machine.
+    """
+    try:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+    except Exception:  # noqa: BLE001 — best effort on internals
+        pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001
+        pass
+
+
+def supervised_map(
+    fn: Callable,
+    items: Sequence,
+    *,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    backoff: float = 0.25,
+    report: FaultReport | None = None,
+    labels: Sequence[str] | None = None,
+    no_retry: tuple[type[BaseException], ...] = (),
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
+    """``[fn(item) for item in items]`` under a fault supervisor.
+
+    Like :func:`repro.core.parallel.parallel_map`, results come back in
+    input order and the serial path is taken for ``jobs <= 1`` — but
+    failures are *handled* instead of propagated:
+
+    * an exception from ``fn`` retries the point up to ``max_retries``
+      times with linear backoff (``no_retry`` types fail immediately:
+      deterministic outcomes gain nothing from a retry);
+    * a worker crash (``BrokenProcessPool``) respawns the pool and
+      requeues every in-flight point, charging an attempt only to
+      points the crash interrupted;
+    * a point running past ``timeout`` seconds is charged an attempt
+      and the pool is respawned (a wedged worker cannot be cancelled,
+      only killed); other in-flight points are requeued for free;
+    * after :data:`POOL_FAILURE_LIMIT` consecutive pool deaths without
+      a single completed point in between, the remaining points run
+      serially in this process (where a timeout is unenforceable but
+      every other recovery still applies).
+
+    Every recovery is recorded in ``report``; ``on_result(index,
+    value)`` fires as each point completes (checkpoint hook).  Points
+    still failing after all that raise :class:`SweepPointError` at the
+    end — after every recoverable point has completed.
+    """
+    from .parallel import resolve_jobs
+
+    items = list(items)
+    count = len(items)
+    if labels is None:
+        labels = [str(index) for index in range(count)]
+    if report is None:
+        report = FaultReport()
+    results: dict[int, object] = {}
+    failed: dict[int, BaseException] = {}
+    attempts = [0] * count
+
+    def deliver(index: int, value) -> None:
+        results[index] = value
+        if on_result is not None:
+            on_result(index, value)
+
+    def charge(index: int, exc: BaseException, kind: str, detail: str) -> bool:
+        """Record a failed attempt; True if the point may retry."""
+        attempts[index] += 1
+        report.record(
+            labels[index], kind, detail=detail, attempt=attempts[index]
+        )
+        retryable = not isinstance(exc, no_retry)
+        if retryable and attempts[index] <= max_retries:
+            return True
+        failed[index] = exc
+        report.record(
+            labels[index],
+            "gave_up",
+            detail=f"{type(exc).__name__}: {exc}",
+            attempt=attempts[index],
+        )
+        return False
+
+    def run_serial(indices) -> None:
+        for index in indices:
+            if index in results or index in failed:
+                continue
+            while True:
+                try:
+                    value = fn(items[index])
+                except Exception as exc:  # noqa: BLE001 — supervisor boundary
+                    if charge(
+                        index,
+                        exc,
+                        "retry",
+                        f"{type(exc).__name__}: {exc}",
+                    ):
+                        if backoff:
+                            time.sleep(backoff * attempts[index])
+                        continue
+                    break
+                else:
+                    deliver(index, value)
+                    break
+
+    jobs = min(resolve_jobs(jobs), count)
+    if jobs <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        run_serial(range(count))
+    else:
+        pending: deque[int] = deque(range(count))
+        in_flight: dict = {}  # future -> index
+        deadlines: dict = {}  # future -> monotonic deadline
+        pool: ProcessPoolExecutor | None = None
+        pool_failures = 0
+
+        def serial_fallback() -> None:
+            # So far the initializer has only run inside pool workers;
+            # this process needs it before it can execute points itself.
+            if initializer is not None:
+                initializer(*initargs)
+            run_serial(range(count))
+
+        def respawn(reason: str) -> bool:
+            """Kill the pool, requeue in-flight work; False → go serial."""
+            nonlocal pool, pool_failures
+            for future, index in in_flight.items():
+                if (
+                    index not in results
+                    and index not in failed
+                    and index not in pending
+                ):
+                    pending.append(index)
+            in_flight.clear()
+            deadlines.clear()
+            if pool is not None:
+                _kill_pool(pool)
+                pool = None
+            pool_failures += 1
+            if pool_failures >= POOL_FAILURE_LIMIT:
+                report.record(
+                    "pool",
+                    "serial_fallback",
+                    detail=f"{pool_failures} pool failures ({reason}); "
+                    "finishing the sweep serially",
+                )
+                return False
+            report.record(
+                "pool", "pool_respawn", detail=reason, attempt=pool_failures
+            )
+            return True
+
+        try:
+            while pending or in_flight:
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(
+                            max_workers=jobs,
+                            initializer=initializer,
+                            initargs=initargs,
+                        )
+                    except _POOL_ERRORS as exc:
+                        report.record(
+                            "pool",
+                            "serial_fallback",
+                            detail=f"cannot spawn workers "
+                            f"({type(exc).__name__}: {exc})",
+                        )
+                        break
+                # Keep at most `jobs` points in flight so submission
+                # time approximates start time and per-point deadlines
+                # mean what they say.
+                while pending and len(in_flight) < jobs:
+                    index = pending.popleft()
+                    if index in results or index in failed:
+                        continue
+                    try:
+                        future = pool.submit(fn, items[index])
+                    except _POOL_ERRORS as exc:
+                        pending.appendleft(index)
+                        if not respawn(
+                            f"submit failed ({type(exc).__name__})"
+                        ):
+                            raise _GoSerial from None
+                        break
+                    in_flight[future] = index
+                    if timeout is not None:
+                        deadlines[future] = time.monotonic() + timeout
+                if pool is None or not in_flight:
+                    continue
+                wait_for = None
+                if deadlines:
+                    wait_for = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
+                done, _ = wait(
+                    set(in_flight), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Deadline expiry: charge the overdue points, then
+                    # kill the pool — a running task cannot be
+                    # cancelled, and a wedged worker never returns.
+                    now = time.monotonic()
+                    expired = [
+                        (future, index)
+                        for future, index in in_flight.items()
+                        if deadlines.get(future, now + 1) <= now
+                    ]
+                    if not expired:
+                        continue  # spurious wakeup
+                    for future, index in expired:
+                        in_flight.pop(future, None)
+                        deadlines.pop(future, None)
+                        if charge(
+                            index,
+                            TimeoutError(f"no result after {timeout:g}s"),
+                            "timeout",
+                            f"point exceeded --timeout {timeout:g}s",
+                        ):
+                            pending.append(index)
+                    if not respawn("hung worker killed after point timeout"):
+                        raise _GoSerial
+                    continue
+                broken = False
+                for future in done:
+                    index = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        value = future.result()
+                    except _POOL_ERRORS as exc:
+                        broken = True
+                        if charge(
+                            index,
+                            exc,
+                            "worker_crash",
+                            f"worker died ({type(exc).__name__}: {exc})",
+                        ):
+                            pending.append(index)
+                    except Exception as exc:  # noqa: BLE001
+                        if charge(
+                            index, exc, "retry", f"{type(exc).__name__}: {exc}"
+                        ):
+                            if backoff:
+                                time.sleep(backoff * attempts[index])
+                            pending.append(index)
+                    else:
+                        deliver(index, value)
+                        # Progress resets the failure budget: the limit
+                        # guards against a pool that *cannot* make
+                        # progress, not against many recoverable deaths
+                        # spread across a long sweep.
+                        pool_failures = 0
+                if broken and not respawn("worker process died mid-point"):
+                    raise _GoSerial
+        except _GoSerial:
+            serial_fallback()
+        finally:
+            if pool is not None:
+                _kill_pool(pool)
+        # Pool path exhausted with a spawn failure: finish serially.
+        if len(results) + len(failed) < count:
+            serial_fallback()
+
+    if failed:
+        raise SweepPointError(
+            [(labels[index], exc) for index, exc in sorted(failed.items())]
+        )
+    return [results[index] for index in range(count)]
+
+
+class _GoSerial(Exception):
+    """Internal: abandon worker pools and finish the map serially."""
+
+
+# ----------------------------------------------------------------------
+# Supervised simulation fan-out (ladder inside every worker)
+# ----------------------------------------------------------------------
+def _supervised_point(task: tuple[str, MachineConfig]):
+    """Worker body: injectors first, then the full degradation ladder."""
+    from . import parallel
+    from .faults import maybe_hang_point, maybe_kill_worker
+
+    key, config = task
+    maybe_kill_worker(key)
+    maybe_hang_point(key)
+    program = parallel._worker_program
+    assert program is not None, "worker initialized without a program"
+    report = FaultReport()
+    result, rung = ladder_simulate(config, program, report=report, point=key[:12])
+    return result, rung, report.events
+
+
+def supervised_simulate_many(
+    program: Program,
+    configs: Sequence[MachineConfig],
+    *,
+    keys: Sequence[str] | None = None,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    backoff: float = 0.25,
+    report: FaultReport | None = None,
+    on_result: Callable[[int, SimulationResult], None] | None = None,
+) -> list[SimulationResult]:
+    """:func:`~repro.core.parallel.simulate_many` under the supervisor.
+
+    Every point runs the engine-degradation ladder inside its worker;
+    rung degradations recorded there are merged into ``report``.
+    Results come back in ``configs`` order, byte-identical to a clean
+    serial reference run.
+    """
+    from .parallel import _init_simulation_worker
+    from .simcache import sweep_point_keys
+    from .simulator import DeadlockError, SimulationTimeout
+
+    configs = list(configs)
+    if keys is None:
+        keys = sweep_point_keys(program, configs)
+    if report is None:
+        report = FaultReport()
+
+    def merge(index: int, value) -> None:
+        result, _rung, events = value
+        report.extend(events)
+        if on_result is not None:
+            on_result(index, result)
+
+    values = supervised_map(
+        _supervised_point,
+        list(zip(keys, configs)),
+        jobs=jobs,
+        timeout=timeout,
+        max_retries=max_retries,
+        backoff=backoff,
+        report=report,
+        labels=[key[:12] for key in keys],
+        no_retry=(DeadlockError, SimulationTimeout),
+        initializer=_init_simulation_worker,
+        initargs=(program,),
+        on_result=merge,
+    )
+    return [value[0] for value in values]
+
+
+# ----------------------------------------------------------------------
+# Sweep checkpoint / resume
+# ----------------------------------------------------------------------
+class SweepCheckpoint:
+    """Atomic manifest of completed sweep points, for ``--resume``.
+
+    Entries are keyed by the simulation cache's content address (which
+    folds in the program image, every config field, the cache format
+    and the engine revision), so a stale manifest can never satisfy a
+    changed sweep — unmatched entries are simply ignored.  Writes go to
+    a temp sibling and are published with ``os.replace``, every
+    ``interval`` completions and at :meth:`flush`.
+    """
+
+    MANIFEST_VERSION = 1
+
+    def __init__(self, path: str | os.PathLike, interval: int = 8):
+        self.path = Path(path)
+        self.interval = max(1, int(interval))
+        self._points: dict[str, dict] = {}
+        self._dirty = 0
+
+    def load(self) -> int:
+        """Read the manifest; a missing/corrupt one starts empty."""
+        try:
+            payload = json.loads(self.path.read_text())
+            points = payload["points"]
+            if payload.get("version") != self.MANIFEST_VERSION or not isinstance(
+                points, dict
+            ):
+                raise ValueError("unrecognized checkpoint manifest")
+        except (OSError, ValueError, KeyError, TypeError):
+            self._points = {}
+            return 0
+        self._points = points
+        return len(points)
+
+    def get(self, key: str) -> SimulationResult | None:
+        """A completed point's result, or ``None`` (bad entries ignored)."""
+        payload = self._points.get(key)
+        if payload is None:
+            return None
+        try:
+            return SimulationResult.from_dict(payload)
+        except (ValueError, KeyError, TypeError):
+            self._points.pop(key, None)
+            return None
+
+    def add(self, key: str, result: SimulationResult) -> None:
+        self._points[key] = result.to_dict()
+        self._dirty += 1
+        if self._dirty >= self.interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Publish the manifest atomically (temp file + ``os.replace``)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": self.MANIFEST_VERSION, "points": self._points}
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path)
+        self._dirty = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+# ----------------------------------------------------------------------
+# The bundle run_cache_sweep consumes
+# ----------------------------------------------------------------------
+@dataclass
+class SweepSupervisor:
+    """Fault-tolerance knobs for one supervised sweep.
+
+    Passed to :func:`repro.core.sweep.run_cache_sweep`; the sweep
+    routes its misses through :func:`supervised_simulate_many`, records
+    cache quarantines into :attr:`report`, checkpoints completions into
+    :attr:`checkpoint`, and — with :attr:`resume` — pre-resolves points
+    the manifest already holds (counted in :attr:`resumed`).
+    """
+
+    jobs: int | None = None
+    timeout: float | None = None
+    max_retries: int = 2
+    backoff: float = 0.25
+    report: FaultReport = field(default_factory=FaultReport)
+    checkpoint: SweepCheckpoint | None = None
+    resume: bool = False
+    resumed: int = 0  #: points satisfied from the manifest this run
+
+    def simulate_points(
+        self,
+        program: Program,
+        configs: Sequence[MachineConfig],
+        keys: Sequence[str],
+        on_result: Callable[[int, SimulationResult], None] | None = None,
+    ) -> list[SimulationResult]:
+        return supervised_simulate_many(
+            program,
+            configs,
+            keys=keys,
+            jobs=self.jobs,
+            timeout=self.timeout,
+            max_retries=self.max_retries,
+            backoff=self.backoff,
+            report=self.report,
+            on_result=on_result,
+        )

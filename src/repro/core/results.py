@@ -10,6 +10,8 @@ pressure).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field
 
 from ..frontend.base import FetchStats
@@ -102,6 +104,19 @@ class SimulationResult:
             "ordering_hazards": self.ordering_hazards,
             "trace_metrics": self.trace_metrics,
         }
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON of :meth:`to_dict` (sorted keys, no spaces).
+
+        Two results are byte-identical iff their canonical JSON is —
+        the form the crash-safe simulation cache checksums, and the one
+        the fault-injection tests compare against a clean reference.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def checksum(self) -> str:
+        """SHA-256 of :meth:`canonical_json`; embedded in cache entries."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimulationResult":

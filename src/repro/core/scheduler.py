@@ -36,12 +36,14 @@ import os
 
 __all__ = [
     "ENGINE_REVISION",
+    "ENGINE_RUNGS",
     "IDLE",
     "NO_REPLAY_ENV",
     "NO_SKIP_ENV",
     "ProgressClock",
     "SeqCounter",
     "replay_enabled_default",
+    "rung_kwargs",
     "skip_enabled_default",
 ]
 
@@ -59,6 +61,33 @@ NO_SKIP_ENV = "REPRO_NO_SKIP"
 
 #: Environment variable disabling steady-state loop replay.
 NO_REPLAY_ENV = "REPRO_NO_REPLAY"
+
+
+#: The engine-degradation ladder, fastest first.  Every rung produces
+#: byte-identical results (the differential suite pins this), so the
+#: resilience layer may re-run a point on a slower rung after a
+#: fast-path failure without changing a single reported number.
+ENGINE_RUNGS = ("replay", "idle-skip", "reference")
+
+#: ``Simulator`` keyword arguments selecting each rung.  The top rung
+#: defers to the session defaults, so the ``REPRO_NO_SKIP`` /
+#: ``REPRO_NO_REPLAY`` escape hatches stay authoritative; lower rungs
+#: only ever *disable* fast paths, never force one back on.
+_RUNG_KWARGS: dict[str, dict] = {
+    "replay": {"skip": None, "replay": None},
+    "idle-skip": {"skip": None, "replay": False},
+    "reference": {"skip": False, "replay": False},
+}
+
+
+def rung_kwargs(rung: str) -> dict:
+    """``Simulator(..., **rung_kwargs(rung))`` arguments for one rung."""
+    try:
+        return dict(_RUNG_KWARGS[rung])
+    except KeyError:
+        raise ValueError(
+            f"unknown engine rung {rung!r}; expected one of {ENGINE_RUNGS}"
+        ) from None
 
 
 def skip_enabled_default() -> bool:

@@ -21,6 +21,19 @@ is deterministic — so results can be cached *by content*:
 ``CACHE_FORMAT_VERSION`` and the scheduler's ``ENGINE_REVISION`` are
 folded into the key so schema changes and simulation-engine changes
 invalidate old blobs instead of misparsing them.
+
+**Crash safety (format v3).**  A cached number that is *wrong* is worse
+than no cache at all, so every entry defends itself end to end: writes
+go to a unique temp sibling and are published with an atomic
+``os.replace`` (a killed writer can never leave a half-written entry
+under a valid name), and each entry embeds a SHA-256 checksum of its
+canonical result payload which :meth:`SimulationCache.lookup` verifies
+before trusting a byte.  An entry that fails to parse, fails the
+checksum, or carries the wrong format version is treated as a miss and
+**quarantined** — moved to ``.repro_cache/quarantine/`` and counted in
+:attr:`CacheStats.quarantined` — so corruption is visible in
+``repro-sim cache stats`` instead of silently poisoning sweeps, and the
+bad blob is preserved for inspection instead of being re-read forever.
 """
 
 from __future__ import annotations
@@ -39,22 +52,29 @@ from .scheduler import ENGINE_REVISION
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
     "SimulationCache",
     "cached_simulate",
     "config_fingerprint",
     "program_fingerprint",
     "result_key",
+    "sweep_point_keys",
 ]
 
 #: Bumped whenever the serialized result schema changes shape.
 #: v2: results carry the optional ``trace_metrics`` aggregate.
-CACHE_FORMAT_VERSION = 2
+#: v3: entries embed a content checksum verified on every lookup;
+#:     unverifiable entries are quarantined instead of re-read.
+CACHE_FORMAT_VERSION = 3
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
 
 
 def program_fingerprint(program: Program) -> str:
@@ -72,13 +92,31 @@ def config_fingerprint(config: MachineConfig) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def result_key(config: MachineConfig, program: Program) -> str:
-    """The content address of one ``(config, program)`` simulation point."""
+def result_key(
+    config: MachineConfig, program: Program, program_fp: str | None = None
+) -> str:
+    """The content address of one ``(config, program)`` simulation point.
+
+    ``program_fp`` (a precomputed :func:`program_fingerprint`) avoids
+    re-hashing the program image when keying many points at once.
+    """
     h = hashlib.sha256()
     h.update(f"v{CACHE_FORMAT_VERSION}:{ENGINE_REVISION}".encode())
     h.update(config_fingerprint(config).encode())
-    h.update(program_fingerprint(program).encode())
+    h.update((program_fp or program_fingerprint(program)).encode())
     return h.hexdigest()
+
+
+def sweep_point_keys(program: Program, configs) -> list[str]:
+    """Content addresses for many points, hashing the program once."""
+    program_fp = program_fingerprint(program)
+    return [result_key(config, program, program_fp) for config in configs]
+
+
+def _payload_checksum(result_dict: dict) -> str:
+    """SHA-256 of the canonical JSON of one serialized result."""
+    canonical = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 @dataclass
@@ -88,6 +126,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: entries that failed parsing, checksum, or version verification
+    #: and were moved to the quarantine directory
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -99,8 +140,11 @@ class SimulationCache:
 
     The cache is safe for concurrent writers (sweep points running in
     parallel processes share one directory): writes go to a unique temp
-    file and are published with an atomic rename, and a corrupt or
-    truncated blob reads as a miss, never an error.
+    file and are published with an atomic rename.  Every entry embeds a
+    content checksum verified on lookup; an entry that cannot be
+    verified — corrupt, truncated, or the wrong format version — reads
+    as a miss and is quarantined under :data:`QUARANTINE_DIR`, never an
+    error and never a silently wrong number.
     """
 
     def __init__(self, root: str | os.PathLike | None = None):
@@ -108,6 +152,9 @@ class SimulationCache:
             root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.root = Path(root)
         self.stats = CacheStats()
+        #: optional ``(key, reason)`` callback fired on each quarantine
+        #: (the sweep supervisor records these in its FaultReport)
+        self.quarantine_hook = None
         #: program fingerprints are expensive (they hash the image), so
         #: memoize them per Program identity for the lifetime of the cache
         self._program_keys: dict[int, str] = {}
@@ -131,13 +178,39 @@ class SimulationCache:
     def lookup(
         self, config: MachineConfig, program: Program
     ) -> SimulationResult | None:
-        """The cached result for this point, or ``None`` on a miss."""
-        path = self._path(self._key(config, program))
+        """The verified cached result for this point, or ``None``.
+
+        A present-but-unverifiable entry (parse failure, checksum or
+        format-version mismatch) counts as a miss, is quarantined, and
+        bumps :attr:`CacheStats.quarantined`.
+        """
+        key = self._key(config, program)
+        path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-            result = SimulationResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            raw = path.read_text()
+        except OSError:
             self.stats.misses += 1
+            return None  # genuinely absent: nothing to quarantine
+        try:
+            payload = json.loads(raw)
+            version = payload["version"]
+            if version != CACHE_FORMAT_VERSION:
+                raise ValueError(f"format version {version!r}")
+            stored = payload["checksum"]
+            actual = _payload_checksum(payload["result"])
+            if stored != actual:
+                raise ValueError(
+                    f"checksum mismatch (stored {str(stored)[:12]}…, "
+                    f"actual {actual[:12]}…)"
+                )
+            result = SimulationResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError) as exc:
+            reason = f"{type(exc).__name__}: {exc}"
+            self._quarantine(path)
+            self.stats.misses += 1
+            self.stats.quarantined += 1
+            if self.quarantine_hook is not None:
+                self.quarantine_hook(key, reason)
             return None
         self.stats.hits += 1
         return result
@@ -145,19 +218,46 @@ class SimulationCache:
     def store(
         self, config: MachineConfig, program: Program, result: SimulationResult
     ) -> None:
-        """Persist one finished simulation point (atomic publish)."""
+        """Persist one finished simulation point (atomic publish).
+
+        The entry is written to a unique temp sibling and published
+        with ``os.replace``, so a writer killed at any instant leaves
+        either the previous entry or the complete new one — never a
+        torn file under a valid entry name.
+        """
+        from .faults import corrupt_stored_entry  # the injection harness
+
         key = self._key(config, program)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "key": key,
+            "checksum": result.checksum(),
             "result": result.to_dict(),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, path)
         self.stats.stores += 1
+        # Deterministic fault injection (inert without an active plan):
+        # truncate the just-published entry so the verification path
+        # stays exercised end to end.
+        corrupt_stored_entry(path, key)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move one unverifiable entry aside (best effort, atomic)."""
+        target = self.root / QUARANTINE_DIR / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Cross-device or permission trouble: delete instead, so the
+            # bad entry at least cannot be re-read forever.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # Management (the ``repro-sim cache`` subcommand)
@@ -165,7 +265,16 @@ class SimulationCache:
     def entries(self) -> list[Path]:
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*/*.json"))
+        # Live entries live under two-hex-character shard directories;
+        # the quarantine directory never matches "??".
+        return sorted(self.root.glob("??/*.json"))
+
+    def quarantined_entries(self) -> list[Path]:
+        """Entries that failed verification and were moved aside."""
+        quarantine = self.root / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return sorted(quarantine.glob("*.json"))
 
     def size_bytes(self) -> int:
         total = 0
@@ -177,13 +286,19 @@ class SimulationCache:
         return total
 
     def clear(self) -> int:
-        """Delete every cached blob; returns the number removed."""
+        """Delete every cached blob; returns the number removed.
+
+        Quarantined entries are swept too (they are dead weight once
+        noticed) but do not count toward the return value.
+        """
         if not self.root.is_dir():
             return 0  # nothing to do on a missing (or non-directory) root
         removed = 0
         for path in self.entries():
             path.unlink(missing_ok=True)
             removed += 1
+        for path in self.quarantined_entries():
+            path.unlink(missing_ok=True)
         for child in self.root.glob("*"):
             if child.is_dir():
                 try:
@@ -194,12 +309,21 @@ class SimulationCache:
 
     def describe(self) -> str:
         entries = self.entries()
+        quarantined = self.quarantined_entries()
         total = self.size_bytes()
-        return (
-            f"cache dir : {self.root}\n"
-            f"entries   : {len(entries)}\n"
-            f"size      : {total / 1024:.1f} KiB"
-        )
+        lines = [
+            f"cache dir : {self.root}",
+            f"entries   : {len(entries)}",
+            f"size      : {total / 1024:.1f} KiB",
+            f"quarantine: {len(quarantined)} entr"
+            f"{'y' if len(quarantined) == 1 else 'ies'}",
+        ]
+        if quarantined:
+            lines.append(
+                f"            ({self.root / QUARANTINE_DIR} — corrupt or "
+                "stale-format blobs caught by lookup verification)"
+            )
+        return "\n".join(lines)
 
 
 def cached_simulate(
@@ -207,6 +331,8 @@ def cached_simulate(
     program: Program,
     cache: SimulationCache | None = None,
     traced: bool = False,
+    ladder: bool = False,
+    report=None,
 ) -> SimulationResult:
     """:func:`~repro.core.simulator.simulate` through an optional cache.
 
@@ -215,10 +341,28 @@ def cached_simulate(
     cache hit returns the *same* ``trace_metrics`` as the run that
     populated it.  A hit on a blob stored without metrics re-simulates
     (and re-stores) rather than returning a metrics-less result.
+
+    With ``ladder``, a cold run goes through the engine-degradation
+    ladder (:func:`repro.core.resilience.ladder_simulate`): a fast-path
+    engine failure re-runs the point on the next rung down instead of
+    propagating, recording the degradation in ``report`` (a
+    :class:`~repro.core.resilience.FaultReport`).  Results are
+    byte-identical either way.
     """
     from .simulator import simulate, simulate_traced  # late: simulator is heavy
 
     def run() -> SimulationResult:
+        if ladder:
+            from .resilience import ladder_simulate
+
+            result, _rung = ladder_simulate(
+                config,
+                program,
+                report=report,
+                point=config_fingerprint(config)[:12],
+                traced=traced,
+            )
+            return result
         if traced:
             return simulate_traced(config, program)
         return simulate(config, program)

@@ -59,6 +59,7 @@ from ..frontend.pipe_fetch import PipeFetchUnit
 from ..frontend.tib import TibFetchUnit
 from ..memory.system import MemorySystem
 from .config import FetchStrategy, MachineConfig
+from .faults import replay_fault_hook
 from .replay import ReplayController
 from .results import QueueSnapshot, SimulationResult
 from .scheduler import (
@@ -143,6 +144,11 @@ class Simulator:
         #: the controller of the most recent :meth:`run` (``None`` when
         #: replay is disabled); the engine profiler reads its reports
         self.replay_controller: ReplayController | None = None
+        #: armed by the deterministic fault-injection harness for this
+        #: point (``None`` in normal operation); the replay controller
+        #: invokes it at every loop backedge, and the resilience
+        #: layer's engine-degradation ladder absorbs what it raises
+        self.replay_fault_hook = replay_fault_hook(config)
         self.clock = ProgressClock()
         clock = self.clock
 

@@ -14,6 +14,16 @@ optimisations (both off by default and fully deterministic):
 * ``cache`` consults a content-addressed result store
   (:mod:`repro.core.simcache`) so points shared between experiments —
   or repeated across runs — are never re-simulated.
+
+A third, orthogonal layer makes big sweeps *finish*: passing a
+:class:`~repro.core.resilience.SweepSupervisor` routes cache misses
+through the supervised worker pool (per-point timeouts, bounded
+retries, crashed-pool recovery, the engine-degradation ladder inside
+every worker), records every recovery action — including cache
+quarantines — in the supervisor's
+:class:`~repro.core.resilience.FaultReport`, and checkpoints completed
+points so an interrupted sweep resumes instead of restarting.  The
+numbers are byte-identical with or without a supervisor.
 """
 
 from __future__ import annotations
@@ -24,8 +34,9 @@ from typing import Callable, Sequence
 from ..asm.program import Program
 from .config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
 from .parallel import simulate_many
+from .resilience import FaultReport, SweepSupervisor
 from .results import SimulationResult
-from .simcache import SimulationCache
+from .simcache import SimulationCache, sweep_point_keys
 
 __all__ = [
     "SweepSeries",
@@ -45,6 +56,11 @@ class SweepSeries:
     cache_sizes: list[int]
     cycles: list[int]
     results: list[SimulationResult] = field(repr=False, default_factory=list)
+    #: the sweep's recovery ledger when it ran supervised (shared by
+    #: every series of the sweep); ``None`` for unsupervised sweeps
+    fault_report: FaultReport | None = field(
+        repr=False, compare=False, default=None
+    )
 
     def as_dict(self) -> dict[int, int]:
         return dict(zip(self.cache_sizes, self.cycles))
@@ -84,6 +100,7 @@ def run_cache_sweep(
     strategies: dict[str, StrategyFactory] | None = None,
     jobs: int | None = 1,
     cache: SimulationCache | None = None,
+    supervisor: SweepSupervisor | None = None,
     **overrides,
 ) -> list[SweepSeries]:
     """Simulate every strategy at every cache size.
@@ -96,8 +113,11 @@ def run_cache_sweep(
 
     ``jobs`` > 1 runs the points across worker processes; ``cache``
     short-circuits points already simulated (and persists the rest).
-    Both preserve ordering and produce results identical to the plain
-    serial path.
+    ``supervisor`` runs the misses fault-tolerantly (timeouts, retries,
+    crash recovery, engine degradation, checkpoint/resume) and attaches
+    its :class:`~repro.core.resilience.FaultReport` to every returned
+    series.  All three preserve ordering and produce results identical
+    to the plain serial path.
     """
     if strategies is None:
         strategies = standard_strategies()
@@ -116,23 +136,35 @@ def run_cache_sweep(
             points.append((index, size, config))
 
     resolved: dict[int, SimulationResult] = {}
-    misses: list[tuple[int, MachineConfig]] = []
-    for point_id, (_index, _size, config) in enumerate(points):
-        hit = cache.lookup(config, program) if cache is not None else None
-        if hit is not None:
-            resolved[point_id] = hit
-        else:
-            misses.append((point_id, config))
+    if supervisor is not None:
+        _run_supervised(program, points, cache, supervisor, resolved)
+    else:
+        misses: list[tuple[int, MachineConfig]] = []
+        for point_id, (_index, _size, config) in enumerate(points):
+            hit = cache.lookup(config, program) if cache is not None else None
+            if hit is not None:
+                resolved[point_id] = hit
+            else:
+                misses.append((point_id, config))
 
-    if misses:
-        fresh = simulate_many(program, [config for _, config in misses], jobs=jobs)
-        for (point_id, config), result in zip(misses, fresh):
-            resolved[point_id] = result
-            if cache is not None:
-                cache.store(config, program, result)
+        if misses:
+            fresh = simulate_many(
+                program, [config for _, config in misses], jobs=jobs
+            )
+            for (point_id, config), result in zip(misses, fresh):
+                resolved[point_id] = result
+                if cache is not None:
+                    cache.store(config, program, result)
 
+    report = supervisor.report if supervisor is not None else None
     series = [
-        SweepSeries(label=label, cache_sizes=[], cycles=[], results=[])
+        SweepSeries(
+            label=label,
+            cache_sizes=[],
+            cycles=[],
+            results=[],
+            fault_report=report,
+        )
         for label in labels
     ]
     for point_id, (index, size, _config) in enumerate(points):
@@ -141,3 +173,66 @@ def run_cache_sweep(
         series[index].cycles.append(result.cycles)
         series[index].results.append(result)
     return series
+
+
+def _run_supervised(
+    program: Program,
+    points: list[tuple[int, int, MachineConfig]],
+    cache: SimulationCache | None,
+    supervisor: SweepSupervisor,
+    resolved: dict[int, SimulationResult],
+) -> None:
+    """Resolve every sweep point under the fault supervisor.
+
+    Resolution order per point: the checkpoint manifest (``--resume``),
+    then the content-addressed cache (quarantines recorded in the
+    supervisor's report), then the supervised worker pool.  Completed
+    misses are stored to both the cache and the checkpoint as they
+    arrive, so progress survives a crash at any moment.
+    """
+    report = supervisor.report
+    checkpoint = supervisor.checkpoint
+    configs = [config for _index, _size, config in points]
+    keys = sweep_point_keys(program, configs)
+
+    if cache is not None:
+        cache.quarantine_hook = lambda key, reason: report.record(
+            key[:12], "cache_quarantine", detail=reason
+        )
+    try:
+        misses: list[tuple[int, MachineConfig, str]] = []
+        for point_id, config in enumerate(configs):
+            key = keys[point_id]
+            if checkpoint is not None and supervisor.resume:
+                result = checkpoint.get(key)
+                if result is not None:
+                    resolved[point_id] = result
+                    supervisor.resumed += 1
+                    continue
+            hit = cache.lookup(config, program) if cache is not None else None
+            if hit is not None:
+                resolved[point_id] = hit
+            else:
+                misses.append((point_id, config, key))
+
+        if misses:
+
+            def on_result(miss_pos: int, result: SimulationResult) -> None:
+                point_id, config, key = misses[miss_pos]
+                resolved[point_id] = result
+                if cache is not None:
+                    cache.store(config, program, result)
+                if checkpoint is not None:
+                    checkpoint.add(key, result)
+
+            supervisor.simulate_points(
+                program,
+                [config for _, config, _ in misses],
+                keys=[key for _, _, key in misses],
+                on_result=on_result,
+            )
+    finally:
+        if cache is not None:
+            cache.quarantine_hook = None
+        if checkpoint is not None:
+            checkpoint.flush()

@@ -1,5 +1,7 @@
 """Tests for the repro-sim command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -125,6 +127,79 @@ class TestCommands:
         )
         assert code == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestResilienceCli:
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "figure", "5b", "--supervised", "--timeout", "30",
+                "--max-retries", "3", "--resume", "--checkpoint", "ck.json",
+                "--inject-faults", "seed=7,kill=0.3",
+                "--fault-report", "fr.json",
+            ]
+        )
+        assert args.supervised and args.resume
+        assert args.timeout == 30.0 and args.max_retries == 3
+        assert args.checkpoint == "ck.json"
+        assert args.inject_faults == "seed=7,kill=0.3"
+        assert args.fault_report == "fr.json"
+
+    def test_supervised_figure_reports_clean(self, capsys, tmp_path):
+        argv = [
+            "figure", "4b", "--scale", "0.03", "--sizes", "32", "--no-plot",
+            "--supervised", "--jobs", "1", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4b" in out
+        assert "fault report  : clean" in out
+        assert (tmp_path / "sweep-checkpoint.json").exists()
+
+    def test_resume_answers_from_the_checkpoint(self, capsys, tmp_path):
+        base = [
+            "figure", "4b", "--scale", "0.03", "--sizes", "32", "--no-plot",
+            "--jobs", "1", "--no-cache",
+            "--checkpoint", str(tmp_path / "ck.json"),
+        ]
+        assert main(base + ["--supervised"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed       : 5 point(s)" in out
+
+    def test_fault_report_file_written(self, capsys, tmp_path):
+        report_path = tmp_path / "fr.json"
+        argv = [
+            "figure", "4b", "--scale", "0.03", "--sizes", "32", "--no-plot",
+            "--supervised", "--jobs", "1", "--no-cache",
+            "--checkpoint", str(tmp_path / "ck.json"),
+            "--fault-report", str(report_path),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload == {"events": [], "counts": {}}
+
+    def test_run_with_injected_replay_divergence(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        code = main(
+            [
+                "run", "--scale", "0.03", "--cache", "64",
+                "--inject-faults", "diverge=1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine rung   : idle-skip" in out
+        assert "degraded" in out
+        # the injectors must be disarmed again afterwards
+        import os
+
+        assert "REPRO_FAULT_PLAN" not in os.environ
+
+    def test_run_without_injection_has_no_rung_banner(self, capsys):
+        assert main(["run", "--scale", "0.03", "--cache", "64"]) == 0
+        assert "engine rung" not in capsys.readouterr().out
 
 
 class TestTrace:

@@ -8,7 +8,9 @@ import pytest
 from repro.core.config import MachineConfig
 from repro.core.parallel import (
     JOBS_ENV,
+    ItemOutcome,
     parallel_map,
+    parallel_map_outcomes,
     resolve_jobs,
     simulate_many,
 )
@@ -16,6 +18,12 @@ from repro.core.simulator import simulate
 
 
 def _square(x: int) -> int:
+    return x * x
+
+
+def _square_unless_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("three is right out")
     return x * x
 
 
@@ -65,6 +73,50 @@ class TestParallelMap:
 
         with pytest.raises(RuntimeError, match="boom"):
             parallel_map(boom, [1], jobs=1)
+
+
+class TestParallelMapOutcomes:
+    """Regression: one failed item must not discard completed siblings."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failed_item_keeps_its_siblings(self, jobs):
+        outcomes = parallel_map_outcomes(
+            _square_unless_three, list(range(6)), jobs=jobs
+        )
+        assert [o.ok for o in outcomes] == [True, True, True, False, True, True]
+        assert [o.value for o in outcomes if o.ok] == [0, 1, 4, 16, 25]
+        assert isinstance(outcomes[3].error, ValueError)
+
+    def test_unwrap_returns_or_reraises(self):
+        good, bad = parallel_map_outcomes(
+            _square_unless_three, [2, 3], jobs=1
+        )
+        assert good.unwrap() == 4
+        with pytest.raises(ValueError, match="three"):
+            bad.unwrap()
+
+    def test_empty_input(self):
+        assert parallel_map_outcomes(_square, [], jobs=4) == []
+
+    def test_all_successes_match_parallel_map(self):
+        items = list(range(10))
+        outcomes = parallel_map_outcomes(_square, items, jobs=2)
+        assert [o.unwrap() for o in outcomes] == parallel_map(
+            _square, items, jobs=2
+        )
+
+    def test_unpicklable_fn_falls_back_with_capture_intact(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            outcomes = parallel_map_outcomes(
+                lambda x: 1 // x, [1, 0, 2], jobs=2
+            )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, ZeroDivisionError)
+
+    def test_outcome_defaults(self):
+        outcome = ItemOutcome(value=5)
+        assert outcome.ok and outcome.unwrap() == 5
 
 
 class TestSimulateMany:

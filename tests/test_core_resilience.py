@@ -1,0 +1,324 @@
+"""Tests of the fault-tolerant execution layer (repro.core.resilience)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.parallel import simulate_many
+from repro.core.resilience import (
+    FaultReport,
+    SweepCheckpoint,
+    SweepPointError,
+    SweepSupervisor,
+    ladder_simulate,
+    supervised_map,
+    supervised_simulate_many,
+)
+from repro.core.simcache import SimulationCache
+from repro.core.simulator import simulate
+from repro.core.sweep import run_cache_sweep
+
+
+def _pipe(**overrides) -> MachineConfig:
+    return MachineConfig.pipe(
+        "16-16", 128, memory_access_time=6, input_bus_width=8, **overrides
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker bodies for the pool tests (module-level: they must pickle).
+# Each misbehaves exactly once per item, coordinated through a marker
+# file, so the supervisor's retry must succeed.
+# ----------------------------------------------------------------------
+def _square(x: int) -> int:
+    return x * x
+
+
+def _claim_marker(directory: str, name: str) -> bool:
+    try:
+        fd = os.open(
+            os.path.join(directory, name), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        )
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _fail_once(task) -> int:
+    x, directory = task
+    if _claim_marker(directory, f"fail-{x}"):
+        raise RuntimeError(f"transient failure for {x}")
+    return x * x
+
+
+def _fail_always(task) -> int:
+    x, _directory = task
+    if x == 2:
+        raise ValueError(f"permanently broken item {x}")
+    return x * x
+
+
+def _kill_once(task) -> int:
+    x, directory, kill = task
+    if kill and _claim_marker(directory, f"kill-{x}"):
+        os._exit(33)
+    return x * x
+
+
+def _sleep_once(task) -> int:
+    x, directory, hang = task
+    if hang and _claim_marker(directory, f"hang-{x}"):
+        time.sleep(10.0)
+    return x * x
+
+
+class TestFaultReport:
+    def test_starts_clean(self):
+        report = FaultReport()
+        assert report.clean
+        assert "clean" in report.summary()
+
+    def test_record_and_counts(self):
+        report = FaultReport()
+        report.record("p1", "retry", detail="boom", attempt=1)
+        report.record("p2", "retry", attempt=1)
+        report.record("p1", "degraded", rung="idle-skip")
+        assert not report.clean
+        assert report.counts() == {"retry": 2, "degraded": 1}
+        summary = report.summary()
+        assert "3 recovery action(s)" in summary
+        assert "rung idle-skip" in summary
+
+    def test_to_dict_is_json_serializable(self):
+        report = FaultReport()
+        report.record("p1", "timeout", attempt=2)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["counts"] == {"timeout": 1}
+        assert payload["events"][0]["point"] == "p1"
+
+
+class TestSupervisedMapSerial:
+    def test_matches_plain_map(self):
+        items = list(range(8))
+        assert supervised_map(_square, items, jobs=1) == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert supervised_map(_square, [], jobs=1) == []
+
+    def test_on_result_fires_in_completion_order(self):
+        seen = []
+        supervised_map(
+            _square,
+            [1, 2, 3],
+            jobs=1,
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert seen == [(0, 1), (1, 4), (2, 9)]
+
+    def test_transient_failure_is_retried(self, tmp_path):
+        report = FaultReport()
+        tasks = [(x, str(tmp_path)) for x in range(4)]
+        values = supervised_map(
+            _fail_once, tasks, jobs=1, max_retries=2, backoff=0, report=report
+        )
+        assert values == [x * x for x in range(4)]
+        assert report.counts()["retry"] == 4  # every item failed once
+
+    def test_permanent_failure_raises_after_siblings_finish(self, tmp_path):
+        report = FaultReport()
+        delivered = []
+        tasks = [(x, str(tmp_path)) for x in range(4)]
+        with pytest.raises(SweepPointError) as excinfo:
+            supervised_map(
+                _fail_always,
+                tasks,
+                jobs=1,
+                max_retries=1,
+                backoff=0,
+                report=report,
+                labels=[f"item{x}" for x in range(4)],
+                on_result=lambda index, value: delivered.append(index),
+            )
+        # every recoverable sibling completed before the raise
+        assert delivered == [0, 1, 3]
+        (label, exc), = excinfo.value.failures
+        assert label == "item2" and isinstance(exc, ValueError)
+        assert report.counts()["gave_up"] == 1
+
+    def test_no_retry_types_fail_on_the_first_attempt(self, tmp_path):
+        report = FaultReport()
+        tasks = [(x, str(tmp_path)) for x in (2,)]
+        with pytest.raises(SweepPointError):
+            supervised_map(
+                _fail_always,
+                tasks,
+                jobs=1,
+                max_retries=5,
+                backoff=0,
+                report=report,
+                no_retry=(ValueError,),
+            )
+        gave_up = [e for e in report.events if e.kind == "gave_up"]
+        assert len(gave_up) == 1 and gave_up[0].attempt == 1
+
+
+class TestSupervisedMapPool:
+    def test_pool_matches_serial(self, tmp_path):
+        tasks = [(x, str(tmp_path), False) for x in range(8)]
+        assert supervised_map(_kill_once, tasks, jobs=2) == [
+            x * x for x in range(8)
+        ]
+
+    def test_worker_crash_respawns_and_requeues(self, tmp_path):
+        report = FaultReport()
+        tasks = [(x, str(tmp_path), x == 1) for x in range(5)]
+        values = supervised_map(
+            _kill_once, tasks, jobs=2, max_retries=3, backoff=0, report=report
+        )
+        assert values == [x * x for x in range(5)]
+        counts = report.counts()
+        assert counts.get("worker_crash", 0) >= 1
+        assert counts.get("pool_respawn", 0) >= 1
+
+    def test_hung_point_times_out_and_recovers(self, tmp_path):
+        report = FaultReport()
+        tasks = [(x, str(tmp_path), x == 0) for x in range(3)]
+        values = supervised_map(
+            _sleep_once,
+            tasks,
+            jobs=2,
+            timeout=1.0,
+            max_retries=3,
+            backoff=0,
+            report=report,
+        )
+        assert values == [x * x for x in range(3)]
+        assert report.counts().get("timeout", 0) >= 1
+
+
+class TestLadderSimulate:
+    def test_clean_point_uses_the_top_rung(self, tiny_program):
+        report = FaultReport()
+        result, rung = ladder_simulate(_pipe(), tiny_program, report=report)
+        assert rung == "replay"
+        assert report.clean
+        assert result == simulate(_pipe(), tiny_program)
+
+
+class TestSupervisedSimulateMany:
+    def test_matches_unsupervised(self, tiny_program):
+        configs = [
+            _pipe(),
+            _pipe().with_overrides(icache_size=64),
+            MachineConfig.conventional(
+                128, memory_access_time=6, input_bus_width=8
+            ),
+        ]
+        plain = simulate_many(tiny_program, configs, jobs=1)
+        report = FaultReport()
+        supervised = supervised_simulate_many(
+            tiny_program, configs, jobs=2, report=report
+        )
+        assert supervised == plain
+        assert report.clean
+
+
+class TestSweepCheckpoint:
+    def test_round_trip(self, tiny_program, tmp_path):
+        result = simulate(_pipe(), tiny_program)
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json", interval=100)
+        checkpoint.add("key1", result)
+        checkpoint.flush()
+        reopened = SweepCheckpoint(tmp_path / "ck.json")
+        assert reopened.load() == 1
+        assert reopened.get("key1") == result
+        assert reopened.get("other") is None
+
+    def test_flushes_every_interval(self, tiny_program, tmp_path):
+        result = simulate(_pipe(), tiny_program)
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json", interval=2)
+        checkpoint.add("k1", result)
+        assert not (tmp_path / "ck.json").exists()
+        checkpoint.add("k2", result)
+        assert (tmp_path / "ck.json").exists()
+
+    def test_corrupt_manifest_starts_empty(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{torn write")
+        checkpoint = SweepCheckpoint(path)
+        assert checkpoint.load() == 0
+        assert len(checkpoint) == 0
+
+    def test_wrong_version_starts_empty(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 999, "points": {"k": {}}}))
+        assert SweepCheckpoint(path).load() == 0
+
+    def test_no_temp_droppings(self, tiny_program, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json", interval=1)
+        checkpoint.add("k1", simulate(_pipe(), tiny_program))
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+
+class TestSupervisedSweep:
+    def test_matches_unsupervised_and_attaches_report(
+        self, tiny_program, tmp_path
+    ):
+        plain = run_cache_sweep(tiny_program, cache_sizes=[64, 128], jobs=1)
+        supervisor = SweepSupervisor(
+            jobs=1, checkpoint=SweepCheckpoint(tmp_path / "ck.json")
+        )
+        supervised = run_cache_sweep(
+            tiny_program,
+            cache_sizes=[64, 128],
+            cache=SimulationCache(tmp_path / "cache"),
+            supervisor=supervisor,
+        )
+        assert [s.cycles for s in supervised] == [s.cycles for s in plain]
+        assert all(s.fault_report is supervisor.report for s in supervised)
+        assert supervisor.report.clean
+        # every completed point was checkpointed
+        assert len(supervisor.checkpoint) == sum(
+            len(s.cycles) for s in supervised
+        )
+
+    def test_resume_pre_resolves_from_the_checkpoint(
+        self, tiny_program, tmp_path
+    ):
+        first = SweepSupervisor(
+            jobs=1, checkpoint=SweepCheckpoint(tmp_path / "ck.json")
+        )
+        baseline = run_cache_sweep(
+            tiny_program, cache_sizes=[64], supervisor=first
+        )
+        resumer = SweepSupervisor(
+            jobs=1,
+            checkpoint=SweepCheckpoint(tmp_path / "ck.json"),
+            resume=True,
+        )
+        resumer.checkpoint.load()
+        resumed = run_cache_sweep(
+            tiny_program, cache_sizes=[64], supervisor=resumer
+        )
+        assert resumer.resumed == sum(len(s.cycles) for s in baseline)
+        assert [s.cycles for s in resumed] == [s.cycles for s in baseline]
+
+    def test_stale_checkpoint_entries_never_match(self, tiny_program, tmp_path):
+        # A manifest keyed by different content (another cache size) must
+        # not satisfy this sweep's points.
+        first = SweepSupervisor(
+            jobs=1, checkpoint=SweepCheckpoint(tmp_path / "ck.json")
+        )
+        run_cache_sweep(tiny_program, cache_sizes=[32], supervisor=first)
+        resumer = SweepSupervisor(
+            jobs=1,
+            checkpoint=SweepCheckpoint(tmp_path / "ck.json"),
+            resume=True,
+        )
+        resumer.checkpoint.load()
+        run_cache_sweep(tiny_program, cache_sizes=[256], supervisor=resumer)
+        assert resumer.resumed == 0

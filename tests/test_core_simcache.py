@@ -1,6 +1,7 @@
 """Tests of the content-addressed simulation result cache."""
 
 import dataclasses
+import json
 import os
 import subprocess
 import sys
@@ -8,11 +9,14 @@ from pathlib import Path
 
 from repro.core.config import MachineConfig
 from repro.core.simcache import (
+    CACHE_FORMAT_VERSION,
+    QUARANTINE_DIR,
     SimulationCache,
     cached_simulate,
     config_fingerprint,
     program_fingerprint,
     result_key,
+    sweep_point_keys,
 )
 from repro.core.simulator import simulate
 
@@ -82,6 +86,12 @@ class TestFingerprints:
             config, small_program
         )
 
+    def test_sweep_point_keys_match_single_point_keys(self, tiny_program):
+        configs = [_pipe(), _pipe().with_overrides(icache_size=64)]
+        assert sweep_point_keys(tiny_program, configs) == [
+            result_key(config, tiny_program) for config in configs
+        ]
+
 
 class TestRoundTrip:
     def test_result_json_round_trip(self, tiny_program):
@@ -135,3 +145,107 @@ class TestSimulationCache:
     def test_no_cache_passthrough(self, tiny_program):
         result = cached_simulate(_pipe(), tiny_program, None)
         assert result.cycles > 0
+
+
+class TestCrashSafety:
+    """Format v3: atomic publish, checksum verification, quarantine."""
+
+    def test_entries_embed_a_verified_checksum(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        result = cached_simulate(_pipe(), tiny_program, cache)
+        (entry,) = cache.entries()
+        payload = json.loads(entry.read_text())
+        assert payload["version"] == CACHE_FORMAT_VERSION
+        assert payload["checksum"] == result.checksum()
+
+    def test_store_leaves_no_temp_droppings(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        cached_simulate(_pipe(), tiny_program, cache)
+        leftovers = [
+            path
+            for path in Path(tmp_path).rglob("*")
+            if path.is_file() and path.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_tampered_payload_is_quarantined(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        cached_simulate(_pipe(), tiny_program, cache)
+        (entry,) = cache.entries()
+        payload = json.loads(entry.read_text())
+        payload["result"]["cycles"] += 1  # a silently wrong number
+        entry.write_text(json.dumps(payload))
+        assert cache.lookup(_pipe(), tiny_program) is None
+        assert cache.stats.quarantined == 1
+        assert cache.entries() == []
+        quarantined = cache.quarantined_entries()
+        assert [path.name for path in quarantined] == [entry.name]
+
+    def test_truncated_entry_is_quarantined(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        cached_simulate(_pipe(), tiny_program, cache)
+        (entry,) = cache.entries()
+        raw = entry.read_text()
+        entry.write_text(raw[: len(raw) // 2])  # a torn, non-atomic write
+        assert cache.lookup(_pipe(), tiny_program) is None
+        assert cache.stats.quarantined == 1
+
+    def test_version_mismatch_is_quarantined(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        cached_simulate(_pipe(), tiny_program, cache)
+        (entry,) = cache.entries()
+        payload = json.loads(entry.read_text())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        entry.write_text(json.dumps(payload))
+        assert cache.lookup(_pipe(), tiny_program) is None
+        assert cache.stats.quarantined == 1
+
+    def test_quarantine_hook_reports_key_and_reason(
+        self, tiny_program, tmp_path
+    ):
+        cache = SimulationCache(tmp_path)
+        cached_simulate(_pipe(), tiny_program, cache)
+        (entry,) = cache.entries()
+        entry.write_text("{torn")
+        seen = []
+        cache.quarantine_hook = lambda key, reason: seen.append((key, reason))
+        cache.lookup(_pipe(), tiny_program)
+        ((key, reason),) = seen
+        assert entry.name == f"{key}.json"
+        assert reason
+
+    def test_quarantined_entry_is_rebuilt_on_the_next_miss(
+        self, tiny_program, tmp_path
+    ):
+        cache = SimulationCache(tmp_path)
+        first = cached_simulate(_pipe(), tiny_program, cache)
+        (entry,) = cache.entries()
+        entry.write_text("{torn")
+        second = cached_simulate(_pipe(), tiny_program, cache)
+        assert second == first
+        assert cache.lookup(_pipe(), tiny_program) == first  # verified again
+
+    def test_describe_reports_the_quarantine(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        cached_simulate(_pipe(), tiny_program, cache)
+        assert "quarantine: 0 entries" in cache.describe()
+        (entry,) = cache.entries()
+        entry.write_text("{torn")
+        cache.lookup(_pipe(), tiny_program)
+        description = cache.describe()
+        assert "quarantine: 1 entry" in description
+        assert QUARANTINE_DIR in description
+
+    def test_clear_sweeps_the_quarantine_too(self, tiny_program, tmp_path):
+        cache = SimulationCache(tmp_path)
+        variant = _pipe().with_overrides(iq_size=8)
+        cached_simulate(_pipe(), tiny_program, cache)
+        cached_simulate(variant, tiny_program, cache)
+        (entry, _other) = cache.entries()
+        entry.write_text("{torn")
+        cache.lookup(_pipe(), tiny_program)  # one of these quarantines it
+        cache.lookup(variant, tiny_program)
+        assert cache.stats.quarantined == 1
+        assert cache.clear() == 1  # quarantined blobs are not counted
+        assert cache.entries() == []
+        assert cache.quarantined_entries() == []
