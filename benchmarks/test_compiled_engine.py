@@ -1,0 +1,132 @@
+"""Compiled step kernels: wall-clock vs the interpreted engines.
+
+The compiled engine generates one specialized, monolithic step function
+per machine configuration — config constants folded into literals,
+component dispatch inlined, tracer and fault branches specialized away —
+and the ladder runs it instead of the interpreted loop.  This benchmark
+measures the cold headline sweep (simcache disabled by construction —
+``simulate()`` never touches it — and replay off in every arm so the
+comparison isolates codegen): the reference loop, the interpreted
+idle-skip engine, and the compiled kernel all simulate the same
+configurations, the cycle counts must agree, the per-config table is
+published to ``benchmarks/results/compiled_engine.txt``, and the
+headline claim is enforced: >= 2x over the reference loop overall.
+Kernel compilation happens inside the timed region on the first round
+(each config compiles once per process), so the cost of codegen itself
+is part of the cold number.
+"""
+
+import time
+
+from repro.core.compiled import clear_compile_cache, compile_stats
+from repro.core.config import MachineConfig
+
+from repro.core.simulator import simulate
+
+# The headline sweep spans the three fetch strategies: the Table II
+# PIPE machines (issue-dominated, where the win is pure codegen), the
+# TIB machine, and the conventional cache against slow memories (where
+# the folded skip block dominates).
+_CONFIGS = {
+    "pipe-16-16-c128-mat6": lambda: MachineConfig.pipe(
+        "16-16", 128, memory_access_time=6
+    ),
+    "pipe-16-16-c512-mat6": lambda: MachineConfig.pipe(
+        "16-16", 512, memory_access_time=6
+    ),
+    "tib-128-mat6": lambda: MachineConfig.tib(128, memory_access_time=6),
+    "conventional-128-mat16": lambda: MachineConfig.conventional(
+        128, memory_access_time=16
+    ),
+    "conventional-128-mat32": lambda: MachineConfig.conventional(
+        128, memory_access_time=32
+    ),
+    "conventional-32-mat32": lambda: MachineConfig.conventional(
+        32, memory_access_time=32
+    ),
+}
+
+_ENGINES = (
+    ("reference", {"skip": False, "replay": False, "compiled": False}),
+    ("idle-skip", {"skip": True, "replay": False, "compiled": False}),
+    ("compiled", {"skip": True, "replay": False, "compiled": True}),
+)
+
+
+def test_compiled_kernel_speedup(context, benchmark, results_dir):
+    clear_compile_cache()
+    rounds = 3
+
+    def timed(config, kwargs) -> tuple[float, int]:
+        best = float("inf")
+        cycles = 0
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = simulate(config, context.program, **kwargs)
+            best = min(best, time.perf_counter() - start)
+            assert result.halted
+            cycles = result.cycles
+        return best, cycles
+
+    rows = []
+    totals = {tag: 0.0 for tag, _ in _ENGINES}
+    for name, factory in sorted(_CONFIGS.items()):
+        config = factory()
+        cell = {}
+        cycle_counts = set()
+        for tag, kwargs in _ENGINES:
+            seconds, cycles = timed(config, kwargs)
+            cell[tag] = seconds
+            totals[tag] += seconds
+            cycle_counts.add(cycles)
+        assert len(cycle_counts) == 1, (
+            f"{name}: engines disagree on the cycle count: {cycle_counts}"
+        )
+        rows.append((name, cycle_counts.pop(), cell))
+
+    speedup = totals["reference"] / totals["compiled"]
+    stats = compile_stats()
+    lines = [
+        "Compiled step kernels: wall-clock vs the interpreted engines",
+        f"(workload scale {context.scale}, min of {rounds} runs per cell,",
+        " replay off in every arm; first compiled round pays codegen)",
+        "",
+        f"{'config':<26} {'cycles':>10} {'reference':>10} {'idle-skip':>10} "
+        f"{'compiled':>9} {'speedup':>8}",
+    ]
+    for name, cycles, cell in rows:
+        lines.append(
+            f"{name:<26} {cycles:>10} {cell['reference']:>9.3f}s "
+            f"{cell['idle-skip']:>9.3f}s {cell['compiled']:>8.3f}s "
+            f"{cell['reference'] / cell['compiled']:>7.2f}x"
+        )
+    lines += [
+        "",
+        f"kernels compiled: {stats['kernels']} "
+        f"(one per configuration, cached for the process)",
+        f"overall speedup vs reference: {speedup:.2f}x (target >= 2x)",
+        f"overall speedup vs idle-skip: "
+        f"{totals['idle-skip'] / totals['compiled']:.2f}x",
+    ]
+    text = "\n".join(lines) + "\n"
+    print(f"\n{text}")
+    (results_dir / "compiled_engine.txt").write_text(text)
+
+    result = benchmark.pedantic(
+        lambda: simulate(
+            _CONFIGS["pipe-16-16-c128-mat6"](),
+            context.program,
+            skip=True,
+            replay=False,
+            compiled=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["kernels_compiled"] = stats["kernels"]
+    assert speedup >= 2.0, (
+        f"the compiled kernels delivered only {speedup:.2f}x over the "
+        "reference loop on the cold headline sweep (target >= 2x)"
+    )

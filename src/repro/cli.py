@@ -49,7 +49,7 @@ from .core import faults
 from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
 from .core.parallel import parallel_map, resolve_jobs
 from .core.resilience import SweepCheckpoint, SweepSupervisor, ladder_simulate
-from .core.scheduler import NO_REPLAY_ENV, NO_SKIP_ENV
+from .core.scheduler import NO_COMPILED_ENV, NO_REPLAY_ENV, NO_SKIP_ENV
 from .core.simcache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, SimulationCache
 from .core.simulator import simulate, simulate_traced
 from .core.trace import TraceMetrics
@@ -516,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
         "iteration live (results are identical; equivalent to "
         "REPRO_NO_REPLAY=1)",
     )
+    parser.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help="disable the per-config compiled step kernel and run the "
+        "interpreted engines (results are identical; equivalent to "
+        "REPRO_NO_COMPILED=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="simulate one configuration")
@@ -644,6 +651,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[NO_SKIP_ENV] = "1"
     if args.no_replay:
         os.environ[NO_REPLAY_ENV] = "1"
+    if args.no_compiled:
+        os.environ[NO_COMPILED_ENV] = "1"
     return args.func(args)
 
 

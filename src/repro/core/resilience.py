@@ -26,10 +26,13 @@ reference run would produce:
 
 :func:`ladder_simulate`
     the engine-degradation ladder: a point that fails under the full
-    fast path (idle-skip + steady-state replay) is re-run under
+    fast path (the compiled step kernel with idle-skip + steady-state
+    replay) is re-run with the interpreted engines, then under
     idle-skip alone, then under the reference cycle-by-cycle loop —
     :data:`~repro.core.scheduler.ENGINE_RUNGS` — recording which rung
-    finally produced the result.  Architectural outcomes
+    finally produced the result (successes included, so the compiled
+    rung's engagement rate is visible in ``--fault-report`` JSON).
+    Architectural outcomes
     (:class:`~repro.core.simulator.DeadlockError`,
     :class:`~repro.core.simulator.SimulationTimeout`) are identical on
     every rung and therefore never degraded, only reported.
@@ -114,6 +117,14 @@ class FaultReport:
     """Every recovery action taken during one supervised sweep."""
 
     events: list[FaultEvent] = field(default_factory=list)
+    #: points served per engine rung (tallied even on full success, so
+    #: the fast paths' engagement rate is observable in ``--fault-report``
+    #: JSON); never affects :attr:`clean`
+    rungs: dict[str, int] = field(default_factory=dict)
+
+    def tally_rung(self, rung: str) -> None:
+        """Count one point served by ``rung`` (success path included)."""
+        self.rungs[rung] = self.rungs.get(rung, 0) + 1
 
     def record(
         self,
@@ -147,17 +158,24 @@ class FaultReport:
         return {
             "events": [event.to_dict() for event in self.events],
             "counts": self.counts(),
+            "rungs": dict(self.rungs),
         }
 
     def summary(self) -> str:
         """Human-readable report (the CLI prints this after a sweep)."""
         if self.clean:
-            return "fault report  : clean (no recovery actions)"
-        lines = [f"fault report  : {len(self.events)} recovery action(s)"]
-        for kind, count in self.counts().items():
-            lines.append(f"  {kind:<16} {count}")
-        for event in self.events:
-            lines.append(f"  {event}")
+            lines = ["fault report  : clean (no recovery actions)"]
+        else:
+            lines = [f"fault report  : {len(self.events)} recovery action(s)"]
+            for kind, count in self.counts().items():
+                lines.append(f"  {kind:<16} {count}")
+            for event in self.events:
+                lines.append(f"  {event}")
+        if self.rungs:
+            served = ", ".join(
+                f"{rung}={count}" for rung, count in self.rungs.items()
+            )
+            lines.append(f"  points by rung : {served}")
         return "\n".join(lines)
 
 
@@ -243,6 +261,8 @@ def ladder_simulate(
                 f"result produced by the {rung} engine",
                 rung=rung,
             )
+        if report is not None:
+            report.tally_rung(rung)
         return result, rung
     raise AssertionError("unreachable: every rung either returned or raised")
 
@@ -591,8 +611,12 @@ def supervised_simulate_many(
         report = FaultReport()
 
     def merge(index: int, value) -> None:
-        result, _rung, events = value
+        result, rung, events = value
         report.extend(events)
+        # The worker-local report is discarded, so its rung tally
+        # (including the success-path count) is re-recorded here —
+        # exactly once per delivered point.
+        report.tally_rung(rung)
         if on_result is not None:
             on_result(index, result)
 

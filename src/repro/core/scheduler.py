@@ -38,10 +38,12 @@ __all__ = [
     "ENGINE_REVISION",
     "ENGINE_RUNGS",
     "IDLE",
+    "NO_COMPILED_ENV",
     "NO_REPLAY_ENV",
     "NO_SKIP_ENV",
     "ProgressClock",
     "SeqCounter",
+    "compiled_enabled_default",
     "replay_enabled_default",
     "rung_kwargs",
     "skip_enabled_default",
@@ -53,8 +55,9 @@ IDLE: int = 1 << 62
 
 #: Folded into simulation-cache keys so blobs produced by a different
 #: scheduling engine never satisfy a lookup.  Bump on any change to the
-#: skip scheduler's or the replay engine's accounting.
-ENGINE_REVISION = "skip-1+replay-1"
+#: skip scheduler's, the replay engine's, or the compiled step-kernel
+#: generator's accounting.
+ENGINE_REVISION = "skip-1+replay-1+compiled-1"
 
 #: Environment variable forcing the reference (no-skip) loop.
 NO_SKIP_ENV = "REPRO_NO_SKIP"
@@ -62,21 +65,26 @@ NO_SKIP_ENV = "REPRO_NO_SKIP"
 #: Environment variable disabling steady-state loop replay.
 NO_REPLAY_ENV = "REPRO_NO_REPLAY"
 
+#: Environment variable disabling the compiled step-kernel engine.
+NO_COMPILED_ENV = "REPRO_NO_COMPILED"
+
 
 #: The engine-degradation ladder, fastest first.  Every rung produces
 #: byte-identical results (the differential suite pins this), so the
 #: resilience layer may re-run a point on a slower rung after a
 #: fast-path failure without changing a single reported number.
-ENGINE_RUNGS = ("replay", "idle-skip", "reference")
+ENGINE_RUNGS = ("compiled", "replay", "idle-skip", "reference")
 
 #: ``Simulator`` keyword arguments selecting each rung.  The top rung
 #: defers to the session defaults, so the ``REPRO_NO_SKIP`` /
-#: ``REPRO_NO_REPLAY`` escape hatches stay authoritative; lower rungs
-#: only ever *disable* fast paths, never force one back on.
+#: ``REPRO_NO_REPLAY`` / ``REPRO_NO_COMPILED`` escape hatches stay
+#: authoritative; lower rungs only ever *disable* fast paths, never
+#: force one back on.
 _RUNG_KWARGS: dict[str, dict] = {
-    "replay": {"skip": None, "replay": None},
-    "idle-skip": {"skip": None, "replay": False},
-    "reference": {"skip": False, "replay": False},
+    "compiled": {"skip": None, "replay": None, "compiled": None},
+    "replay": {"skip": None, "replay": None, "compiled": False},
+    "idle-skip": {"skip": None, "replay": False, "compiled": False},
+    "reference": {"skip": False, "replay": False, "compiled": False},
 }
 
 
@@ -102,6 +110,15 @@ def skip_enabled_default() -> bool:
 def replay_enabled_default() -> bool:
     """Loop replay defaults to on unless ``REPRO_NO_REPLAY`` is set."""
     return os.environ.get(NO_REPLAY_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+def compiled_enabled_default() -> bool:
+    """Compiled kernels default to on unless ``REPRO_NO_COMPILED`` is set."""
+    return os.environ.get(NO_COMPILED_ENV, "").strip().lower() not in (
         "1",
         "true",
         "yes",

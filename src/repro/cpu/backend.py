@@ -220,6 +220,173 @@ class Backend:
         return True
 
     # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    @classmethod
+    def emit_compiled_step(cls, ctx) -> None:
+        """Lower :meth:`step` into straight-line kernel code.
+
+        Must mirror :meth:`step` (and the ``_handle_branch_bookkeeping``
+        /``_stall`` helpers it calls) statement for statement: same
+        counter updates, same trace events, same ordering.  The only
+        licensed deviations are pure-code motion: ``queue_effects`` is
+        memoized per instruction object (it is a pure function of the
+        instruction) and computed before the branch-overlap check, and
+        queue-full checks fold the capacity literals from the spec.
+        The differential matrix pins byte-identical behavior.
+        """
+        spec = ctx.spec
+        traced = spec.traced
+        ctx.need(
+            "backend",
+            "clock",
+            "backend_stalls",
+            "backend_state",
+            "backend_env",
+            "effects_memo",
+            "frontend_next_instruction",
+            "frontend_consume",
+            "frontend_note_branch",
+            "frontend_branch_resolved",
+            "frontend_redirect",
+            "ldq_items",
+            "laq_items",
+            "saq_items",
+            "sdq_items",
+        )
+
+        def stall(reason: str) -> None:
+            ctx.line(f"backend_stalls[{reason!r}] += 1")
+            ctx.line(f"backend.last_stall_reason = {reason!r}")
+            if traced:
+                ctx.line(f'tracer_emit("backend", "stall", reason={reason!r})')
+
+        with ctx.block("if not backend.halted:"):
+            ctx.line("ok = True")
+            ctx.line("pending = backend._pending")
+            with ctx.block("if pending is not None:"):
+                with ctx.block(
+                    "if not pending.notified and now >= pending.resolve_at:"
+                ):
+                    ctx.line("pending.notified = True")
+                    ctx.line("clock.ticks += 1")
+                    ctx.line("frontend_branch_resolved(pending.taken)")
+                    with ctx.block("if not pending.taken:"):
+                        ctx.line("backend._pending = None")
+                        ctx.line("pending = None")
+                with ctx.block(
+                    "if pending is not None and pending.slots_remaining == 0:"
+                ):
+                    with ctx.block("if now < pending.resolve_at:"):
+                        stall(StallReason.BRANCH_UNRESOLVED)
+                        ctx.line("ok = False")
+                    with ctx.block("else:"):
+                        ctx.line("clock.ticks += 1")
+                        ctx.line("target = pending.target")
+                        ctx.line("frontend_redirect(target, now)")
+                        ctx.line("backend._pending = None")
+                        ctx.line("pending = None")
+                        ctx.line("last_pc = backend.last_pc")
+                        with ctx.block(
+                            "if last_pc is not None and target < last_pc:"
+                        ):
+                            ctx.line("backend.replay_backedge = target")
+            with ctx.block("if ok:"):
+                ctx.line("fetched = frontend_next_instruction()")
+                with ctx.block("if fetched is None:"):
+                    stall(StallReason.FRONTEND)
+                with ctx.block("else:"):
+                    ctx.line("pc, instruction, size = fetched")
+                    ctx.line("entry = effects_memo.get(id(instruction))")
+                    with ctx.block("if entry is None:"):
+                        ctx.line("_fx = queue_effects(instruction)")
+                        ctx.line(
+                            "entry = (instruction, _fx.pops_ldq, "
+                            "_fx.pushes_laq, _fx.pushes_saq, "
+                            "_fx.pushes_sdq, instruction.op.is_branch)"
+                        )
+                        ctx.line("effects_memo[id(instruction)] = entry")
+                    with ctx.block("if entry[5] and pending is not None:"):
+                        stall(StallReason.BRANCH_OVERLAP)
+                    with ctx.block("elif entry[1] and not ldq_items:"):
+                        stall(StallReason.LDQ_EMPTY)
+                    if spec.laq_capacity is not None:
+                        with ctx.block(
+                            f"elif entry[2] and len(laq_items) >= "
+                            f"{spec.laq_capacity}:"
+                        ):
+                            stall(StallReason.LAQ_FULL)
+                    if spec.saq_capacity is not None:
+                        with ctx.block(
+                            f"elif entry[3] and len(saq_items) >= "
+                            f"{spec.saq_capacity}:"
+                        ):
+                            stall(StallReason.SAQ_FULL)
+                    if spec.sdq_capacity is not None:
+                        with ctx.block(
+                            f"elif entry[4] and len(sdq_items) >= "
+                            f"{spec.sdq_capacity}:"
+                        ):
+                            stall(StallReason.SDQ_FULL)
+                    with ctx.block("else:"):
+                        ctx.line(
+                            "outcome = execute(instruction, backend_state, "
+                            "backend_env)"
+                        )
+                        if spec.replay:
+                            with ctx.block(
+                                "if backend.issue_log is not None:"
+                            ):
+                                ctx.line(
+                                    "backend.issue_log.append("
+                                    '("i", pc, instruction, outcome))'
+                                )
+                        ctx.line("clock.ticks += 1")
+                        ctx.line("frontend_consume(now)")
+                        ctx.line("backend.instructions += 1")
+                        ctx.line("backend.last_pc = pc")
+                        if traced:
+                            ctx.line('tracer_emit("backend", "issue", pc=pc)')
+                        with ctx.block("if outcome.halted:"):
+                            ctx.line("backend.halted = True")
+                        with ctx.block("elif outcome.is_branch:"):
+                            ctx.line("backend.branches += 1")
+                            with ctx.block("if outcome.branch_taken:"):
+                                ctx.line("backend.branches_taken += 1")
+                            if traced:
+                                ctx.line(
+                                    'tracer_emit("backend", "branch", pc=pc, '
+                                    "taken=outcome.branch_taken, "
+                                    "target=outcome.branch_target, "
+                                    "delay=outcome.branch_delay)"
+                                )
+                            ctx.line(
+                                "backend._pending = _PendingBranch("
+                                "target=outcome.branch_target, "
+                                "taken=outcome.branch_taken, "
+                                f"resolve_at=now + "
+                                f"{spec.branch_resolution_latency}, "
+                                "slots_remaining=outcome.branch_delay)"
+                            )
+                            ctx.line(
+                                "frontend_note_branch(pc, pc + size, "
+                                "outcome.branch_delay, outcome.branch_target)"
+                            )
+                        with ctx.block("elif pending is not None:"):
+                            ctx.line("pending.slots_remaining -= 1")
+
+    @classmethod
+    def emit_compiled_wake(cls, ctx) -> None:
+        """Fold :meth:`next_event_cycle` into the idle-skip wake scan."""
+        ctx.need("backend")
+        ctx.line("bpending = backend._pending")
+        with ctx.block(
+            "if bpending is not None and not bpending.notified "
+            "and bpending.resolve_at < wake:"
+        ):
+            ctx.line("wake = bpending.resolve_at")
+
+    # ------------------------------------------------------------------
     def next_event_cycle(self, now: int) -> int:
         """Resolution time of an unresolved pending branch, else ``IDLE``.
 

@@ -75,6 +75,11 @@ class DataEngineStats:
 class DataQueueEngine:
     """Owns the four architectural queues and talks to the memory system."""
 
+    #: compiled-kernel contract: ``next_event_cycle`` is statically
+    #: ``IDLE`` (see its docstring), so the generator may drop this
+    #: component from the idle-skip wake scan entirely.
+    COMPILED_IDLE_HINT = True
+
     def __init__(
         self,
         program: Program,
@@ -237,6 +242,31 @@ class DataQueueEngine:
         self.stats.ldq_max_wait_entries = max(
             self.stats.ldq_max_wait_entries, len(self._in_flight_loads)
         )
+
+    # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    @classmethod
+    def emit_compiled_update(cls, ctx) -> None:
+        """Lower :meth:`update` into the kernel.
+
+        The LDQ-full check folds the capacity literal; the push still
+        goes through the queue's bound ``push`` (hoisted in the
+        prologue) so occupancy stats, progress ticks, and trace events
+        stay exactly the reference's.  ``_in_flight_loads`` is read
+        through the engine because replay's commit may replace flight
+        entries in place while the deque object itself persists.
+        """
+        spec = ctx.spec
+        ctx.need("engine", "engine_stats", "ldq_items", "ldq_push")
+        ctx.line("ifl = engine._in_flight_loads")
+        condition = "ifl and ifl[0].arrived"
+        if spec.ldq_capacity is not None:
+            condition += f" and len(ldq_items) < {spec.ldq_capacity}"
+        with ctx.block(f"while {condition}:"):
+            ctx.line("ldq_push(ifl.popleft().value)")
+        with ctx.block("if len(ifl) > engine_stats.ldq_max_wait_entries:"):
+            ctx.line("engine_stats.ldq_max_wait_entries = len(ifl)")
 
     # ------------------------------------------------------------------
     # Request source (output-bus arbitration)

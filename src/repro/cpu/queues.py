@@ -50,6 +50,13 @@ class ArchitecturalQueue(Generic[T]):
     simulator, where queue pressure is irrelevant).
     """
 
+    #: compiled-kernel contract (``repro.core.compiled``): ``_items``
+    #: is never rebound (``clear`` empties it in place), so the kernel
+    #: may hoist the deque and fold ``is_full``/``is_empty`` into
+    #: ``len()`` checks against the capacity literal.  Mutations still
+    #: go through ``push``/``pop`` so ticks/stats/trace stay exact.
+    COMPILED_PLAIN_FIFO = True
+
     def __init__(
         self,
         name: str,

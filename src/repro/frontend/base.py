@@ -68,6 +68,18 @@ def delay_region_end(
 class FetchUnit(abc.ABC):
     """Abstract instruction-fetch frontend."""
 
+    #: compiled-kernel contract (``repro.core.compiled``): a subclass
+    #: sets this True to certify its ``poll_requests`` returns ``[]``
+    #: with **zero side effects** whenever ``_request is None or
+    #: _request_accepted``, licensing the generated kernel to guard the
+    #: poll call behind that test.  All three shipped frontends qualify;
+    #: a subclass with different poll behavior must leave this False.
+    COMPILED_POLL_GUARD = False
+    #: True when ``next_event_cycle`` is statically ``IDLE`` for the
+    #: subclass, so the kernel may drop it from the idle-skip wake scan.
+    #: Valid only for subclasses that do not override the base method.
+    COMPILED_IDLE_HINT = True
+
     stats: FetchStats
     #: set by :meth:`halt`; no new fetch work may start afterwards
     _halted: bool = False

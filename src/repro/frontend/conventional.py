@@ -66,6 +66,11 @@ class PrefetchPolicy(enum.Enum):
 class ConventionalFetchUnit(FetchUnit):
     """Direct-mapped sub-blocked cache with a selectable prefetch policy."""
 
+    #: ``poll_requests`` is side-effect free and empty whenever no
+    #: unaccepted request is outstanding (see the method), so the
+    #: compiled kernel may guard the poll behind that test.
+    COMPILED_POLL_GUARD = True
+
     def __init__(
         self,
         image: bytes | bytearray,

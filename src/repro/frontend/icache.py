@@ -59,6 +59,12 @@ class _Way:
 class InstructionCache:
     """A sub-blocked, set-associative (default direct-mapped) I-cache."""
 
+    #: compiled-kernel contract (``repro.core.compiled``): the cache is
+    #: passive — it has no per-cycle phase and ``next_event_cycle`` is
+    #: statically ``IDLE`` — so the generated kernel never touches it
+    #: directly; all access stays inside the owning frontend.
+    COMPILED_PASSIVE = True
+
     def __init__(
         self,
         size: int,

@@ -65,6 +65,11 @@ class _PendingBranch:
 class PipeFetchUnit(FetchUnit):
     """Cache + IQ + IQB frontend (the paper's contribution)."""
 
+    #: ``poll_requests`` is side-effect free and empty whenever no
+    #: unaccepted request is outstanding (see the method), so the
+    #: compiled kernel may guard the poll behind that test.
+    COMPILED_POLL_GUARD = True
+
     def __init__(
         self,
         image: bytes | bytearray,

@@ -67,6 +67,11 @@ class _TibEntry:
 class TibFetchUnit(FetchUnit):
     """Stream buffer + branch-target buffer, no instruction cache."""
 
+    #: ``poll_requests`` is side-effect free and empty whenever no
+    #: unaccepted request is outstanding (see the method), so the
+    #: compiled kernel may guard the poll behind that test.
+    COMPILED_POLL_GUARD = True
+
     def __init__(
         self,
         image: bytes | bytearray,

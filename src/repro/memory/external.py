@@ -130,6 +130,23 @@ class ExternalMemory:
             request.seq += seqs
 
     # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    @classmethod
+    def emit_compiled_wake(cls, ctx) -> None:
+        """Open the idle-skip wake scan with :meth:`next_event_cycle`.
+
+        ``in_flight`` is read through the owner every time because
+        :meth:`retire_finished` rebinds it each cycle.
+        """
+        ctx.need("external")
+        ctx.line("wake = IDLE")
+        with ctx.block("for request in external.in_flight:"):
+            ctx.line("ready = request.ready_at")
+            with ctx.block("if ready is not None and ready < wake:"):
+                ctx.line("wake = ready")
+
+    # ------------------------------------------------------------------
     def next_event_cycle(self, now: int) -> int:
         """Earliest ``ready_at`` among in-flight requests, else ``IDLE``.
 

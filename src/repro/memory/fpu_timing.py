@@ -156,6 +156,21 @@ class TimedFpu:
             request.seq += seqs
 
     # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    @classmethod
+    def emit_compiled_wake(cls, ctx) -> None:
+        """Fold :meth:`next_event_cycle` into the idle-skip wake scan.
+
+        ``_ops_pending`` is read through the owner because
+        :meth:`replay_shift` rebinds the deque.
+        """
+        ctx.need("fpu")
+        ctx.line("_ops = fpu._ops_pending")
+        with ctx.block("if _ops and _ops[0] < wake:"):
+            ctx.line("wake = _ops[0]")
+
+    # ------------------------------------------------------------------
     def next_event_cycle(self, now: int) -> int:
         """Completion time of the oldest pending operation, else ``IDLE``.
 

@@ -224,6 +224,159 @@ class MemorySystem:
             stats.ifetch_prefetch_accepted += 1
 
     # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    @classmethod
+    def emit_compiled_begin_cycle(cls, ctx) -> None:
+        """Lower :meth:`begin_cycle` behind a memory-quiescence test.
+
+        When nothing is in flight anywhere (no external requests, no FPU
+        operations/results/result-loads), the whole phase reduces to
+        clearing the external memory's per-cycle acceptance latch: the
+        FPU drain loop, the delivery arbitration, and the retirement
+        scan are all no-ops (retirement's ``in_flight = []`` rebind is
+        value-identical and nothing holds a reference to the list).  Any
+        in-flight work falls through to the real method.
+        """
+        ctx.need("external", "fpu", "memory_begin")
+        with ctx.block(
+            "if external.in_flight or fpu._ops_pending "
+            "or fpu._results_ready or fpu._result_loads:"
+        ):
+            ctx.line("memory_begin(now)")
+        with ctx.block("else:"):
+            ctx.line("external._accepted_this_cycle = False")
+
+    @classmethod
+    def _emit_acceptance_bookkeeping(cls, ctx) -> None:
+        """Post-acceptance counters + trace event, shared by both the
+        single-candidate fast path and the conflict loop.  ``fpu_hit``
+        holds ``is_fpu_address(request.address)`` (computed once)."""
+        traced = ctx.spec.traced
+        ctx.line("notify(request, now)")
+        ctx.line("mem_stats.output_bus_busy_cycles += 1")
+        ctx.line("kind = request.kind")
+        with ctx.block("if fpu_hit:"):
+            with ctx.block("if kind is K_STORE:"):
+                ctx.line("mem_stats.fpu_stores_accepted += 1")
+            with ctx.block("else:"):
+                ctx.line("mem_stats.fpu_loads_accepted += 1")
+        with ctx.block("else:"):
+            with ctx.block("if kind is K_LOAD:"):
+                ctx.line("mem_stats.loads_accepted += 1")
+            with ctx.block("elif kind is K_STORE:"):
+                ctx.line("mem_stats.stores_accepted += 1")
+            with ctx.block("elif request.demand:"):
+                ctx.line("mem_stats.ifetch_demand_accepted += 1")
+            with ctx.block("else:"):
+                ctx.line("mem_stats.ifetch_prefetch_accepted += 1")
+        if traced:
+            ctx.line(
+                'tracer_emit("mem", "accept", kind=kind.value, '
+                "addr=request.address, bytes=request.size, "
+                "demand=request.demand, fpu=fpu_hit, seq=request.seq)"
+            )
+
+    @classmethod
+    def emit_compiled_end_cycle(cls, ctx) -> None:
+        """Lower :meth:`end_cycle` with both sources inlined.
+
+        Source polls are guarded/prechecked only when the source's
+        no-candidate case is provably side-effect free (the spec's
+        ``poll_guard`` / ``engine_precheck`` flags); each source is
+        still polled at most once per cycle, exactly like the
+        reference.  The single-candidate case skips the sort and the
+        conflict bookkeeping; the multi-candidate path mirrors the
+        reference's stable sort (candidates are assembled in source
+        registration order: frontend, then engine).  ``external``
+        acceptance folds the ``pipelined`` literal from the spec.
+        """
+        spec = ctx.spec
+        traced = spec.traced
+        ctx.need(
+            "memory",
+            "mem_stats",
+            "external",
+            "frontend_poll",
+            "engine_poll",
+            "frontend_notify",
+            "engine_notify",
+            "external_accept",
+            "fpu_can_accept",
+            "fpu_accept",
+        )
+        if spec.poll_guard:
+            with ctx.block(
+                "if frontend._request is not None "
+                "and not frontend._request_accepted:"
+            ):
+                ctx.line("f_reqs = frontend_poll(now)")
+            with ctx.block("else:"):
+                ctx.line("f_reqs = ()")
+        else:
+            ctx.line("f_reqs = frontend_poll(now)")
+        if spec.engine_precheck:
+            ctx.need("laq_items", "saq_items", "sdq_items")
+            with ctx.block("if laq_items or (saq_items and sdq_items):"):
+                ctx.line("e_reqs = engine_poll(now)")
+            with ctx.block("else:"):
+                ctx.line("e_reqs = ()")
+        else:
+            ctx.line("e_reqs = engine_poll(now)")
+        if spec.memory_pipelined:
+            busy = "external._accepted_this_cycle"
+        else:
+            busy = "external._accepted_this_cycle or external.in_flight"
+        with ctx.block("if f_reqs or e_reqs:"):
+            ctx.line("n = len(f_reqs) + len(e_reqs)")
+            with ctx.block("if n == 1:"):
+                with ctx.block("if f_reqs:"):
+                    ctx.line("request = f_reqs[0]")
+                    ctx.line("notify = frontend_notify")
+                with ctx.block("else:"):
+                    ctx.line("request = e_reqs[0]")
+                    ctx.line("notify = engine_notify")
+                ctx.line("fpu_hit = _is_fpu(request.address)")
+                ctx.line("accepted = False")
+                with ctx.block("if fpu_hit:"):
+                    with ctx.block("if fpu_can_accept(request, now):"):
+                        ctx.line("fpu_accept(request, now)")
+                        ctx.line("accepted = True")
+                with ctx.block(f"elif not ({busy}):"):
+                    ctx.line("external_accept(request, now)")
+                    ctx.line("accepted = True")
+                with ctx.block("if accepted:"):
+                    cls._emit_acceptance_bookkeeping(ctx)
+            with ctx.block("else:"):
+                ctx.line("mem_stats.acceptance_conflicts += 1")
+                ctx.line("memory.last_conflict_candidates = n")
+                if traced:
+                    ctx.line('tracer_emit("mem", "conflict", candidates=n)')
+                ctx.line(
+                    "cands = [(request, frontend_notify) for request in f_reqs]"
+                )
+                with ctx.block("for request in e_reqs:"):
+                    ctx.line("cands.append((request, engine_notify))")
+                ctx.line(
+                    "cands.sort(key=lambda item: "
+                    "_acc_order(item[0], _PRIORITY))"
+                )
+                with ctx.block("for request, notify in cands:"):
+                    ctx.line("fpu_hit = _is_fpu(request.address)")
+                    with ctx.block("if fpu_hit:"):
+                        with ctx.block(
+                            "if not fpu_can_accept(request, now):"
+                        ):
+                            ctx.line("continue")
+                        ctx.line("fpu_accept(request, now)")
+                    with ctx.block(f"elif {busy}:"):
+                        ctx.line("continue")
+                    with ctx.block("else:"):
+                        ctx.line("external_accept(request, now)")
+                    cls._emit_acceptance_bookkeeping(ctx)
+                    ctx.line("break")
+
+    # ------------------------------------------------------------------
     def state_signature(self, now: int, base_seq: int) -> tuple:
         """Combined fingerprint of the external memory and the timed FPU.
 

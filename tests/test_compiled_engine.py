@@ -1,0 +1,191 @@
+"""Tests of the per-config compiled step-kernel engine (repro.core.compiled).
+
+The differential matrix (``test_scheduler_differential``) proves the
+kernels are byte-identical to the reference loop; this module covers the
+machinery itself: the content-addressed compile cache (one compile per
+config per process), spec sensitivity (distinct configs get distinct
+specializations), the escape hatches, the purity of ``generate_source``,
+and a generated-source golden for the headline PIPE configuration so
+codegen changes are reviewed as diffs, not discovered as regressions.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.compiled import (
+    CompiledKernel,
+    clear_compile_cache,
+    compile_stats,
+    config_fingerprint,
+    generate_source,
+    kernel_for,
+    kernel_spec_for,
+)
+from repro.core.config import MachineConfig
+from repro.core.simulator import Simulator, simulate
+
+GOLDEN = Path(__file__).parent / "goldens" / "compiled_kernel_headline.py"
+
+
+def _pipe(**overrides) -> MachineConfig:
+    return MachineConfig.pipe("16-16", 128, memory_access_time=6, **overrides)
+
+
+def _sim(config=None, program=None, **kwargs) -> Simulator:
+    if config is None:
+        config = _pipe()
+    if program is None:
+        program = assemble("halt")
+    kwargs.setdefault("skip", True)
+    kwargs.setdefault("replay", True)
+    kwargs.setdefault("compiled", True)
+    return Simulator(config, program, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test sees an empty kernel cache and leaves none behind."""
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestCompileCache:
+    def test_same_config_compiles_once_per_process(self, tiny_program):
+        before = compile_stats()["compiles"]
+        for _ in range(3):
+            simulate(_pipe(), tiny_program, compiled=True)
+        stats = compile_stats()
+        assert stats["kernels"] == 1
+        assert stats["compiles"] == before + 1
+
+    def test_same_spec_returns_the_same_kernel_object(self):
+        first = kernel_for(_sim())
+        second = kernel_for(_sim())
+        assert first is second
+        assert isinstance(first, CompiledKernel)
+
+    def test_distinct_configs_get_distinct_specializations(self, tiny_program):
+        configs = [
+            _pipe(),
+            _pipe().with_overrides(icache_size=64),
+            MachineConfig.conventional(128, memory_access_time=6),
+        ]
+        kernels = {kernel_for(_sim(c, tiny_program)) for c in configs}
+        assert len(kernels) == 3
+        assert compile_stats()["kernels"] == 3
+
+    def test_engine_flags_are_part_of_the_key(self):
+        # Same machine, different engine toggles: distinct kernels, since
+        # the skip block and the replay backedge block are folded in or
+        # out at codegen time.
+        variants = [
+            _sim(skip=True, replay=True),
+            _sim(skip=True, replay=False),
+            _sim(skip=False, replay=False),
+        ]
+        assert len({kernel_for(s) for s in variants}) == 3
+
+    def test_tracing_is_part_of_the_key(self, tiny_program, tmp_path):
+        from repro.core.trace import JsonLinesSink, Tracer
+
+        plain = kernel_for(_sim(program=tiny_program))
+        tracer = Tracer()
+        tracer.attach(JsonLinesSink(tmp_path / "t.jsonl"))
+        traced_sim = _sim(program=tiny_program, tracer=tracer)
+        traced = kernel_for(traced_sim)
+        tracer.close()
+        assert plain is not traced
+        assert plain.spec.traced is False and traced.spec.traced is True
+        # the untraced kernel has no emit calls at all
+        assert "emit" not in plain.source
+        assert "emit" in traced.source
+
+    def test_monkeypatched_component_disables_its_fold(self):
+        sim = _sim()
+        sim.frontend.poll_requests = lambda now: []
+        patched = kernel_for(sim)
+        assert patched.spec.poll_guard is False
+        assert patched is not kernel_for(_sim())
+
+
+class TestEscapeHatch:
+    def test_env_var_falls_back_to_the_interpreter(
+        self, tiny_program, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NO_COMPILED", "1")
+        before = compile_stats()
+        sim = Simulator(_pipe(), tiny_program)
+        assert sim.compiled_enabled is False
+        result = sim.run()
+        assert compile_stats() == before  # nothing was compiled
+        monkeypatch.delenv("REPRO_NO_COMPILED")
+        assert result == simulate(_pipe(), tiny_program, compiled=True)
+
+    def test_explicit_argument_wins_over_env(self, tiny_program, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_COMPILED", "1")
+        result = simulate(_pipe(), tiny_program, compiled=True)
+        assert compile_stats()["kernels"] == 1
+        monkeypatch.delenv("REPRO_NO_COMPILED")
+        assert result == simulate(_pipe(), tiny_program, compiled=False)
+
+
+class TestFingerprint:
+    def test_stable_across_equal_configs(self):
+        assert config_fingerprint(_pipe()) == config_fingerprint(_pipe())
+
+    def test_sensitive_to_any_knob(self):
+        base = config_fingerprint(_pipe())
+        assert (
+            config_fingerprint(_pipe().with_overrides(memory_access_time=7))
+            != base
+        )
+        assert (
+            config_fingerprint(_pipe().with_overrides(icache_size=64)) != base
+        )
+
+    def test_is_a_hex_digest(self):
+        digest = config_fingerprint(_pipe())
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+
+class TestGenerateSource:
+    def test_is_deterministic(self):
+        spec = kernel_spec_for(_sim())
+        assert generate_source(spec) == generate_source(spec)
+
+    def test_spec_for_equal_sims_is_equal(self):
+        assert kernel_spec_for(_sim()) == kernel_spec_for(_sim())
+
+    def test_constants_are_folded_into_literals(self):
+        spec = kernel_spec_for(_sim())
+        source = generate_source(spec)
+        # config constants appear as literals, not attribute reads
+        assert str(spec.max_cycles) in source
+        assert "sim.config" not in source
+        # the hot loop reads no tracer and no fault hooks when disabled
+        assert "tracer" not in source
+
+    def test_headline_kernel_matches_the_golden(self, tiny_program):
+        """Codegen output for the headline PIPE config is golden-pinned.
+
+        Regenerate with:
+            PYTHONPATH=src python -c "
+            from tests.test_compiled_engine import regenerate_golden;
+            regenerate_golden()"
+        and review the diff.
+        """
+        spec = kernel_spec_for(
+            Simulator(
+                _pipe(), tiny_program, skip=True, replay=True, compiled=True
+            )
+        )
+        assert generate_source(spec) == GOLDEN.read_text()
+
+
+def regenerate_golden() -> None:  # pragma: no cover - maintenance helper
+    spec = kernel_spec_for(_sim())
+    GOLDEN.write_text(generate_source(spec))

@@ -204,9 +204,21 @@ class TestLadderSimulate:
     def test_clean_point_uses_the_top_rung(self, tiny_program):
         report = FaultReport()
         result, rung = ladder_simulate(_pipe(), tiny_program, report=report)
-        assert rung == "replay"
+        assert rung == "compiled"
         assert report.clean
+        # Satellite: the serving rung is tallied even on full success.
+        assert report.rungs == {"compiled": 1}
         assert result == simulate(_pipe(), tiny_program)
+
+    def test_rung_tally_follows_the_escape_hatch(self, tiny_program, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_COMPILED", "1")
+        report = FaultReport()
+        _result, rung = ladder_simulate(_pipe(), tiny_program, report=report)
+        assert rung == "compiled"  # top rung tried first ...
+        # ... but its kwargs defer to the env, so the run was interpreted;
+        # the tally still attributes the point to the serving rung label.
+        assert report.rungs == {"compiled": 1}
+        assert report.clean
 
 
 class TestSupervisedSimulateMany:

@@ -1,18 +1,24 @@
-"""Three-way engine differential matrix.
+"""Four-way engine differential matrix.
 
 The fast-path engines promise **trace-identical accounting**: for any
-configuration, the idle-cycle-skipping scheduler (``skip=True``) and
-the steady-state loop-replay engine layered on top of it
-(``skip=True, replay=True``) must both produce the same cycle count,
-the same stats dict, and a byte-identical JSONL event stream as the
-reference cycle-by-cycle loop.  This suite enforces that promise over
-the same configuration matrix ``test_trace_crosscheck`` sweeps (all
-Table II PIPE points, Hill's prefetch policies, the TIB machine, and
-the ablation knobs), and pins down the satellite guarantees: errors
-raised mid-skip or mid-replay report the true architectural cycle, and
-the escape hatches (``skip=False`` / ``REPRO_NO_SKIP``,
-``replay=False`` / ``REPRO_NO_REPLAY``) actually select the reference
-paths.
+configuration, the idle-cycle-skipping scheduler (``skip=True``), the
+steady-state loop-replay engine layered on top of it
+(``skip=True, replay=True``), and the per-config compiled step kernel
+(``compiled=True``, which folds both fast paths into generated code)
+must all produce the same cycle count, the same stats dict, and a
+byte-identical JSONL event stream as the reference cycle-by-cycle
+loop.  This suite enforces that promise over the same configuration
+matrix ``test_trace_crosscheck`` sweeps (all Table II PIPE points,
+Hill's prefetch policies, the TIB machine, and the ablation knobs),
+and pins down the satellite guarantees: errors raised mid-skip,
+mid-replay, or inside a compiled kernel report the true architectural
+cycle, and the escape hatches (``skip=False`` / ``REPRO_NO_SKIP``,
+``replay=False`` / ``REPRO_NO_REPLAY``, ``compiled=False`` /
+``REPRO_NO_COMPILED``) actually select the interpreted paths.
+
+The interpreted rows pin ``compiled=False`` explicitly — with compiled
+kernels on by default, a bare ``skip=True`` row would silently run the
+codegen engine and the matrix would compare the kernel against itself.
 
 On mismatch a cycles-diff report is written to
 ``test-reports/cycles-diff.txt`` (override the directory with
@@ -30,6 +36,7 @@ from repro.core.config import MachineConfig
 from repro.core.scheduler import (
     IDLE,
     ProgressClock,
+    compiled_enabled_default,
     replay_enabled_default,
     skip_enabled_default,
 )
@@ -43,12 +50,16 @@ from repro.core.simulator import (
 from repro.kernels.suite import build_livermore_program
 from tests.test_trace_crosscheck import CONFIGS
 
-#: the three engines of the differential matrix: (tag, skip, replay)
+#: the four engines of the differential matrix: (tag, engine kwargs)
 ENGINES = (
-    ("reference", False, False),
-    ("idle-skip", True, False),
-    ("skip+replay", True, True),
+    ("reference", {"skip": False, "replay": False, "compiled": False}),
+    ("idle-skip", {"skip": True, "replay": False, "compiled": False}),
+    ("skip+replay", {"skip": True, "replay": True, "compiled": False}),
+    ("compiled", {"skip": True, "replay": True, "compiled": True}),
 )
+
+#: the fast-path rows compared against the reference row
+FAST_TAGS = ("idle-skip", "skip+replay", "compiled")
 
 
 @pytest.fixture(scope="module")
@@ -104,17 +115,15 @@ def _compare(name: str, tag: str, fast, ref, fast_path=None, ref_path=None):
 
 @pytest.mark.parametrize("name", sorted(CONFIGS))
 def test_engines_are_byte_identical(name, single_loop_program, tmp_path):
-    """Reference vs idle-skip vs idle-skip+replay, traced."""
+    """Reference vs idle-skip vs skip+replay vs compiled, traced."""
     config = CONFIGS[name]
     runs = {}
-    for tag, skip, replay in ENGINES:
+    for tag, kwargs in ENGINES:
         path = tmp_path / f"{tag.replace('+', '-')}.jsonl"
-        result = simulate_traced(
-            config, single_loop_program, path, skip=skip, replay=replay
-        )
+        result = simulate_traced(config, single_loop_program, path, **kwargs)
         runs[tag] = (result, path)
     ref_result, ref_path = runs["reference"]
-    for tag in ("idle-skip", "skip+replay"):
+    for tag in FAST_TAGS:
         result, path = runs[tag]
         _compare(name, tag, result, ref_result, path, ref_path)
 
@@ -125,14 +134,16 @@ def test_engines_identical_untraced(name, single_loop_program):
 
     This is the configuration under which replay actually engages on
     data-striding loops (trace batches with striding payloads block
-    engagement when traced), so it is the stronger replay check.
+    engagement when traced), so it is the stronger replay and compiled
+    check: the compiled kernel specializes the tracer branches away
+    entirely and still has to land on the same books.
     """
     config = CONFIGS[name]
     results = {
-        tag: simulate(config, single_loop_program, skip=skip, replay=replay)
-        for tag, skip, replay in ENGINES
+        tag: simulate(config, single_loop_program, **kwargs)
+        for tag, kwargs in ENGINES
     }
-    for tag in ("idle-skip", "skip+replay"):
+    for tag in FAST_TAGS:
         _compare(name, tag, results[tag], results["reference"])
 
 
@@ -150,8 +161,9 @@ def test_replay_actually_engages(single_loop_program):
 
 
 # ----------------------------------------------------------------------
-# Errors raised mid-skip/mid-replay must report the true architectural
-# cycle and name the engine that was active (satellite: error fidelity).
+# Errors raised mid-skip/mid-replay/in-kernel must report the true
+# architectural cycle and name the engine that was active (satellite:
+# error fidelity).
 # ----------------------------------------------------------------------
 def test_timeout_mid_skip_reports_true_cycle(single_loop_program):
     # A huge memory latency makes the run quiescent almost immediately,
@@ -160,22 +172,26 @@ def test_timeout_mid_skip_reports_true_cycle(single_loop_program):
         128, memory_access_time=1_000, max_cycles=50
     )
     with pytest.raises(SimulationTimeout) as fast:
-        simulate(config, single_loop_program, skip=True)
+        simulate(config, single_loop_program, skip=True, compiled=False)
     with pytest.raises(SimulationTimeout) as slow:
-        simulate(config, single_loop_program, skip=False)
-    assert fast.value.cycle == slow.value.cycle == 50
+        simulate(config, single_loop_program, skip=False, compiled=False)
+    with pytest.raises(SimulationTimeout) as kernel:
+        simulate(config, single_loop_program, skip=True, compiled=True)
+    assert fast.value.cycle == slow.value.cycle == kernel.value.cycle == 50
     assert fast.value.fast_path is True
     assert slow.value.fast_path is False
+    assert kernel.value.fast_path is True  # the wall fell inside a skip span
     assert "idle-skip" in str(fast.value)
     assert "reference" in str(slow.value)
     assert "at cycle 50" in str(fast.value)
+    assert "at cycle 50" in str(kernel.value)
 
 
 def test_timeout_mid_replay_reports_true_cycle(single_loop_program):
     """Replay must refuse to jump past ``max_cycles``.
 
     The limit cuts the run off mid-loop, well after replay has engaged;
-    all three engines must hit the wall at the same architectural cycle
+    all four engines must hit the wall at the same architectural cycle
     with the same counters.
     """
     config = MachineConfig.pipe(
@@ -183,9 +199,9 @@ def test_timeout_mid_replay_reports_true_cycle(single_loop_program):
     )
     cycles = set()
     instructions = set()
-    for _tag, skip, replay in ENGINES:
+    for _tag, kwargs in ENGINES:
         with pytest.raises(SimulationTimeout) as excinfo:
-            simulate(config, single_loop_program, skip=skip, replay=replay)
+            simulate(config, single_loop_program, **kwargs)
         cycles.add(excinfo.value.cycle)
         instructions.add(
             str(excinfo.value).split(" instructions issued")[0].rsplit("; ")[-1]
@@ -194,10 +210,10 @@ def test_timeout_mid_replay_reports_true_cycle(single_loop_program):
     assert len(instructions) == 1  # same issue count at the wall
 
 
-def _starved_simulator(skip: bool) -> Simulator:
+def _starved_simulator(skip: bool, compiled: bool = False) -> Simulator:
     program = assemble("loop: lbr b0, loop\npbra b0, 0\nhalt")
     config = MachineConfig.pipe("16-16", 512, max_cycles=100_000)
-    sim = Simulator(config, program, skip=skip)
+    sim = Simulator(config, program, skip=skip, compiled=compiled)
     sim.DEADLOCK_CYCLES = 200
     sim.frontend.next_instruction = lambda: None
     sim.frontend.poll_requests = lambda now: []
@@ -217,6 +233,25 @@ def test_deadlock_mid_skip_matches_reference_cycle():
     assert "reference" in str(slow.value)
     # The two engines must also agree on when progress last happened.
     assert str(fast.value).split("(")[0] == str(slow.value).split("(")[0]
+
+
+def test_deadlock_in_compiled_kernel_matches_reference_cycle():
+    """A starved machine must deadlock identically from generated code.
+
+    The monkeypatched ``next_instruction`` / ``poll_requests`` land in
+    the instance ``__dict__``, so the kernel spec automatically turns
+    off the affected guard folds and calls the bound methods — the
+    stubs keep working without any opt-out from the test.
+    """
+    with pytest.raises(DeadlockError) as kernel:
+        _starved_simulator(skip=True, compiled=True).run()
+    with pytest.raises(DeadlockError) as slow:
+        _starved_simulator(skip=False).run()
+    assert kernel.value.cycle == slow.value.cycle
+    assert kernel.value.fast_path is True
+    assert "no progress" in str(kernel.value)
+    assert "idle-skip" in str(kernel.value)
+    assert str(kernel.value).split("(")[0] == str(slow.value).split("(")[0]
 
 
 # ----------------------------------------------------------------------
@@ -270,6 +305,35 @@ def test_replay_false_matches_replay_true(single_loop_program):
     config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
     on = simulate(config, single_loop_program, skip=True, replay=True)
     off = simulate(config, single_loop_program, skip=True, replay=False)
+    assert on.to_dict() == off.to_dict()
+
+
+def test_no_compiled_env_var_disables_compilation(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_COMPILED", "1")
+    assert compiled_enabled_default() is False
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"))
+    assert sim.compiled_enabled is False
+
+
+def test_compiled_enabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_COMPILED", raising=False)
+    assert compiled_enabled_default() is True
+    sim = Simulator(MachineConfig.pipe("16-16", 128), assemble("halt"))
+    assert sim.compiled_enabled is True
+
+
+def test_explicit_compiled_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_COMPILED", "1")
+    sim = Simulator(
+        MachineConfig.pipe("16-16", 128), assemble("halt"), compiled=True
+    )
+    assert sim.compiled_enabled is True
+
+
+def test_compiled_false_matches_compiled_true(single_loop_program):
+    config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+    on = simulate(config, single_loop_program, compiled=True)
+    off = simulate(config, single_loop_program, compiled=False)
     assert on.to_dict() == off.to_dict()
 
 
