@@ -307,6 +307,14 @@ def _parse_operand(stream: _TokenStream) -> Operand:
     if kind == "float":
         stream.next()
         return FloatOperand(float(text))
+    if kind == "op" and text == "-" and stream.index + 1 < len(stream.tokens):
+        # Negative float literal (".float -1.5"): the tokenizer emits the
+        # sign and the magnitude separately.
+        next_kind, next_text = stream.tokens[stream.index + 1]
+        if next_kind == "float":
+            stream.next()
+            stream.next()
+            return FloatOperand(-float(next_text))
     if kind == "name" and _REGISTER_NAME_RE.match(text):
         from ..isa.registers import parse_register_name
 

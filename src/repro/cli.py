@@ -497,6 +497,33 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .core.fuzz import run_corpus, run_fuzz
+
+    configs = args.configs.split(",") if args.configs else None
+    progress = None if args.quiet else print
+    if args.corpus is not None:
+        report = run_corpus(args.corpus, configs=configs, progress=progress)
+    else:
+        report = run_fuzz(
+            start_seed=args.seed,
+            count=args.count,
+            budget=args.budget,
+            configs=configs,
+            failures_dir=args.save_failures,
+            shrink=not args.no_shrink,
+            progress=progress,
+        )
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  seed {failure.seed} [{failure.config_name}]:")
+        for problem in failure.problems:
+            print(f"    {problem}")
+        if failure.reproducer_path:
+            print(f"    reproducer: {failure.reproducer_path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -640,6 +667,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the engine ladder with generated kernels",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="first seed of the range"
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=100, help="number of seeded cases"
+    )
+    fuzz_parser.add_argument(
+        "--budget",
+        default="default",
+        help="shape budget name (see repro.kernels.generate.BUDGETS)",
+    )
+    fuzz_parser.add_argument(
+        "--configs",
+        default=None,
+        help="comma-separated machine configs to cycle through "
+        "(default: all fuzz configs)",
+    )
+    fuzz_parser.add_argument(
+        "--corpus",
+        default=None,
+        help="instead of generating, re-check every JSON reproducer in "
+        "this directory on every config",
+    )
+    fuzz_parser.add_argument(
+        "--save-failures",
+        default="test-reports/fuzz",
+        help="directory for minimized JSON reproducers of failing cases",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="save failing workloads as generated, without minimizing",
+    )
+    fuzz_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress lines"
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     return parser
 

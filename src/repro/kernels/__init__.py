@@ -4,19 +4,38 @@
 * :mod:`repro.kernels.codegen` — DSL → PIPE assembly;
 * :mod:`repro.kernels.loops` — the 14 loop definitions + shared arrays;
 * :mod:`repro.kernels.reference` — float32-exact reference interpreter;
-* :mod:`repro.kernels.suite` — assembles the full benchmark program.
+* :mod:`repro.kernels.suite` — assembles kernel suites into programs;
+* :mod:`repro.kernels.generate` — seeded random well-formed kernels;
+* :mod:`repro.kernels.serialize` — JSON round-trip for corpus files.
 """
 
-from .codegen import CompileError, CompiledKernel, KernelCompiler, compile_kernel
+from .codegen import (
+    CompileError,
+    CompiledKernel,
+    KernelCompiler,
+    StructuredCompiler,
+    compile_kernel,
+)
 from .dsl import (
     Affine,
     ArrayDecl,
     BinOp,
+    Computed,
     ConstRef,
+    If,
+    IndexRef,
     Indirect,
+    IntBinOp,
+    IntConst,
+    IntLoad,
+    IntScalarRef,
+    IntScalarUpdate,
+    IntStore,
     Kernel,
+    KernelValidationError,
     Load,
     LoadIndirect,
+    Loop,
     ScalarRef,
     ScalarUpdate,
     Store,
@@ -24,6 +43,7 @@ from .dsl import (
     div,
     mul,
     sub,
+    validate_kernel,
 )
 from .loops import (
     PAPER_INNER_LOOP_BYTES,
@@ -33,7 +53,9 @@ from .loops import (
 )
 from .reference import f32, run_kernel_reference, run_suite_reference
 from .suite import (
+    KernelSuite,
     LivermoreSuite,
+    build_kernel_suite,
     build_livermore_program,
     build_livermore_suite,
     cached_livermore_suite,
@@ -46,10 +68,23 @@ __all__ = [
     "CompileError",
     "CompiledKernel",
     "ConstRef",
+    "Computed",
+    "If",
+    "IndexRef",
     "Indirect",
+    "IntBinOp",
+    "IntConst",
+    "IntLoad",
+    "IntScalarRef",
+    "IntScalarUpdate",
+    "IntStore",
     "Kernel",
     "KernelCompiler",
+    "KernelSuite",
+    "KernelValidationError",
     "LivermoreSuite",
+    "Loop",
+    "StructuredCompiler",
     "Load",
     "LoadIndirect",
     "PAPER_INNER_LOOP_BYTES",
@@ -58,6 +93,7 @@ __all__ = [
     "ScalarUpdate",
     "Store",
     "add",
+    "build_kernel_suite",
     "build_livermore_program",
     "build_livermore_suite",
     "cached_livermore_suite",
@@ -70,4 +106,5 @@ __all__ = [
     "run_kernel_reference",
     "run_suite_reference",
     "sub",
+    "validate_kernel",
 ]

@@ -1,8 +1,11 @@
-"""Code generation: Livermore kernel DSL → PIPE assembly.
+"""Code generation: kernel DSL → PIPE assembly.
 
-This is a miniature version of the PIPE compiler the paper used.  It
-lowers each :class:`~repro.kernels.dsl.Kernel` to a single inner loop of
-PIPE assembly with the idioms the architecture is built around:
+This is a miniature version of the PIPE compiler the paper used.  Two
+lowering paths share one emission substrate:
+
+**The classic path** (:class:`KernelCompiler`) lowers the original
+Livermore subset — a single straight-line inner loop over affine /
+indirect indices — with the idioms the architecture is built around:
 
 * array accesses become single ``ld``/``st`` instructions off induction
   registers (``r0`` holds ``4*i``; additional induction registers are
@@ -20,15 +23,35 @@ PIPE assembly with the idioms the architecture is built around:
   section 3.1.3 describes (the compiler "can easily generate code with
   an average of 4 instructions ... after a branch").
 
+**The structured path** (:class:`StructuredCompiler`) lowers the
+extended DSL — nested :class:`~repro.kernels.dsl.Loop` blocks,
+:class:`~repro.kernels.dsl.If` conditionals, integer scalar arithmetic,
+and computed (pointer-chasing) indices.  It trades the classic path's
+software pipelining for generality: loop variables live in registers
+counting up, every backedge is an ``lbr``/``pbrne`` pair with zero delay
+slots, conditionals branch forward through branch register ``b1``, and
+addresses are computed with explicit shift/add sequences.  The same
+symbolic LDQ model guards queue order, and the same FPU store-pair idiom
+keeps generated workloads data-request-heavy.
+
+:func:`compile_kernel` picks the path from
+:meth:`~repro.kernels.dsl.Kernel.is_classic`, so the 14 Livermore loops
+compile byte-identically to before.
+
 Register convention (visible set r0–r7):
 
 ====  =======================================================
-r0    primary induction: byte offset ``4*i``
-r1    trip counter, counting down to zero
-r2-5  pool: extra inductions, scalars, constants, scratch
+r0    classic: primary induction ``4*i``; structured: pool
+r1    classic: trip counter; structured: pool
+r2-5  pool: inductions/loop vars, scalars, constants, scratch
 r6    FPU window base (set once by the suite preamble)
 r7    the architectural queue register
 ====  =======================================================
+
+Branch registers: the classic path loads ``b0`` once per kernel; the
+structured path reloads ``b1`` immediately before every prepare-to-
+branch (backedges and forward skips alike), so arbitrarily nested
+control flow needs only the one register.
 """
 
 from __future__ import annotations
@@ -40,19 +63,38 @@ from ..memory.fpu import FPU_BASE
 from .dsl import (
     Affine,
     BinOp,
+    Computed,
     ConstRef,
     Expr,
+    If,
+    IndexRef,
     Indirect,
+    IntBinOp,
+    IntConst,
+    IntExpr,
+    IntLoad,
+    IntScalarRef,
+    IntScalarUpdate,
+    IntStore,
     Kernel,
     Load,
     LoadIndirect,
+    Loop,
+    OUTER_LOOP_VAR,
     ScalarRef,
     ScalarUpdate,
     Statement,
     Store,
 )
 
-__all__ = ["CompileError", "CompiledKernel", "KernelCompiler", "FPU_BASE_REGISTER"]
+__all__ = [
+    "CompileError",
+    "CompiledKernel",
+    "KernelCompiler",
+    "StructuredCompiler",
+    "FPU_BASE_REGISTER",
+    "compile_kernel",
+]
 
 #: Register that permanently holds the FPU window base for the whole program.
 FPU_BASE_REGISTER = 6
@@ -63,6 +105,29 @@ _FPU_OPA_OFF = 0x00
 _FPU_TRIG_OFF = {"+": 0x04, "-": 0x08, "*": 0x0C, "/": 0x10}
 _FPU_RESULT_OFF = 0x20
 _MAX_DELAY = 7
+
+#: Branch register the structured path reloads before every PBR.
+_STRUCT_BRANCH_REG = 1
+
+#: rr/ri mnemonics for each integer DSL operation.
+_INT_OP_MNEMONICS = {
+    "+": ("add", "addi"),
+    "-": ("sub", "subi"),
+    "&": ("and", "andi"),
+    "|": ("or", "ori"),
+    "^": ("xor", "xori"),
+    "<<": ("sll", "slli"),
+    ">>": ("srl", "srli"),
+    "==": ("seq", "seqi"),
+    "!=": ("sne", "snei"),
+    "<": ("slt", "slti"),
+    "<=": ("sle", "slei"),
+}
+
+#: Ops whose immediate form zero-extends — the immediate must be
+#: non-negative for the raw-16-bit pattern to equal the DSL's 32-bit
+#: constant semantics.
+_ZERO_EXTENDED_IMM_OPS = ("&", "|", "^")
 
 
 class CompileError(Exception):
@@ -93,7 +158,7 @@ class CompiledKernel:
 
     @property
     def body_instruction_count(self) -> int:
-        return len(self.loop_body)
+        return sum(1 for line in self.loop_body if not line.endswith(":"))
 
 
 @dataclass
@@ -106,8 +171,24 @@ class _Value:
     tag: str = ""  #: symbolic LDQ tag (FIFO assertion)
 
 
-class KernelCompiler:
-    """Compiles one kernel.  Instantiate per kernel; single use."""
+@dataclass
+class _IntValue:
+    """Where an evaluated integer expression's value lives (a register)."""
+
+    reg: int
+    temp: bool = False
+
+
+class _EmitterBase:
+    """Shared emission machinery: lines, scratch pool, symbolic LDQ.
+
+    Subclasses define the addressing scheme by implementing ``_eval``,
+    ``_feed_simple``, and ``_is_simple``; the FPU binop strategy
+    (:meth:`_eval_binop`) is common to both paths.
+    """
+
+    kernel: Kernel
+    label: str
 
     def __init__(self, kernel: Kernel):
         self.kernel = kernel
@@ -115,6 +196,134 @@ class KernelCompiler:
         self.lines: list[str] = []
         self._ldq_model: deque[str] = deque()
         self._tag_counter = 0
+        self._scratch_free: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Emission helpers (with a symbolic LDQ model asserting FIFO order)
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def _fresh_tag(self, hint: str) -> str:
+        self._tag_counter += 1
+        return f"{hint}#{self._tag_counter}"
+
+    def _emit_load(self, base_reg: int, displacement: str, hint: str) -> str:
+        """Emit ``ld`` and push its tag on the symbolic LDQ."""
+        tag = self._fresh_tag(hint)
+        self._emit(f"ld r{base_reg}, {displacement}")
+        self._ldq_model.append(tag)
+        return tag
+
+    def _assert_pop(self, expected_tag: str, what: str) -> None:
+        if not self._ldq_model:
+            raise CompileError(f"{self.label}: {what} pops an empty LDQ")
+        head = self._ldq_model.popleft()
+        if head != expected_tag:
+            raise CompileError(
+                f"{self.label}: LDQ order violation — {what} expected "
+                f"{expected_tag} but the queue head is {head}"
+            )
+
+    def _emit_qtoq(self, expected_tag: str) -> None:
+        self._assert_pop(expected_tag, "qtoq")
+        self._emit("qtoq")
+
+    def _emit_popq(self, reg: int, expected_tag: str) -> None:
+        self._assert_pop(expected_tag, f"popq r{reg}")
+        self._emit(f"popq r{reg}")
+
+    def _alloc_scratch(self) -> int:
+        if not self._scratch_free:
+            raise CompileError(
+                f"{self.label}: out of scratch registers — the expression "
+                "tree is too deep for the pool; split the statement"
+            )
+        return self._scratch_free.pop(0)
+
+    def _free_scratch(self, reg: int) -> None:
+        self._scratch_free.insert(0, reg)
+
+    # ------------------------------------------------------------------
+    # FPU expression evaluation (shared strategy)
+    # ------------------------------------------------------------------
+    def _is_simple(self, expr: Expr) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _feed_simple(self, expr: Expr) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _eval(self, expr: Expr) -> _Value:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _consume(self, value: _Value) -> None:
+        """Push an already-evaluated value onto the SDQ."""
+        if value.kind == "ldq":
+            self._emit_qtoq(value.tag)
+        else:
+            assert value.reg is not None
+            self._emit(f"pushq r{value.reg}")
+            if value.temp:
+                self._free_scratch(value.reg)
+
+    def _force_reg(self, value: _Value) -> _Value:
+        """Ensure the value is in a register (popping the LDQ if pending)."""
+        if value.kind == "reg":
+            return value
+        scratch = self._alloc_scratch()
+        self._emit_popq(scratch, value.tag)
+        return _Value(kind="reg", reg=scratch, temp=True)
+
+    def _emit_fpu_store(self, offset: int) -> None:
+        disp = str(offset) if offset else "0"
+        self._emit(f"st r{FPU_BASE_REGISTER}, {disp}")
+
+    def _eval_binop(self, node: BinOp) -> _Value:
+        lhs, rhs = node.lhs, node.rhs
+        lhs_simple = self._is_simple(lhs)
+        rhs_simple = self._is_simple(rhs)
+        trigger = _FPU_TRIG_OFF[node.op]
+
+        if lhs_simple and rhs_simple:
+            self._emit_fpu_store(_FPU_OPA_OFF)
+            self._feed_simple(lhs)
+            self._emit_fpu_store(trigger)
+            self._feed_simple(rhs)
+        elif not lhs_simple and rhs_simple:
+            left = self._eval(lhs)  # pending at the LDQ head
+            self._emit_fpu_store(_FPU_OPA_OFF)
+            self._consume(left)
+            self._emit_fpu_store(trigger)
+            self._feed_simple(rhs)
+        elif lhs_simple and not rhs_simple:
+            if node.commutative:
+                right = self._eval(rhs)
+                self._emit_fpu_store(_FPU_OPA_OFF)
+                self._consume(right)
+                self._emit_fpu_store(trigger)
+                self._feed_simple(lhs)
+            else:
+                right = self._force_reg(self._eval(rhs))
+                self._emit_fpu_store(_FPU_OPA_OFF)
+                self._feed_simple(lhs)
+                self._emit_fpu_store(trigger)
+                self._consume(right)
+        else:
+            left = self._force_reg(self._eval(lhs))
+            right = self._eval(rhs)
+            self._emit_fpu_store(_FPU_OPA_OFF)
+            self._consume(left)
+            self._emit_fpu_store(trigger)
+            self._consume(right)
+        tag = self._emit_load(FPU_BASE_REGISTER, str(_FPU_RESULT_OFF), "fpu")
+        return _Value(kind="ldq", tag=tag)
+
+
+class KernelCompiler(_EmitterBase):
+    """Compiles one classic kernel.  Instantiate per kernel; single use."""
+
+    def __init__(self, kernel: Kernel):
+        super().__init__(kernel)
 
         # ---- register assignment ----------------------------------------
         pool = list(_POOL)
@@ -182,52 +391,6 @@ class KernelCompiler:
         return mults
 
     # ------------------------------------------------------------------
-    # Emission helpers (with a symbolic LDQ model asserting FIFO order)
-    # ------------------------------------------------------------------
-    def _emit(self, line: str) -> None:
-        self.lines.append(line)
-
-    def _fresh_tag(self, hint: str) -> str:
-        self._tag_counter += 1
-        return f"{hint}#{self._tag_counter}"
-
-    def _emit_load(self, base_reg: int, displacement: str, hint: str) -> str:
-        """Emit ``ld`` and push its tag on the symbolic LDQ."""
-        tag = self._fresh_tag(hint)
-        self._emit(f"ld r{base_reg}, {displacement}")
-        self._ldq_model.append(tag)
-        return tag
-
-    def _assert_pop(self, expected_tag: str, what: str) -> None:
-        if not self._ldq_model:
-            raise CompileError(f"{self.label}: {what} pops an empty LDQ")
-        head = self._ldq_model.popleft()
-        if head != expected_tag:
-            raise CompileError(
-                f"{self.label}: LDQ order violation — {what} expected "
-                f"{expected_tag} but the queue head is {head}"
-            )
-
-    def _emit_qtoq(self, expected_tag: str) -> None:
-        self._assert_pop(expected_tag, "qtoq")
-        self._emit("qtoq")
-
-    def _emit_popq(self, reg: int, expected_tag: str) -> None:
-        self._assert_pop(expected_tag, f"popq r{reg}")
-        self._emit(f"popq r{reg}")
-
-    def _alloc_scratch(self) -> int:
-        if not self._scratch_free:
-            raise CompileError(
-                f"{self.label}: out of scratch registers — the expression "
-                "tree is too deep for the pool; split the statement"
-            )
-        return self._scratch_free.pop(0)
-
-    def _free_scratch(self, reg: int) -> None:
-        self._scratch_free.insert(0, reg)
-
-    # ------------------------------------------------------------------
     # Addressing
     # ------------------------------------------------------------------
     def _affine_operand(self, array: str, index: Affine) -> tuple[int, str]:
@@ -257,7 +420,9 @@ class KernelCompiler:
     # ------------------------------------------------------------------
     def _is_simple(self, expr: Expr) -> bool:
         """Simple expressions feed an FPU operand without popping the LDQ."""
-        if isinstance(expr, (Load, ScalarRef)):
+        if isinstance(expr, Load) and isinstance(expr.index, Affine):
+            return True
+        if isinstance(expr, ScalarRef):
             return True
         if isinstance(expr, ConstRef):
             return True  # register or pool-relative load, both push-only
@@ -274,6 +439,11 @@ class KernelCompiler:
             tag = self._emit_load(base_reg, disp, expr.array)
             self._emit_qtoq(tag)
         elif isinstance(expr, ConstRef):
+            if expr.name not in self.kernel.consts:
+                raise CompileError(
+                    f"{self.label}: references undeclared constant "
+                    f"'{expr.name}'"
+                )
             reg = self.const_regs.get(expr.name)
             if reg is not None:
                 self._emit(f"pushq r{reg}")
@@ -287,28 +457,6 @@ class KernelCompiler:
         else:  # pragma: no cover - guarded by _is_simple
             raise AssertionError(f"{expr!r} is not simple")
 
-    def _consume(self, value: _Value) -> None:
-        """Push an already-evaluated value onto the SDQ."""
-        if value.kind == "ldq":
-            self._emit_qtoq(value.tag)
-        else:
-            assert value.reg is not None
-            self._emit(f"pushq r{value.reg}")
-            if value.temp:
-                self._free_scratch(value.reg)
-
-    def _force_reg(self, value: _Value) -> _Value:
-        """Ensure the value is in a register (popping the LDQ if pending)."""
-        if value.kind == "reg":
-            return value
-        scratch = self._alloc_scratch()
-        self._emit_popq(scratch, value.tag)
-        return _Value(kind="reg", reg=scratch, temp=True)
-
-    def _emit_fpu_store(self, offset: int) -> None:
-        disp = str(offset) if offset else "0"
-        self._emit(f"st r{FPU_BASE_REGISTER}, {disp}")
-
     def _eval(self, expr: Expr) -> _Value:
         """Evaluate ``expr``; the result is pending in the LDQ or a reg."""
         if isinstance(expr, Load):
@@ -321,6 +469,11 @@ class KernelCompiler:
             self._free_scratch(scratch)
             return _Value(kind="ldq", tag=tag)
         if isinstance(expr, ConstRef):
+            if expr.name not in self.kernel.consts:
+                raise CompileError(
+                    f"{self.label}: references undeclared constant "
+                    f"'{expr.name}'"
+                )
             reg = self.const_regs.get(expr.name)
             if reg is not None:
                 return _Value(kind="reg", reg=reg)
@@ -333,46 +486,6 @@ class KernelCompiler:
         if isinstance(expr, BinOp):
             return self._eval_binop(expr)
         raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
-
-    def _eval_binop(self, node: BinOp) -> _Value:
-        lhs, rhs = node.lhs, node.rhs
-        lhs_simple = self._is_simple(lhs)
-        rhs_simple = self._is_simple(rhs)
-        trigger = _FPU_TRIG_OFF[node.op]
-
-        if lhs_simple and rhs_simple:
-            self._emit_fpu_store(_FPU_OPA_OFF)
-            self._feed_simple(lhs)
-            self._emit_fpu_store(trigger)
-            self._feed_simple(rhs)
-        elif not lhs_simple and rhs_simple:
-            left = self._eval(lhs)  # pending at the LDQ head
-            self._emit_fpu_store(_FPU_OPA_OFF)
-            self._consume(left)
-            self._emit_fpu_store(trigger)
-            self._feed_simple(rhs)
-        elif lhs_simple and not rhs_simple:
-            if node.commutative:
-                right = self._eval(rhs)
-                self._emit_fpu_store(_FPU_OPA_OFF)
-                self._consume(right)
-                self._emit_fpu_store(trigger)
-                self._feed_simple(lhs)
-            else:
-                right = self._force_reg(self._eval(rhs))
-                self._emit_fpu_store(_FPU_OPA_OFF)
-                self._feed_simple(lhs)
-                self._emit_fpu_store(trigger)
-                self._consume(right)
-        else:
-            left = self._force_reg(self._eval(lhs))
-            right = self._eval(rhs)
-            self._emit_fpu_store(_FPU_OPA_OFF)
-            self._consume(left)
-            self._emit_fpu_store(trigger)
-            self._consume(right)
-        tag = self._emit_load(FPU_BASE_REGISTER, str(_FPU_RESULT_OFF), "fpu")
-        return _Value(kind="ldq", tag=tag)
 
     # ------------------------------------------------------------------
     # Statements
@@ -498,6 +611,415 @@ class KernelCompiler:
         )
 
 
+class StructuredCompiler(_EmitterBase):
+    """Compiles one extended kernel with general control flow.
+
+    Instantiate per kernel; single use.  The lowering is deliberately
+    simple and uniform — correctness and queue discipline over cycle
+    counts — since structured kernels exist to diversify workloads and
+    fuzz the engines, not to reproduce the paper's figures.
+    """
+
+    def __init__(self, kernel: Kernel):
+        super().__init__(kernel)
+        if kernel.iterations > 0x7FFF:
+            raise CompileError(
+                f"{self.label}: {kernel.iterations} iterations do not fit "
+                "a 16-bit trip-count immediate"
+            )
+        self._block_counter = 0
+
+        # ---- register assignment ----------------------------------------
+        # Loop variables (outer ``i`` first, nested vars in first-seen
+        # order), then float scalars, then integer scalars; the rest of
+        # r0-r5 is scratch.  Two scratch registers is the floor for the
+        # expression strategies below.
+        pool = [0, 1, 2, 3, 4, 5]
+        self.var_regs: dict[str, int] = {}
+        for var in [OUTER_LOOP_VAR] + self._nested_loop_vars():
+            if var in self.var_regs:
+                continue
+            if not pool:
+                raise CompileError(
+                    f"{self.label}: too many nested loop variables for the "
+                    "register pool"
+                )
+            self.var_regs[var] = pool.pop(0)
+        self.scalar_regs: dict[str, int] = {}
+        for name in kernel.scalars:
+            if not pool:
+                raise CompileError(f"{self.label}: too many loop-carried scalars")
+            self.scalar_regs[name] = pool.pop(0)
+        self.int_scalar_regs: dict[str, int] = {}
+        for name in kernel.int_scalars:
+            if not pool:
+                raise CompileError(
+                    f"{self.label}: too many integer loop-carried scalars"
+                )
+            self.int_scalar_regs[name] = pool.pop(0)
+        if len(pool) < 2:
+            raise CompileError(
+                f"{self.label}: fewer than two scratch registers left "
+                f"({len(pool)}) — reduce loop depth or scalar count"
+            )
+        self._scratch_free = pool
+        self.const_order = list(kernel.consts)
+
+    def _nested_loop_vars(self) -> list[str]:
+        ordered: list[str] = []
+        for statement in self.kernel.all_statements():
+            if isinstance(statement, Loop) and statement.var not in ordered:
+                ordered.append(statement.var)
+        return ordered
+
+    def _fresh_block(self, hint: str) -> str:
+        self._block_counter += 1
+        return f"{self.label}.{hint}{self._block_counter}"
+
+    # ------------------------------------------------------------------
+    # Integer expression evaluation
+    # ------------------------------------------------------------------
+    def _free_int(self, value: _IntValue) -> None:
+        if value.temp:
+            self._free_scratch(value.reg)
+
+    def _eval_int(self, expr: IntExpr) -> _IntValue:
+        """Evaluate an integer expression into a register.
+
+        Integer evaluation never leaves values pending in the LDQ (loads
+        are popped immediately), so it is safe anywhere the symbolic
+        queue model is empty — which the statement emitters guarantee.
+        """
+        if isinstance(expr, IntConst):
+            reg = self._alloc_scratch()
+            self._emit(f"li r{reg}, {expr.value}")
+            return _IntValue(reg=reg, temp=True)
+        if isinstance(expr, IndexRef):
+            return _IntValue(reg=self.var_regs[expr.var])
+        if isinstance(expr, IntScalarRef):
+            return _IntValue(reg=self.int_scalar_regs[expr.name])
+        if isinstance(expr, IntLoad):
+            index = self._eval_int(expr.index)
+            address = index.reg if index.temp else self._alloc_scratch()
+            self._emit(f"slli r{address}, r{index.reg}, 2")
+            self._emit(f"addi r{address}, r{address}, {expr.array}")
+            tag = self._emit_load(address, "0", f"{expr.array}[int]")
+            self._emit_popq(address, tag)
+            return _IntValue(reg=address, temp=True)
+        if isinstance(expr, IntBinOp):
+            return self._eval_int_binop(expr)
+        raise AssertionError(f"unhandled int expression {expr!r}")
+
+    def _eval_int_binop(self, node: IntBinOp) -> _IntValue:
+        rr_op, ri_op = _INT_OP_MNEMONICS[node.op]
+        # Immediate form when the right operand is a literal whose
+        # encoding matches the DSL's 32-bit semantics.
+        if isinstance(node.rhs, IntConst) and (
+            node.op not in _ZERO_EXTENDED_IMM_OPS or node.rhs.value >= 0
+        ):
+            left = self._eval_int(node.lhs)
+            dest = left.reg if left.temp else self._alloc_scratch()
+            self._emit(f"{ri_op} r{dest}, r{left.reg}, {node.rhs.value}")
+            return _IntValue(reg=dest, temp=True)
+        left = self._eval_int(node.lhs)
+        right = self._eval_int(node.rhs)
+        if left.temp:
+            dest = left.reg
+        elif right.temp:
+            dest = right.reg
+        else:
+            dest = self._alloc_scratch()
+        self._emit(f"{rr_op} r{dest}, r{left.reg}, r{right.reg}")
+        if left.temp and dest != left.reg:  # pragma: no cover - defensive
+            self._free_scratch(left.reg)
+        if right.temp and dest != right.reg:
+            self._free_scratch(right.reg)
+        return _IntValue(reg=dest, temp=True)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def _emit_scaled(self, source_reg: int, factor: int) -> int:
+        """Compute ``factor * source_reg`` into a fresh scratch register.
+
+        ``factor`` is decomposed into shifts and adds (the ISA has no
+        integer multiply).
+        """
+        if factor <= 0:
+            raise CompileError(
+                f"{self.label}: cannot scale by non-positive factor {factor}"
+            )
+        dest = self._alloc_scratch()
+        bits = [position for position in range(32) if factor >> position & 1]
+        first = bits.pop(0)
+        if first:
+            self._emit(f"slli r{dest}, r{source_reg}, {first}")
+        else:
+            self._emit(f"mov r{dest}, r{source_reg}")
+        for position in bits:
+            part = self._alloc_scratch()
+            self._emit(f"slli r{part}, r{source_reg}, {position}")
+            self._emit(f"add r{dest}, r{dest}, r{part}")
+            self._free_scratch(part)
+        return dest
+
+    @staticmethod
+    def _symbol_plus(array: str, byte_offset: int) -> str:
+        if byte_offset == 0:
+            return array
+        if byte_offset > 0:
+            return f"{array}+{byte_offset}"
+        return f"{array}-{-byte_offset}"
+
+    def _emit_address(self, array: str, index) -> int:
+        """Compute ``&array[index]`` into a scratch register.
+
+        Must be called with the symbolic LDQ empty (integer loads pop
+        immediately).
+        """
+        if isinstance(index, Affine):
+            var_reg = self.var_regs[OUTER_LOOP_VAR]
+            # byte offset = (4 * mult) * i, folded into one scaling pass
+            address = self._emit_scaled(var_reg, _WORD * index.mult)
+            target = self._symbol_plus(array, _WORD * index.offset)
+            self._emit(f"addi r{address}, r{address}, {target}")
+            return address
+        if isinstance(index, Computed):
+            element = self._eval_int(index.expr)
+            address = element.reg if element.temp else self._alloc_scratch()
+            self._emit(f"slli r{address}, r{element.reg}, 2")
+            self._emit(f"addi r{address}, r{address}, {array}")
+            return address
+        if isinstance(index, Indirect):
+            pointer_address = self._emit_address(
+                index.index_array, index.index
+            )
+            tag = self._emit_load(pointer_address, "0", "index")
+            self._emit_popq(pointer_address, tag)
+            self._emit(f"slli r{pointer_address}, r{pointer_address}, 2")
+            target = self._symbol_plus(array, _WORD * index.offset)
+            self._emit(f"addi r{pointer_address}, r{pointer_address}, {target}")
+            return pointer_address
+        raise AssertionError(f"unhandled index form {index!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Float expression evaluation
+    # ------------------------------------------------------------------
+    def _is_simple(self, expr: Expr) -> bool:
+        """Simple expressions push exactly one value without popping
+        pending LDQ entries; all structured leaves qualify."""
+        return isinstance(expr, (Load, LoadIndirect, ConstRef, ScalarRef))
+
+    def _feed_simple(self, expr: Expr) -> None:
+        value = self._eval(expr)
+        self._consume(value)
+
+    def _eval(self, expr: Expr) -> _Value:
+        if isinstance(expr, Load):
+            address = self._emit_address(expr.array, expr.index)
+            tag = self._emit_load(address, "0", expr.array)
+            self._free_scratch(address)
+            return _Value(kind="ldq", tag=tag)
+        if isinstance(expr, LoadIndirect):
+            address = self._emit_address(expr.array, expr.pointer)
+            tag = self._emit_load(address, "0", f"{expr.array}[ind]")
+            self._free_scratch(address)
+            return _Value(kind="ldq", tag=tag)
+        if isinstance(expr, ConstRef):
+            if expr.name not in self.kernel.consts:
+                raise CompileError(
+                    f"{self.label}: references undeclared constant "
+                    f"'{expr.name}'"
+                )
+            offset = _WORD * self.const_order.index(expr.name)
+            disp = (
+                f"{self.label}.consts+{offset}"
+                if offset
+                else f"{self.label}.consts"
+            )
+            zero = self._alloc_scratch()
+            self._emit(f"li r{zero}, 0")
+            tag = self._emit_load(zero, disp, expr.name)
+            self._free_scratch(zero)
+            return _Value(kind="ldq", tag=tag)
+        if isinstance(expr, ScalarRef):
+            return _Value(kind="reg", reg=self.scalar_regs[expr.name])
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr)
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Statements and control flow
+    # ------------------------------------------------------------------
+    def _emit_branch(self, mnemonic: str, target_label: str, condition) -> None:
+        """Reload ``b1`` and prepare a zero-delay branch."""
+        self._emit(f"lbr b{_STRUCT_BRANCH_REG}, {target_label}")
+        if condition is None:
+            self._emit(f"pbra b{_STRUCT_BRANCH_REG}, 0")
+        else:
+            self._emit(f"{mnemonic} b{_STRUCT_BRANCH_REG}, r{condition}, 0")
+
+    def _emit_label(self, label: str) -> None:
+        self._emit(f"{label}:")
+
+    def _emit_block(self, statements) -> None:
+        for statement in statements:
+            self._emit_statement(statement)
+            if self._ldq_model:
+                raise CompileError(
+                    f"{self.label}: values left pending in the LDQ after "
+                    f"{type(statement).__name__}: {list(self._ldq_model)}"
+                )
+
+    def _emit_statement(self, statement: Statement) -> None:
+        if isinstance(statement, Store):
+            address = self._emit_address(statement.array, statement.index)
+            value = self._eval(statement.expr)
+            self._emit(f"st r{address}, 0")
+            self._consume(value)
+            self._free_scratch(address)
+        elif isinstance(statement, IntStore):
+            address = self._emit_address(statement.array, statement.index)
+            value = self._eval_int(statement.expr)
+            self._emit(f"st r{address}, 0")
+            self._emit(f"pushq r{value.reg}")
+            self._free_int(value)
+            self._free_scratch(address)
+        elif isinstance(statement, ScalarUpdate):
+            value = self._eval(statement.expr)
+            target = self.scalar_regs[statement.name]
+            if value.kind == "ldq":
+                self._emit_popq(target, value.tag)
+            else:
+                assert value.reg is not None
+                if value.reg != target:
+                    self._emit(f"mov r{target}, r{value.reg}")
+                if value.temp:
+                    self._free_scratch(value.reg)
+        elif isinstance(statement, IntScalarUpdate):
+            value = self._eval_int(statement.expr)
+            target = self.int_scalar_regs[statement.name]
+            if value.reg != target:
+                self._emit(f"mov r{target}, r{value.reg}")
+            self._free_int(value)
+        elif isinstance(statement, Loop):
+            var_reg = self.var_regs[statement.var]
+            head = self._fresh_block("for")
+            self._emit(f"li r{var_reg}, 0")
+            self._emit_label(head)
+            self._emit_block(statement.body)
+            self._emit(f"addi r{var_reg}, r{var_reg}, 1")
+            test = self._alloc_scratch()
+            self._emit(f"snei r{test}, r{var_reg}, {statement.trips}")
+            self._emit_branch("pbrne", head, test)
+            self._free_scratch(test)
+        elif isinstance(statement, If):
+            condition = self._eval_int(statement.cond)
+            end = self._fresh_block("fi")
+            target = self._fresh_block("else") if statement.orelse else end
+            self._emit_branch("pbreq", target, condition.reg)
+            self._free_int(condition)
+            self._emit_block(statement.then)
+            if statement.orelse:
+                self._emit_branch("pbra", end, None)
+                self._emit_label(target)
+                self._emit_block(statement.orelse)
+            self._emit_label(end)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # Whole-kernel compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledKernel:
+        kernel = self.kernel
+        label = self.label
+
+        # ---- preamble ---------------------------------------------------
+        preamble: list[str] = []
+        self.lines = preamble
+        for name, reg in self.int_scalar_regs.items():
+            value = kernel.int_scalars[name] & 0xFFFFFFFF
+            low, high = value & 0xFFFF, value >> 16
+            signed_low = low - 0x10000 if low & 0x8000 else low
+            self._emit(f"li r{reg}, {signed_low}")
+            if (signed_low & 0xFFFFFFFF) >> 16 != high:
+                self._emit(f"lih r{reg}, {high}")
+        if kernel.scalars:
+            zero = self._alloc_scratch()
+            self._emit(f"li r{zero}, 0")
+            pending: list[tuple[int, str]] = []
+            for position, name in enumerate(kernel.scalars):
+                offset = _WORD * position
+                disp = f"{label}.sinit+{offset}" if offset else f"{label}.sinit"
+                pending.append(
+                    (self.scalar_regs[name], self._emit_load(zero, disp, name))
+                )
+            for reg, tag in pending:
+                self._emit_popq(reg, tag)
+            self._free_scratch(zero)
+        outer_reg = self.var_regs[OUTER_LOOP_VAR]
+        self._emit(f"li r{outer_reg}, 0")
+
+        # ---- outer loop body --------------------------------------------
+        body: list[str] = []
+        self.lines = body
+        self._emit_block(kernel.statements)
+        self._emit(f"addi r{outer_reg}, r{outer_reg}, 1")
+        test = self._alloc_scratch()
+        self._emit(f"snei r{test}, r{outer_reg}, {kernel.iterations}")
+        self._emit_branch("pbrne", f"{label}.loop", test)
+        self._free_scratch(test)
+
+        # ---- epilogue: write back scalar results -------------------------
+        epilogue: list[str] = []
+        self.lines = epilogue
+        if kernel.scalars or kernel.int_scalars:
+            zero = self._alloc_scratch()
+            self._emit(f"li r{zero}, 0")
+            for position, name in enumerate(kernel.scalars):
+                offset = _WORD * position
+                disp = f"{label}.result+{offset}" if offset else f"{label}.result"
+                self._emit(f"st r{zero}, {disp}")
+                self._emit(f"pushq r{self.scalar_regs[name]}")
+            for position, name in enumerate(kernel.int_scalars):
+                offset = _WORD * position
+                disp = (
+                    f"{label}.iresult+{offset}" if offset else f"{label}.iresult"
+                )
+                self._emit(f"st r{zero}, {disp}")
+                self._emit(f"pushq r{self.int_scalar_regs[name]}")
+            self._free_scratch(zero)
+
+        # ---- data --------------------------------------------------------
+        data: list[str] = ["        .align 4"]
+        if kernel.consts:
+            values = ", ".join(
+                repr(float(kernel.consts[name])) for name in self.const_order
+            )
+            data.append(f"{label}.consts: .float {values}")
+        if kernel.scalars:
+            values = ", ".join(repr(float(v)) for v in kernel.scalars.values())
+            data.append(f"{label}.sinit: .float {values}")
+            data.append(f"{label}.result: .space {4 * len(kernel.scalars)}")
+        if kernel.int_scalars:
+            data.append(f"{label}.iresult: .space {4 * len(kernel.int_scalars)}")
+
+        return CompiledKernel(
+            kernel=kernel,
+            preamble=preamble,
+            loop_body=body,
+            epilogue=epilogue,
+            data=data,
+        )
+
+
 def compile_kernel(kernel: Kernel) -> CompiledKernel:
-    """Compile one kernel to its assembly fragments."""
-    return KernelCompiler(kernel).compile()
+    """Compile one kernel to its assembly fragments.
+
+    Classic kernels take the software-pipelined path (byte-identical to
+    the original compiler); extended kernels take the structured path.
+    """
+    if kernel.is_classic:
+        return KernelCompiler(kernel).compile()
+    return StructuredCompiler(kernel).compile()

@@ -1,4 +1,4 @@
-"""A small kernel description language for the Livermore Loops.
+"""A kernel description language for loop-nest workloads.
 
 The paper's benchmark is the first 14 Lawrence Livermore Loops compiled
 for PIPE (section 5).  We regenerate them with a tiny compiler instead of
@@ -8,18 +8,35 @@ indices that are *affine* in the loop variable (``mult * i + offset``) or
 *indirect* through an integer index array (needed for the particle-in-cell
 loops 13 and 14).
 
-The DSL is deliberately no bigger than the loops require:
+Beyond what the Livermore loops require, the DSL also expresses general
+loop nests so that arbitrary generated workloads (stencils, reductions,
+branchy control, pointer-chasing) compile to PIPE assembly:
 
-* expressions: array loads, constants, scalars, and the four FPU
+* *float expressions*: array loads, constants, scalars, and the four FPU
   operations;
-* statements: a store to an (affine or indirect) array element, or an
-  update of a loop-carried scalar;
-* one inner loop per kernel, iterating ``i = 0 .. iterations-1``.
+* *integer expressions* (:class:`IntExpr`): literals, loop variables,
+  integer loop-carried scalars, loads from integer arrays, and the
+  machine's ALU operations with exact 32-bit wrap-around semantics;
+* *statements*: stores to (affine, indirect, or computed-index) array
+  elements, float/integer scalar updates, bounded nested :class:`Loop`
+  blocks over named index variables, and :class:`If` conditionals on
+  integer expressions;
+* every kernel still has an implicit outer loop ``i = 0 ..
+  iterations-1``; :class:`Affine` indices refer to that ``i``, while
+  nested loop variables are referenced by name via :class:`IndexRef`.
+
+Kernels made only of the original constructs ("classic" kernels — see
+:meth:`Kernel.is_classic`) compile through the original software-pipelined
+code generator, byte-identical to before; anything using the extended
+constructs takes the structured lowering path.
 
 Semantics are defined twice — by the code generator
 (:mod:`repro.kernels.codegen`) and by a pure-Python float32-exact
 interpreter (:mod:`repro.kernels.reference`) — and the test suite holds
-them to bit-identical results.
+them to bit-identical results.  :func:`validate_kernel` rejects
+malformed kernels (undeclared names, bad trip counts, out-of-range
+indices) with named-kernel, named-statement diagnostics before either
+semantics runs.
 """
 
 from __future__ import annotations
@@ -30,12 +47,25 @@ __all__ = [
     "Affine",
     "ArrayDecl",
     "BinOp",
+    "Computed",
     "ConstRef",
     "Expr",
+    "If",
+    "IndexRef",
     "Indirect",
+    "IntBinOp",
+    "IntConst",
+    "IntExpr",
+    "IntLoad",
+    "IntScalarRef",
+    "IntScalarUpdate",
+    "IntStore",
     "Kernel",
+    "KernelValidationError",
     "Load",
     "LoadIndirect",
+    "Loop",
+    "OUTER_LOOP_VAR",
     "ScalarRef",
     "ScalarUpdate",
     "Statement",
@@ -44,7 +74,11 @@ __all__ = [
     "div",
     "mul",
     "sub",
+    "validate_kernel",
 ]
+
+#: Name of the implicit outer loop variable every kernel iterates.
+OUTER_LOOP_VAR = "i"
 
 
 @dataclass(frozen=True)
@@ -69,6 +103,19 @@ class Indirect:
     index_array: str
     index: Affine
     offset: int = 0
+
+
+@dataclass(frozen=True)
+class Computed:
+    """Element index computed by an arbitrary integer expression.
+
+    The expression must evaluate to an in-range element index; the
+    generator guarantees this by masking with ``length - 1`` of
+    power-of-two arrays, and the reference interpreter rejects any
+    violation at run time.
+    """
+
+    expr: "IntExpr"
 
 
 @dataclass(frozen=True)
@@ -101,6 +148,72 @@ class ArrayDecl:
 
 
 # ----------------------------------------------------------------------
+# Integer expressions (loop variables, pointers, scalar arithmetic)
+# ----------------------------------------------------------------------
+class IntExpr:
+    """Base class for integer-valued expressions.
+
+    Integer semantics are the machine's: 32-bit unsigned wrap-around,
+    shift counts masked to 5 bits, signed comparisons yielding 0/1 —
+    the reference interpreter mirrors :mod:`repro.cpu.alu` exactly.
+    """
+
+
+@dataclass(frozen=True)
+class IntConst(IntExpr):
+    """A literal integer (must fit a signed 16-bit immediate)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not -0x8000 <= self.value <= 0x7FFF:
+            raise ValueError(
+                f"integer literal {self.value} does not fit a 16-bit "
+                "signed immediate"
+            )
+
+
+@dataclass(frozen=True)
+class IndexRef(IntExpr):
+    """The current value of a loop variable (``i`` or a nested var)."""
+
+    var: str = OUTER_LOOP_VAR
+
+
+@dataclass(frozen=True)
+class IntScalarRef(IntExpr):
+    """An integer loop-carried scalar (held in a register)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLoad(IntExpr):
+    """An integer array element at a computed element index."""
+
+    array: str
+    index: IntExpr
+
+
+#: Integer operations and the ALU mnemonic family each lowers to.
+INT_OPS = ("+", "-", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=")
+
+
+@dataclass(frozen=True)
+class IntBinOp(IntExpr):
+    """One ALU operation.  Comparisons yield 0/1; ``<`` and ``<=`` are
+    signed, matching ``slt``/``sle``."""
+
+    op: str
+    lhs: IntExpr
+    rhs: IntExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in INT_OPS:
+            raise ValueError(f"unknown integer operation {self.op!r}")
+
+
+# ----------------------------------------------------------------------
 # Expressions
 # ----------------------------------------------------------------------
 class Expr:
@@ -109,10 +222,10 @@ class Expr:
 
 @dataclass(frozen=True)
 class Load(Expr):
-    """A float array element, affine-indexed."""
+    """A float array element, affine- or computed-indexed."""
 
     array: str
-    index: Affine = field(default_factory=Affine)
+    index: Affine | Computed = field(default_factory=Affine)
 
 
 @dataclass(frozen=True)
@@ -180,10 +293,10 @@ class Statement:
 
 @dataclass(frozen=True)
 class Store(Statement):
-    """``array[index] = expr`` (index affine or indirect)."""
+    """``array[index] = expr`` (index affine, indirect, or computed)."""
 
     array: str
-    index: Affine | Indirect
+    index: Affine | Indirect | Computed
     expr: Expr
 
 
@@ -196,8 +309,96 @@ class ScalarUpdate(Statement):
 
 
 @dataclass(frozen=True)
+class IntScalarUpdate(Statement):
+    """``int_scalar = int_expr`` (pointer chasing lives here)."""
+
+    name: str
+    expr: IntExpr
+
+
+@dataclass(frozen=True)
+class IntStore(Statement):
+    """``int_array[index] = int_expr`` (index affine or computed)."""
+
+    array: str
+    index: Affine | Computed
+    expr: IntExpr
+
+
+@dataclass(frozen=True)
+class Loop(Statement):
+    """A bounded nested loop: ``for var in 0 .. trips-1: body``."""
+
+    var: str
+    trips: int
+    body: tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """``if cond != 0: then else: orelse`` on an integer condition."""
+
+    cond: IntExpr
+    then: tuple[Statement, ...]
+    orelse: tuple[Statement, ...] = ()
+
+
+def _iter_statements(statements) -> "list[Statement]":
+    """Flatten a statement tree, recursing into Loop/If blocks."""
+    out: list[Statement] = []
+    for statement in statements:
+        out.append(statement)
+        if isinstance(statement, Loop):
+            out.extend(_iter_statements(statement.body))
+        elif isinstance(statement, If):
+            out.extend(_iter_statements(statement.then))
+            out.extend(_iter_statements(statement.orelse))
+    return out
+
+
+def _walk_expr(expr, visit) -> None:
+    """Call ``visit`` on ``expr`` and every sub-expression (float or int)."""
+    visit(expr)
+    if isinstance(expr, BinOp):
+        _walk_expr(expr.lhs, visit)
+        _walk_expr(expr.rhs, visit)
+    elif isinstance(expr, IntBinOp):
+        _walk_expr(expr.lhs, visit)
+        _walk_expr(expr.rhs, visit)
+    elif isinstance(expr, IntLoad):
+        _walk_expr(expr.index, visit)
+    elif isinstance(expr, Load) and isinstance(expr.index, Computed):
+        _walk_expr(expr.index.expr, visit)
+    elif isinstance(expr, LoadIndirect):
+        pass  # Indirect carries no sub-expressions
+
+
+def _statement_exprs(statement) -> "list":
+    """Top-level expressions of one statement (not recursing into blocks)."""
+    if isinstance(statement, Store):
+        exprs = [statement.expr]
+        if isinstance(statement.index, Computed):
+            exprs.append(statement.index.expr)
+        return exprs
+    if isinstance(statement, IntStore):
+        exprs = [statement.expr]
+        if isinstance(statement.index, Computed):
+            exprs.append(statement.index.expr)
+        return exprs
+    if isinstance(statement, (ScalarUpdate, IntScalarUpdate)):
+        return [statement.expr]
+    if isinstance(statement, If):
+        return [statement.cond]
+    return []
+
+
+@dataclass(frozen=True)
 class Kernel:
-    """One Livermore loop: constants, scalars, and the loop body."""
+    """One kernel: constants, scalars, and the (possibly nested) body.
+
+    The implicit outer loop iterates ``i = 0 .. iterations-1``; nested
+    :class:`Loop` statements introduce further named index variables.
+    """
 
     number: int
     name: str
@@ -205,6 +406,8 @@ class Kernel:
     statements: tuple[Statement, ...]
     consts: dict[str, float] = field(default_factory=dict)
     scalars: dict[str, float] = field(default_factory=dict)
+    int_scalars: dict[str, int] = field(default_factory=dict)
+    tag: str | None = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -214,38 +417,72 @@ class Kernel:
 
     @property
     def label(self) -> str:
-        return f"ll{self.number}"
+        return self.tag if self.tag is not None else f"ll{self.number}"
 
     # ------------------------------------------------------------------
+    @property
+    def is_classic(self) -> bool:
+        """True if the kernel uses only the original Livermore subset.
+
+        Classic kernels (straight-line Store/ScalarUpdate bodies over
+        affine/indirect indices, no integer expressions) compile through
+        the software-pipelined code generator exactly as before.
+        """
+        if self.int_scalars:
+            return False
+        for statement in _iter_statements(self.statements):
+            if isinstance(statement, (Loop, If, IntStore, IntScalarUpdate)):
+                return False
+            if isinstance(statement, Store) and isinstance(
+                statement.index, Computed
+            ):
+                return False
+            for expr in _statement_exprs(statement):
+                classic = [True]
+
+                def check(node, classic=classic) -> None:
+                    if isinstance(node, IntExpr):
+                        classic[0] = False
+                    elif isinstance(node, Load) and isinstance(
+                        node.index, Computed
+                    ):
+                        classic[0] = False
+
+                _walk_expr(expr, check)
+                if not classic[0]:
+                    return False
+        return True
+
+    def all_statements(self) -> "list[Statement]":
+        """Every statement in the kernel, flattened across blocks."""
+        return _iter_statements(self.statements)
+
     def referenced_arrays(self) -> set[str]:
         """Names of all arrays the kernel reads or writes."""
         names: set[str] = set()
 
-        def walk(expr: Expr) -> None:
-            if isinstance(expr, Load):
-                names.add(expr.array)
-            elif isinstance(expr, LoadIndirect):
-                names.add(expr.array)
-                names.add(expr.pointer.index_array)
-            elif isinstance(expr, BinOp):
-                walk(expr.lhs)
-                walk(expr.rhs)
+        def visit(node) -> None:
+            if isinstance(node, (Load, IntLoad)):
+                names.add(node.array)
+            elif isinstance(node, LoadIndirect):
+                names.add(node.array)
+                names.add(node.pointer.index_array)
 
-        for statement in self.statements:
-            if isinstance(statement, Store):
+        for statement in self.all_statements():
+            if isinstance(statement, (Store, IntStore)):
                 names.add(statement.array)
                 if isinstance(statement.index, Indirect):
                     names.add(statement.index.index_array)
-                walk(statement.expr)
-            elif isinstance(statement, ScalarUpdate):
-                walk(statement.expr)
+            for expr in _statement_exprs(statement):
+                _walk_expr(expr, visit)
         return names
 
     def max_element_index(self, array: str) -> int:
         """Largest affine element index the kernel can touch in ``array``.
 
-        Indirect accesses are bounded by the index array's contents and
-        are validated by the suite builder instead.
+        Indirect and computed accesses are bounded dynamically (by the
+        index array's contents / the generator's masking) and validated
+        by :func:`validate_kernel` and the reference interpreter.
         """
         worst = -1
 
@@ -255,21 +492,259 @@ class Kernel:
                 return
             worst = max(worst, index.at(self.iterations - 1), index.at(0))
 
-        def walk(expr: Expr) -> None:
-            if isinstance(expr, Load):
-                consider(expr.array, expr.index)
-            elif isinstance(expr, LoadIndirect):
-                consider(expr.pointer.index_array, expr.pointer.index)
-            elif isinstance(expr, BinOp):
-                walk(expr.lhs)
-                walk(expr.rhs)
+        def visit(node) -> None:
+            if isinstance(node, Load):
+                consider(node.array, node.index)
+            elif isinstance(node, LoadIndirect):
+                consider(node.pointer.index_array, node.pointer.index)
 
-        for statement in self.statements:
-            if isinstance(statement, Store):
+        for statement in self.all_statements():
+            if isinstance(statement, (Store, IntStore)):
                 consider(statement.array, statement.index)
                 if isinstance(statement.index, Indirect):
                     consider(statement.index.index_array, statement.index.index)
-                walk(statement.expr)
-            elif isinstance(statement, ScalarUpdate):
-                walk(statement.expr)
+            for expr in _statement_exprs(statement):
+                _walk_expr(expr, visit)
         return worst
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class KernelValidationError(ValueError):
+    """A kernel is malformed.
+
+    The message always names the kernel and — for statement-level
+    problems — the statement's path within the body (e.g.
+    ``statements[2].then[0]``), so a failure in a 100-kernel generated
+    suite points at the exact culprit.
+    """
+
+
+class _Validator:
+    def __init__(self, kernel: Kernel, arrays: dict[str, ArrayDecl]):
+        self.kernel = kernel
+        self.arrays = arrays
+        self.written_int_arrays: set[str] = set()
+
+    def fail(self, path: str, message: str) -> None:
+        raise KernelValidationError(
+            f"kernel '{self.kernel.label}', {path}: {message}"
+        )
+
+    # -- declarations ---------------------------------------------------
+    def check_array(self, path: str, name: str, kind: str) -> ArrayDecl:
+        decl = self.arrays.get(name)
+        if decl is None:
+            self.fail(path, f"references undeclared array '{name}'")
+        if decl.kind != kind:
+            self.fail(
+                path,
+                f"array '{name}' is declared {decl.kind} but used as {kind}",
+            )
+        return decl
+
+    def check_affine(self, path: str, name: str, index: Affine) -> None:
+        decl = self.arrays.get(name)
+        if decl is None:
+            self.fail(path, f"references undeclared array '{name}'")
+        worst = max(index.at(0), index.at(self.kernel.iterations - 1))
+        if worst >= decl.length:
+            self.fail(
+                path,
+                f"affine access {name}[{worst}] out of range "
+                f"(array length {decl.length})",
+            )
+
+    def check_indirect(self, path: str, array: str, pointer: Indirect) -> None:
+        target = self.check_array(path, array, kind="float")
+        index_decl = self.check_array(path, pointer.index_array, kind="int")
+        self.check_affine(path, pointer.index_array, pointer.index)
+        if pointer.index_array in self.written_int_arrays:
+            return  # contents are dynamic; the interpreter bounds-checks
+        used = min(
+            index_decl.length,
+            max(
+                pointer.index.at(0),
+                pointer.index.at(self.kernel.iterations - 1),
+            )
+            + 1,
+        )
+        for value in index_decl.initial_values()[:used]:
+            element = int(value) + pointer.offset
+            if not 0 <= element < target.length:
+                self.fail(
+                    path,
+                    f"out-of-range indirect index: {pointer.index_array} "
+                    f"holds {int(value)}, so {array}[{element}] is outside "
+                    f"the array's {target.length} elements",
+                )
+
+    # -- expressions ----------------------------------------------------
+    def check_int_expr(self, path: str, expr: IntExpr, loop_vars: set[str]):
+        if isinstance(expr, IntConst):
+            return
+        if isinstance(expr, IndexRef):
+            if expr.var not in loop_vars:
+                self.fail(
+                    path,
+                    f"references loop variable '{expr.var}' which is not "
+                    f"in scope (visible: {sorted(loop_vars)})",
+                )
+            return
+        if isinstance(expr, IntScalarRef):
+            if expr.name not in self.kernel.int_scalars:
+                self.fail(
+                    path,
+                    f"references undeclared integer scalar '{expr.name}'",
+                )
+            return
+        if isinstance(expr, IntLoad):
+            self.check_array(path, expr.array, kind="int")
+            self.check_int_expr(path, expr.index, loop_vars)
+            return
+        if isinstance(expr, IntBinOp):
+            self.check_int_expr(path, expr.lhs, loop_vars)
+            self.check_int_expr(path, expr.rhs, loop_vars)
+            return
+        self.fail(path, f"unknown integer expression {expr!r}")
+
+    def check_float_expr(self, path: str, expr: Expr, loop_vars: set[str]):
+        if isinstance(expr, Load):
+            if isinstance(expr.index, Computed):
+                self.check_array(path, expr.array, kind="float")
+                self.check_int_expr(path, expr.index.expr, loop_vars)
+            else:
+                self.check_array(path, expr.array, kind="float")
+                self.check_affine(path, expr.array, expr.index)
+            return
+        if isinstance(expr, LoadIndirect):
+            self.check_indirect(path, expr.array, expr.pointer)
+            return
+        if isinstance(expr, ConstRef):
+            if expr.name not in self.kernel.consts:
+                self.fail(
+                    path, f"references undeclared constant '{expr.name}'"
+                )
+            return
+        if isinstance(expr, ScalarRef):
+            if expr.name not in self.kernel.scalars:
+                self.fail(
+                    path, f"references undeclared scalar '{expr.name}'"
+                )
+            return
+        if isinstance(expr, BinOp):
+            self.check_float_expr(path, expr.lhs, loop_vars)
+            self.check_float_expr(path, expr.rhs, loop_vars)
+            return
+        self.fail(path, f"unknown float expression {expr!r}")
+
+    # -- statements -----------------------------------------------------
+    def check_block(self, prefix: str, statements, loop_vars: set[str]):
+        for position, statement in enumerate(statements):
+            path = f"{prefix}[{position}]"
+            kind = type(statement).__name__
+            if isinstance(statement, Store):
+                where = f"{path} (Store to '{statement.array}')"
+                self.check_array(where, statement.array, kind="float")
+                if isinstance(statement.index, Affine):
+                    self.check_affine(where, statement.array, statement.index)
+                elif isinstance(statement.index, Indirect):
+                    self.check_indirect(where, statement.array, statement.index)
+                elif isinstance(statement.index, Computed):
+                    self.check_int_expr(where, statement.index.expr, loop_vars)
+                else:
+                    self.fail(where, f"unknown index form {statement.index!r}")
+                self.check_float_expr(where, statement.expr, loop_vars)
+            elif isinstance(statement, IntStore):
+                where = f"{path} (IntStore to '{statement.array}')"
+                self.check_array(where, statement.array, kind="int")
+                self.written_int_arrays.add(statement.array)
+                if isinstance(statement.index, Affine):
+                    self.check_affine(where, statement.array, statement.index)
+                elif isinstance(statement.index, Computed):
+                    self.check_int_expr(where, statement.index.expr, loop_vars)
+                else:
+                    self.fail(where, f"unknown index form {statement.index!r}")
+                self.check_int_expr(where, statement.expr, loop_vars)
+            elif isinstance(statement, ScalarUpdate):
+                where = f"{path} (ScalarUpdate of '{statement.name}')"
+                if statement.name not in self.kernel.scalars:
+                    self.fail(
+                        where,
+                        f"updates undeclared scalar '{statement.name}'",
+                    )
+                self.check_float_expr(where, statement.expr, loop_vars)
+            elif isinstance(statement, IntScalarUpdate):
+                where = f"{path} (IntScalarUpdate of '{statement.name}')"
+                if statement.name not in self.kernel.int_scalars:
+                    self.fail(
+                        where,
+                        f"updates undeclared integer scalar '{statement.name}'",
+                    )
+                self.check_int_expr(where, statement.expr, loop_vars)
+            elif isinstance(statement, Loop):
+                where = f"{path} (Loop over '{statement.var}')"
+                if not isinstance(statement.trips, int) or isinstance(
+                    statement.trips, bool
+                ):
+                    self.fail(
+                        where,
+                        f"trip count must be an integer, got "
+                        f"{statement.trips!r}",
+                    )
+                if statement.trips <= 0:
+                    self.fail(
+                        where,
+                        f"trip count must be positive, got {statement.trips}",
+                    )
+                if statement.var in loop_vars:
+                    self.fail(
+                        where,
+                        f"loop variable '{statement.var}' shadows an "
+                        "enclosing loop variable",
+                    )
+                if not statement.body:
+                    self.fail(where, "loop body is empty")
+                self.check_block(
+                    f"{path}.body",
+                    statement.body,
+                    loop_vars | {statement.var},
+                )
+            elif isinstance(statement, If):
+                where = f"{path} (If)"
+                self.check_int_expr(where, statement.cond, loop_vars)
+                if not statement.then and not statement.orelse:
+                    self.fail(where, "both branches are empty")
+                self.check_block(f"{path}.then", statement.then, loop_vars)
+                self.check_block(f"{path}.orelse", statement.orelse, loop_vars)
+            else:
+                self.fail(path, f"unknown statement type {kind}")
+
+
+def validate_kernel(kernel: Kernel, arrays) -> None:
+    """Validate ``kernel`` against ``arrays`` (a list of declarations
+    or a name → :class:`ArrayDecl` mapping).
+
+    Raises :class:`KernelValidationError` — a :class:`ValueError`
+    subclass whose message names the kernel and the offending statement
+    — for undeclared arrays/constants/scalars, unknown loop variables,
+    zero or negative trip counts, empty bodies, out-of-range affine
+    accesses, and statically out-of-range indirect indices.
+    """
+    if not isinstance(arrays, dict):
+        arrays = {decl.name: decl for decl in arrays}
+    overlap = set(kernel.scalars) & set(kernel.int_scalars)
+    if overlap:
+        raise KernelValidationError(
+            f"kernel '{kernel.label}', declarations: names "
+            f"{sorted(overlap)} are both float and integer scalars"
+        )
+    validator = _Validator(kernel, arrays)
+    # First pass records which int arrays the kernel writes (their
+    # contents become dynamic, so indirect accesses through them are
+    # bounds-checked by the interpreter instead of statically).
+    for statement in kernel.all_statements():
+        if isinstance(statement, IntStore):
+            validator.written_int_arrays.add(statement.array)
+    validator.check_block("statements", kernel.statements, {OUTER_LOOP_VAR})

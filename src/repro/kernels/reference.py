@@ -1,14 +1,17 @@
 """A float32-exact reference interpreter for the kernel DSL.
 
 Executes kernels directly on Python lists, applying *exactly* the same
-arithmetic as the simulated FPU (:func:`repro.memory.fpu.float32_op` on
-bit patterns), in the same statement order.  The test suite runs the
-compiled PIPE program and this interpreter over identical initial data
-and requires **bit-identical** array and scalar results — any divergence
-means the compiler, the simulator, or the interpreter is wrong.
+arithmetic as the simulated machine — :func:`repro.memory.fpu.float32_op`
+on bit patterns for the FPU, and 32-bit wrap-around ALU semantics for
+the integer expressions — in the same statement order.  The test suite
+runs the compiled PIPE program and this interpreter over identical
+initial data and requires **bit-identical** array and scalar results —
+any divergence means the compiler, the simulator, or the interpreter is
+wrong.
 
-The interpreter is also the tool that validates indirect index bounds
-before a suite is assembled.
+The interpreter is also the tool that validates index bounds that
+cannot be proven statically (computed indices, indirect accesses
+through written index arrays) before a suite is trusted.
 """
 
 from __future__ import annotations
@@ -17,20 +20,39 @@ from ..memory.fpu import bits_to_float, float32_op, float_to_bits
 from .dsl import (
     Affine,
     BinOp,
+    Computed,
     ConstRef,
     Expr,
+    If,
+    IndexRef,
     Indirect,
+    IntBinOp,
+    IntConst,
+    IntExpr,
+    IntLoad,
+    IntScalarRef,
+    IntScalarUpdate,
+    IntStore,
     Kernel,
     Load,
     LoadIndirect,
+    Loop,
+    OUTER_LOOP_VAR,
     ScalarRef,
     ScalarUpdate,
     Store,
 )
 
-__all__ = ["f32", "run_kernel_reference", "run_suite_reference"]
+__all__ = [
+    "f32",
+    "int32",
+    "run_kernel_reference",
+    "run_suite_reference",
+]
 
 _OP_NAMES = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+
+_MASK32 = 0xFFFFFFFF
 
 
 def f32(value: float) -> float:
@@ -38,9 +60,46 @@ def f32(value: float) -> float:
     return bits_to_float(float_to_bits(value))
 
 
+def int32(value: int) -> int:
+    """Wrap any integer into unsigned 32-bit representation."""
+    return value & _MASK32
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
 def _binop(op: str, lhs: float, rhs: float) -> float:
     bits = float32_op(_OP_NAMES[op], float_to_bits(lhs), float_to_bits(rhs))
     return bits_to_float(bits)
+
+
+def _int_binop(op: str, lhs: int, rhs: int) -> int:
+    """Exactly :func:`repro.cpu.alu.alu_operate` for the DSL's ops."""
+    if op == "+":
+        return int32(lhs + rhs)
+    if op == "-":
+        return int32(lhs - rhs)
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op == "<<":
+        return int32(lhs << (rhs & 31))
+    if op == ">>":
+        return int32(lhs) >> (rhs & 31)
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(_signed(lhs) < _signed(rhs))
+    if op == "<=":
+        return int(_signed(lhs) <= _signed(rhs))
+    raise AssertionError(f"unhandled integer op {op!r}")  # pragma: no cover
 
 
 class _Context:
@@ -48,11 +107,26 @@ class _Context:
         self.arrays = arrays
         self.consts = {name: f32(value) for name, value in kernel.consts.items()}
         self.scalars = {name: f32(value) for name, value in kernel.scalars.items()}
-        self.i = 0
+        self.int_scalars = {
+            name: int32(value) for name, value in kernel.int_scalars.items()
+        }
+        self.loop_vars: dict[str, int] = {OUTER_LOOP_VAR: 0}
 
-    def resolve_index(self, array: str, index: Affine | Indirect) -> int:
+    @property
+    def i(self) -> int:
+        return self.loop_vars[OUTER_LOOP_VAR]
+
+    @i.setter
+    def i(self, value: int) -> None:
+        self.loop_vars[OUTER_LOOP_VAR] = value
+
+    def resolve_index(
+        self, array: str, index: Affine | Indirect | Computed
+    ) -> int:
         if isinstance(index, Affine):
             element = index.at(self.i)
+        elif isinstance(index, Computed):
+            element = self.evaluate_int(index.expr)
         else:
             pointer_base = self.arrays[index.index_array][index.index.at(self.i)]
             element = int(pointer_base) + index.offset
@@ -62,6 +136,23 @@ class _Context:
                 f"(length {len(self.arrays[array])}, i={self.i})"
             )
         return element
+
+    # ------------------------------------------------------------------
+    def evaluate_int(self, expr: IntExpr) -> int:
+        if isinstance(expr, IntConst):
+            return int32(expr.value)
+        if isinstance(expr, IndexRef):
+            return self.loop_vars[expr.var]
+        if isinstance(expr, IntScalarRef):
+            return self.int_scalars[expr.name]
+        if isinstance(expr, IntLoad):
+            element = self.resolve_index(expr.array, Computed(expr.index))
+            return int32(int(self.arrays[expr.array][element]))
+        if isinstance(expr, IntBinOp):
+            lhs = self.evaluate_int(expr.lhs)
+            rhs = self.evaluate_int(expr.rhs)
+            return _int_binop(expr.op, lhs, rhs)
+        raise AssertionError(f"unhandled int expression {expr!r}")
 
     def evaluate(self, expr: Expr) -> float:
         if isinstance(expr, Load):
@@ -80,26 +171,57 @@ class _Context:
             return _binop(expr.op, lhs, rhs)
         raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
 
+    # ------------------------------------------------------------------
+    def execute_block(self, statements) -> None:
+        for statement in statements:
+            self.execute(statement)
+
+    def execute(self, statement) -> None:
+        if isinstance(statement, Store):
+            value = self.evaluate(statement.expr)
+            element = self.resolve_index(statement.array, statement.index)
+            self.arrays[statement.array][element] = value
+        elif isinstance(statement, IntStore):
+            value = self.evaluate_int(statement.expr)
+            element = self.resolve_index(statement.array, statement.index)
+            self.arrays[statement.array][element] = value
+        elif isinstance(statement, ScalarUpdate):
+            self.scalars[statement.name] = self.evaluate(statement.expr)
+        elif isinstance(statement, IntScalarUpdate):
+            self.int_scalars[statement.name] = self.evaluate_int(statement.expr)
+        elif isinstance(statement, Loop):
+            outer = self.loop_vars.get(statement.var)
+            for trip in range(statement.trips):
+                self.loop_vars[statement.var] = trip
+                self.execute_block(statement.body)
+            if outer is None:
+                del self.loop_vars[statement.var]
+            else:  # pragma: no cover - shadowing is rejected by validation
+                self.loop_vars[statement.var] = outer
+        elif isinstance(statement, If):
+            if self.evaluate_int(statement.cond) != 0:
+                self.execute_block(statement.then)
+            else:
+                self.execute_block(statement.orelse)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled statement {statement!r}")
+
 
 def run_kernel_reference(kernel: Kernel, arrays: dict[str, list]) -> dict[str, float]:
     """Run one kernel in place over ``arrays``; returns final scalars.
 
     ``arrays`` maps array names to mutable lists.  Float arrays must
-    already contain float32-rounded values (use :func:`f32`).
+    already contain float32-rounded values (use :func:`f32`).  The
+    returned mapping holds the kernel's float scalars followed by its
+    integer scalars (names are disjoint by validation).
     """
     context = _Context(kernel, arrays)
     for i in range(kernel.iterations):
         context.i = i
-        for statement in kernel.statements:
-            if isinstance(statement, Store):
-                value = context.evaluate(statement.expr)
-                element = context.resolve_index(statement.array, statement.index)
-                arrays[statement.array][element] = value
-            elif isinstance(statement, ScalarUpdate):
-                context.scalars[statement.name] = context.evaluate(statement.expr)
-            else:  # pragma: no cover
-                raise AssertionError(f"unhandled statement {statement!r}")
-    return dict(context.scalars)
+        context.execute_block(kernel.statements)
+    results: dict[str, float] = dict(context.scalars)
+    results.update(context.int_scalars)
+    return results
 
 
 def run_suite_reference(

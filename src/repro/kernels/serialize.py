@@ -1,0 +1,355 @@
+"""JSON round-trip for kernels and array declarations.
+
+Minimized fuzz reproducers are committed to ``tests/corpus/`` as JSON
+files; this module is the single definition of that format.  Every DSL
+node serializes to ``{"t": <type name>, ...fields}``, so a corpus file
+is readable in a diff and stable across refactors that don't change the
+DSL itself.
+
+The format is strict on load: unknown node types, missing fields, and
+malformed values raise :class:`SerializeError` with the offending path,
+because a corpus entry that silently deserializes wrongly would pin the
+wrong regression.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .dsl import (
+    Affine,
+    ArrayDecl,
+    BinOp,
+    Computed,
+    ConstRef,
+    Expr,
+    If,
+    IndexRef,
+    Indirect,
+    IntBinOp,
+    IntConst,
+    IntExpr,
+    IntLoad,
+    IntScalarRef,
+    IntScalarUpdate,
+    IntStore,
+    Kernel,
+    Load,
+    LoadIndirect,
+    Loop,
+    ScalarRef,
+    ScalarUpdate,
+    Statement,
+    Store,
+)
+
+__all__ = [
+    "SerializeError",
+    "kernel_from_dict",
+    "kernel_to_dict",
+    "workload_from_json",
+    "workload_to_json",
+]
+
+FORMAT_VERSION = 1
+
+
+class SerializeError(ValueError):
+    """A corpus document is malformed."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _encode(node) -> dict:
+    if isinstance(node, Affine):
+        return {"t": "Affine", "mult": node.mult, "offset": node.offset}
+    if isinstance(node, Indirect):
+        return {
+            "t": "Indirect",
+            "index_array": node.index_array,
+            "index": _encode(node.index),
+            "offset": node.offset,
+        }
+    if isinstance(node, Computed):
+        return {"t": "Computed", "expr": _encode(node.expr)}
+    if isinstance(node, IntConst):
+        return {"t": "IntConst", "value": node.value}
+    if isinstance(node, IndexRef):
+        return {"t": "IndexRef", "var": node.var}
+    if isinstance(node, IntScalarRef):
+        return {"t": "IntScalarRef", "name": node.name}
+    if isinstance(node, IntLoad):
+        return {"t": "IntLoad", "array": node.array, "index": _encode(node.index)}
+    if isinstance(node, IntBinOp):
+        return {
+            "t": "IntBinOp",
+            "op": node.op,
+            "lhs": _encode(node.lhs),
+            "rhs": _encode(node.rhs),
+        }
+    if isinstance(node, Load):
+        return {"t": "Load", "array": node.array, "index": _encode(node.index)}
+    if isinstance(node, LoadIndirect):
+        return {
+            "t": "LoadIndirect",
+            "array": node.array,
+            "pointer": _encode(node.pointer),
+        }
+    if isinstance(node, ConstRef):
+        return {"t": "ConstRef", "name": node.name}
+    if isinstance(node, ScalarRef):
+        return {"t": "ScalarRef", "name": node.name}
+    if isinstance(node, BinOp):
+        return {
+            "t": "BinOp",
+            "op": node.op,
+            "lhs": _encode(node.lhs),
+            "rhs": _encode(node.rhs),
+        }
+    if isinstance(node, Store):
+        return {
+            "t": "Store",
+            "array": node.array,
+            "index": _encode(node.index),
+            "expr": _encode(node.expr),
+        }
+    if isinstance(node, IntStore):
+        return {
+            "t": "IntStore",
+            "array": node.array,
+            "index": _encode(node.index),
+            "expr": _encode(node.expr),
+        }
+    if isinstance(node, ScalarUpdate):
+        return {"t": "ScalarUpdate", "name": node.name, "expr": _encode(node.expr)}
+    if isinstance(node, IntScalarUpdate):
+        return {
+            "t": "IntScalarUpdate",
+            "name": node.name,
+            "expr": _encode(node.expr),
+        }
+    if isinstance(node, Loop):
+        return {
+            "t": "Loop",
+            "var": node.var,
+            "trips": node.trips,
+            "body": [_encode(s) for s in node.body],
+        }
+    if isinstance(node, If):
+        return {
+            "t": "If",
+            "cond": _encode(node.cond),
+            "then": [_encode(s) for s in node.then],
+            "orelse": [_encode(s) for s in node.orelse],
+        }
+    raise SerializeError(f"cannot serialize {type(node).__name__}")
+
+
+def kernel_to_dict(kernel: Kernel) -> dict:
+    return {
+        "number": kernel.number,
+        "name": kernel.name,
+        "tag": kernel.tag,
+        "iterations": kernel.iterations,
+        "consts": dict(kernel.consts),
+        "scalars": dict(kernel.scalars),
+        "int_scalars": dict(kernel.int_scalars),
+        "statements": [_encode(s) for s in kernel.statements],
+    }
+
+
+def _array_to_dict(decl: ArrayDecl) -> dict:
+    return {
+        "name": decl.name,
+        "length": decl.length,
+        "kind": decl.kind,
+        "init": list(decl.init),
+    }
+
+
+def workload_to_json(
+    kernel: Kernel,
+    arrays,
+    *,
+    seed: int | None = None,
+    note: str = "",
+) -> str:
+    """Serialize one workload (kernel + arrays) to pretty-printed JSON."""
+    document = {
+        "format": FORMAT_VERSION,
+        "seed": seed,
+        "note": note,
+        "kernel": kernel_to_dict(kernel),
+        "arrays": [_array_to_dict(decl) for decl in arrays],
+    }
+    return json.dumps(document, indent=1, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def _need(raw: dict, key: str, path: str):
+    if key not in raw:
+        raise SerializeError(f"{path}: missing field {key!r}")
+    return raw[key]
+
+
+def _decode(raw, path: str):
+    if not isinstance(raw, dict):
+        raise SerializeError(f"{path}: expected an object, got {type(raw).__name__}")
+    kind = _need(raw, "t", path)
+    try:
+        if kind == "Affine":
+            return Affine(_need(raw, "mult", path), _need(raw, "offset", path))
+        if kind == "Indirect":
+            return Indirect(
+                _need(raw, "index_array", path),
+                _decode(_need(raw, "index", path), f"{path}.index"),
+                _need(raw, "offset", path),
+            )
+        if kind == "Computed":
+            return Computed(_decode(_need(raw, "expr", path), f"{path}.expr"))
+        if kind == "IntConst":
+            return IntConst(_need(raw, "value", path))
+        if kind == "IndexRef":
+            return IndexRef(_need(raw, "var", path))
+        if kind == "IntScalarRef":
+            return IntScalarRef(_need(raw, "name", path))
+        if kind == "IntLoad":
+            return IntLoad(
+                _need(raw, "array", path),
+                _decode(_need(raw, "index", path), f"{path}.index"),
+            )
+        if kind == "IntBinOp":
+            return IntBinOp(
+                _need(raw, "op", path),
+                _decode(_need(raw, "lhs", path), f"{path}.lhs"),
+                _decode(_need(raw, "rhs", path), f"{path}.rhs"),
+            )
+        if kind == "Load":
+            return Load(
+                _need(raw, "array", path),
+                _decode(_need(raw, "index", path), f"{path}.index"),
+            )
+        if kind == "LoadIndirect":
+            return LoadIndirect(
+                _need(raw, "array", path),
+                _decode(_need(raw, "pointer", path), f"{path}.pointer"),
+            )
+        if kind == "ConstRef":
+            return ConstRef(_need(raw, "name", path))
+        if kind == "ScalarRef":
+            return ScalarRef(_need(raw, "name", path))
+        if kind == "BinOp":
+            return BinOp(
+                _need(raw, "op", path),
+                _decode(_need(raw, "lhs", path), f"{path}.lhs"),
+                _decode(_need(raw, "rhs", path), f"{path}.rhs"),
+            )
+        if kind == "Store":
+            return Store(
+                _need(raw, "array", path),
+                _decode(_need(raw, "index", path), f"{path}.index"),
+                _decode(_need(raw, "expr", path), f"{path}.expr"),
+            )
+        if kind == "IntStore":
+            return IntStore(
+                _need(raw, "array", path),
+                _decode(_need(raw, "index", path), f"{path}.index"),
+                _decode(_need(raw, "expr", path), f"{path}.expr"),
+            )
+        if kind == "ScalarUpdate":
+            return ScalarUpdate(
+                _need(raw, "name", path),
+                _decode(_need(raw, "expr", path), f"{path}.expr"),
+            )
+        if kind == "IntScalarUpdate":
+            return IntScalarUpdate(
+                _need(raw, "name", path),
+                _decode(_need(raw, "expr", path), f"{path}.expr"),
+            )
+        if kind == "Loop":
+            return Loop(
+                _need(raw, "var", path),
+                _need(raw, "trips", path),
+                tuple(
+                    _decode(item, f"{path}.body[{n}]")
+                    for n, item in enumerate(_need(raw, "body", path))
+                ),
+            )
+        if kind == "If":
+            return If(
+                _decode(_need(raw, "cond", path), f"{path}.cond"),
+                tuple(
+                    _decode(item, f"{path}.then[{n}]")
+                    for n, item in enumerate(_need(raw, "then", path))
+                ),
+                tuple(
+                    _decode(item, f"{path}.orelse[{n}]")
+                    for n, item in enumerate(_need(raw, "orelse", path))
+                ),
+            )
+    except SerializeError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise SerializeError(f"{path}: {error}") from error
+    raise SerializeError(f"{path}: unknown node type {kind!r}")
+
+
+def kernel_from_dict(raw: dict, path: str = "kernel") -> Kernel:
+    try:
+        return Kernel(
+            number=_need(raw, "number", path),
+            name=_need(raw, "name", path),
+            tag=raw.get("tag"),
+            iterations=_need(raw, "iterations", path),
+            consts=dict(_need(raw, "consts", path)),
+            scalars=dict(_need(raw, "scalars", path)),
+            int_scalars=dict(_need(raw, "int_scalars", path)),
+            statements=tuple(
+                _decode(item, f"{path}.statements[{n}]")
+                for n, item in enumerate(_need(raw, "statements", path))
+            ),
+        )
+    except SerializeError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise SerializeError(f"{path}: {error}") from error
+
+
+def workload_from_json(text: str) -> tuple[Kernel, list[ArrayDecl], dict]:
+    """Parse a corpus document → (kernel, arrays, metadata).
+
+    ``metadata`` carries the document's ``seed`` and ``note`` fields.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializeError(f"not valid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise SerializeError("top level must be an object")
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise SerializeError(
+            f"unsupported corpus format {version!r} (expected {FORMAT_VERSION})"
+        )
+    kernel = kernel_from_dict(_need(document, "kernel", "document"))
+    arrays = []
+    for n, raw in enumerate(_need(document, "arrays", "document")):
+        path = f"arrays[{n}]"
+        try:
+            arrays.append(
+                ArrayDecl(
+                    name=_need(raw, "name", path),
+                    length=_need(raw, "length", path),
+                    kind=_need(raw, "kind", path),
+                    init=tuple(_need(raw, "init", path)),
+                )
+            )
+        except SerializeError:
+            raise
+        except (TypeError, ValueError) as error:
+            raise SerializeError(f"{path}: {error}") from error
+    metadata = {"seed": document.get("seed"), "note": document.get("note", "")}
+    return kernel, arrays, metadata

@@ -1,4 +1,4 @@
-"""Build the 14-loop benchmark program (the paper's workload).
+"""Build kernel-suite programs (the paper's 14-loop workload and beyond).
 
 Section 5: "The 14 loops were compiled as one large program, so that
 each loop would run until finished and then fall through to the next
@@ -6,11 +6,15 @@ loop.  This has the effect of flushing the cache every few thousand
 cycles, since it is guaranteed that at the beginning of each new loop no
 part of it will be in the cache."
 
-:func:`build_livermore_suite` compiles every kernel, lays them out back
-to back, appends the shared data segment, assembles the result, and
-returns the program together with the metadata the analysis layer needs
-(inner-loop markers for Table I, per-kernel regions for instruction
-accounting, the kernel/array definitions for reference validation).
+:func:`build_kernel_suite` is the general builder: it validates every
+kernel against the shared array declarations (with named-kernel,
+named-statement diagnostics), compiles each one, lays them out back to
+back, appends the shared data segment, assembles the result, and returns
+the program together with the metadata the analysis layer needs
+(inner-loop markers, per-kernel regions, the kernel/array definitions
+for reference validation).  :func:`build_livermore_suite` builds the
+paper's fixed 14-loop benchmark on top of it; generated fuzz workloads
+(:mod:`repro.kernels.generate`) go through the same path.
 """
 
 from __future__ import annotations
@@ -23,18 +27,25 @@ from ..asm.program import Program
 from ..isa.encoding import InstructionFormat
 from ..memory.fpu import FPU_BASE
 from .codegen import CompiledKernel, compile_kernel
-from .dsl import ArrayDecl, Kernel
+from .dsl import ArrayDecl, Kernel, validate_kernel
 from .loops import make_kernels, make_shared_arrays
 from .reference import f32
 
-__all__ = ["LivermoreSuite", "build_livermore_program", "build_livermore_suite"]
+__all__ = [
+    "KernelSuite",
+    "LivermoreSuite",
+    "build_kernel_suite",
+    "build_livermore_program",
+    "build_livermore_suite",
+    "cached_livermore_suite",
+]
 
 _FLOATS_PER_LINE = 8
 
 
 @dataclass
-class LivermoreSuite:
-    """The assembled benchmark plus everything needed to analyse it."""
+class KernelSuite:
+    """An assembled kernel program plus everything needed to analyse it."""
 
     program: Program
     kernels: list[Kernel]
@@ -79,6 +90,15 @@ class LivermoreSuite:
     def scalar_result_address(self, kernel_label: str, position: int = 0) -> int:
         return self.program.symbol(f"{kernel_label}.result") + 4 * position
 
+    def int_scalar_result_address(
+        self, kernel_label: str, position: int = 0
+    ) -> int:
+        return self.program.symbol(f"{kernel_label}.iresult") + 4 * position
+
+
+#: Historical name — the Livermore benchmark was the only suite once.
+LivermoreSuite = KernelSuite
+
 
 def _emit_array(decl: ArrayDecl) -> list[str]:
     lines = ["        .align 4", f"{decl.name}:"]
@@ -94,45 +114,36 @@ def _emit_array(decl: ArrayDecl) -> list[str]:
     return lines
 
 
-def build_livermore_suite(
+def build_kernel_suite(
+    kernels: list[Kernel],
+    arrays: list[ArrayDecl],
     fmt: InstructionFormat = InstructionFormat.FIXED32,
-    scale: float = 1.0,
-    seed: int = 20260707,
-    loops: tuple[int, ...] | None = None,
-) -> LivermoreSuite:
-    """Compile, lay out, and assemble the 14-loop benchmark.
+    source_name: str = "kernels.s",
+    banner: str = "Kernel suite for the PIPE-like processor.",
+) -> KernelSuite:
+    """Validate, compile, lay out, and assemble a list of kernels.
 
-    ``loops`` restricts the program to the named kernel numbers (e.g.
-    ``(3,)`` builds a single-loop program — handy for compact traces);
-    ``None`` keeps all 14.
+    The kernels run back to back over the shared ``arrays`` data segment
+    — aliasing between kernels is intentional (the Livermore program
+    depends on it, and generated suites inherit the shape).  Raises
+    :class:`~repro.kernels.dsl.KernelValidationError` with a
+    named-kernel, named-statement message for malformed kernels, and
+    ``ValueError`` for layout problems (duplicate labels, image
+    overflowing into the FPU window).
     """
-    kernels = make_kernels(scale=scale)
-    if loops is not None:
-        wanted = {f"ll{number}" for number in loops}
-        known = {kernel.label for kernel in kernels}
-        missing = wanted - known
-        if missing:
-            raise ValueError(f"unknown Livermore loop(s): {sorted(missing)}")
-        kernels = [kernel for kernel in kernels if kernel.label in wanted]
-    arrays = make_shared_arrays(seed=seed)
-    lengths = {decl.name: decl.length for decl in arrays}
-
-    # Static bounds validation for affine accesses.
+    if not kernels:
+        raise ValueError("a kernel suite needs at least one kernel")
+    seen: set[str] = set()
     for kernel in kernels:
-        for name in kernel.referenced_arrays():
-            if name not in lengths:
-                raise ValueError(f"{kernel.label} references unknown array {name!r}")
-            worst = kernel.max_element_index(name)
-            if worst >= lengths[name]:
-                raise ValueError(
-                    f"{kernel.label} touches {name}[{worst}] but the array "
-                    f"has only {lengths[name]} elements"
-                )
+        if kernel.label in seen:
+            raise ValueError(f"duplicate kernel label '{kernel.label}'")
+        seen.add(kernel.label)
+        validate_kernel(kernel, arrays)
 
     compiled = [compile_kernel(kernel) for kernel in kernels]
 
     lines: list[str] = [
-        "; Livermore Loops 1-14 for the PIPE-like processor.",
+        f"; {banner}",
         "; Generated by repro.kernels.suite — do not edit.",
         "        .entry start",
         "start:",
@@ -152,18 +163,48 @@ def build_livermore_suite(
         lines.extend(_emit_array(decl))
     source = "\n".join(lines) + "\n"
 
-    program = assemble(source, fmt=fmt, source_name="livermore.s")
+    program = assemble(source, fmt=fmt, source_name=source_name)
     if program.memory_size > FPU_BASE:
         raise ValueError(
-            f"benchmark image ({program.memory_size} bytes) collides with "
+            f"suite image ({program.memory_size} bytes) collides with "
             f"the FPU window at {FPU_BASE:#x}; shrink the arrays"
         )
-    return LivermoreSuite(
+    return KernelSuite(
         program=program,
-        kernels=kernels,
-        arrays=arrays,
+        kernels=list(kernels),
+        arrays=list(arrays),
         compiled=compiled,
         source=source,
+    )
+
+
+def build_livermore_suite(
+    fmt: InstructionFormat = InstructionFormat.FIXED32,
+    scale: float = 1.0,
+    seed: int = 20260707,
+    loops: tuple[int, ...] | None = None,
+) -> KernelSuite:
+    """Compile, lay out, and assemble the 14-loop benchmark.
+
+    ``loops`` restricts the program to the named kernel numbers (e.g.
+    ``(3,)`` builds a single-loop program — handy for compact traces);
+    ``None`` keeps all 14.
+    """
+    kernels = make_kernels(scale=scale)
+    if loops is not None:
+        wanted = {f"ll{number}" for number in loops}
+        known = {kernel.label for kernel in kernels}
+        missing = wanted - known
+        if missing:
+            raise ValueError(f"unknown Livermore loop(s): {sorted(missing)}")
+        kernels = [kernel for kernel in kernels if kernel.label in wanted]
+    arrays = make_shared_arrays(seed=seed)
+    return build_kernel_suite(
+        kernels,
+        arrays,
+        fmt=fmt,
+        source_name="livermore.s",
+        banner="Livermore Loops 1-14 for the PIPE-like processor.",
     )
 
 
@@ -173,7 +214,7 @@ def _cached_suite(
     scale: float,
     seed: int,
     loops: tuple[int, ...] | None = None,
-) -> LivermoreSuite:
+) -> KernelSuite:
     return build_livermore_suite(fmt=fmt, scale=scale, seed=seed, loops=loops)
 
 
@@ -196,6 +237,6 @@ def cached_livermore_suite(
     scale: float = 1.0,
     seed: int = 20260707,
     loops: tuple[int, ...] | None = None,
-) -> LivermoreSuite:
+) -> KernelSuite:
     """Cached variant of :func:`build_livermore_suite` for tests/benches."""
     return _cached_suite(fmt, scale, seed, loops)

@@ -1,0 +1,427 @@
+"""Property tests for the generative workload layer.
+
+Three guarantees, over seeded samples rather than hand-picked kernels:
+
+* the generator is a pure function of (seed, budget) — byte-identical
+  kernels on every call;
+* every generated kernel compiles, and the compiled program's final
+  memory/scalar state is **bit-identical** to the float32-exact
+  reference interpreter;
+* malformed kernels are rejected by the validator with messages that
+  name the kernel and the offending statement.
+"""
+
+import struct
+
+import pytest
+
+from repro.cpu.functional import FunctionalSimulator
+from repro.kernels.codegen import CompileError, compile_kernel
+from repro.kernels.dsl import (
+    Affine,
+    ArrayDecl,
+    Computed,
+    ConstRef,
+    If,
+    IndexRef,
+    Indirect,
+    IntBinOp,
+    IntConst,
+    IntLoad,
+    IntScalarRef,
+    IntScalarUpdate,
+    Kernel,
+    KernelValidationError,
+    Load,
+    LoadIndirect,
+    Loop,
+    ScalarUpdate,
+    Store,
+    validate_kernel,
+)
+from repro.kernels.generate import (
+    BUDGETS,
+    HashRand,
+    ShapeBudget,
+    generate_workload,
+)
+from repro.kernels.reference import run_kernel_reference
+from repro.kernels.serialize import (
+    SerializeError,
+    workload_from_json,
+    workload_to_json,
+)
+from repro.kernels.suite import build_kernel_suite
+
+#: Seeds for the per-test sample.  Small on purpose: the fuzz CLI and
+#: the CI fuzz job sweep wide ranges; tier-1 pins a representative slice.
+SEEDS = (0, 1, 2, 3, 11, 47, 101, 2026)
+
+
+# ----------------------------------------------------------------------
+# HashRand
+# ----------------------------------------------------------------------
+class TestHashRand:
+    def test_deterministic_stream(self):
+        a = HashRand(42)
+        b = HashRand(42)
+        assert [a.next_u64() for _ in range(10)] == [
+            b.next_u64() for _ in range(10)
+        ]
+
+    def test_different_seeds_diverge(self):
+        assert HashRand(1).next_u64() != HashRand(2).next_u64()
+
+    def test_randint_bounds(self):
+        rand = HashRand(7)
+        values = {rand.randint(3, 9) for _ in range(200)}
+        assert values == set(range(3, 10))
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError, match="empty range"):
+            HashRand(0).randint(5, 4)
+
+    def test_f32_small_is_exact_float32(self):
+        rand = HashRand(3)
+        for _ in range(50):
+            value = rand.f32_small()
+            assert struct.unpack("<f", struct.pack("<f", value))[0] == value
+
+
+# ----------------------------------------------------------------------
+# Generator determinism and well-formedness
+# ----------------------------------------------------------------------
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_same_workload(self, seed):
+        first = generate_workload(seed, "tiny")
+        second = generate_workload(seed, "tiny")
+        assert first == second
+
+    def test_budgets_are_independent_streams(self):
+        tiny = generate_workload(5, "tiny")
+        default = generate_workload(5, "default")
+        assert tiny.budget == "tiny"
+        assert default.budget == "default"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_kernels_validate_and_compile(self, seed):
+        workload = generate_workload(seed, "tiny")
+        validate_kernel(workload.kernel, list(workload.arrays))
+        compiled = compile_kernel(workload.kernel)
+        assert compiled.body_instruction_count > 0
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(ValueError, match="unknown budget"):
+            generate_workload(0, "no-such-budget")
+
+    def test_budget_requires_power_of_two_arrays(self):
+        with pytest.raises(ValueError, match="not a power of two"):
+            ShapeBudget(name="bad", float_array_length=48)
+
+    def test_generated_kernels_are_not_classic(self):
+        # The extended feature mix must actually exercise the
+        # structured compiler, not collapse into the Livermore subset.
+        structured = sum(
+            0 if generate_workload(seed, "tiny").kernel.is_classic else 1
+            for seed in SEEDS
+        )
+        assert structured == len(SEEDS)
+
+
+class TestCodegenReferenceBitIdentity:
+    """Compiled program vs interpreter, bit for bit, per seed."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_kernel_bit_identical(self, seed):
+        workload = generate_workload(seed, "tiny")
+        kernel = workload.kernel
+        suite = build_kernel_suite(
+            [kernel], list(workload.arrays), source_name=f"gen{seed}.s"
+        )
+        reference_arrays = suite.initial_reference_arrays()
+        scalars = run_kernel_reference(kernel, reference_arrays)
+
+        simulator = FunctionalSimulator(suite.program, max_steps=5_000_000)
+        simulator.run()
+        memory = simulator.memory
+
+        for decl in suite.arrays:
+            base = suite.array_base(decl.name)
+            for position, expected in enumerate(reference_arrays[decl.name]):
+                raw = bytes(memory[base + 4 * position : base + 4 * position + 4])
+                if decl.kind == "float":
+                    want = struct.pack("<f", expected)
+                else:
+                    want = struct.pack("<I", int(expected) & 0xFFFFFFFF)
+                assert raw == want, f"{decl.name}[{position}] diverged"
+        for position, name in enumerate(kernel.scalars):
+            address = suite.scalar_result_address(kernel.label, position)
+            assert bytes(memory[address : address + 4]) == struct.pack(
+                "<f", scalars[name]
+            ), f"scalar {name} diverged"
+        for position, name in enumerate(kernel.int_scalars):
+            address = suite.int_scalar_result_address(kernel.label, position)
+            assert bytes(memory[address : address + 4]) == struct.pack(
+                "<I", scalars[name] & 0xFFFFFFFF
+            ), f"int scalar {name} diverged"
+
+
+# ----------------------------------------------------------------------
+# Validator diagnostics: named kernel, named statement
+# ----------------------------------------------------------------------
+_ARRAYS = [
+    ArrayDecl("x", 32, "float"),
+    ArrayDecl("ix", 8, "int", (1, 2, 3)),
+]
+
+
+def _kernel(statements, **kwargs) -> Kernel:
+    defaults = dict(number=0, name="probe", iterations=4, tag="probe")
+    defaults.update(kwargs)
+    return Kernel(statements=tuple(statements), **defaults)
+
+
+class TestValidatorDiagnostics:
+    def test_undeclared_array_names_kernel_and_statement(self):
+        kernel = _kernel(
+            [Store("zz", Affine(1, 0), Load("x", Affine(1, 0)))]
+        )
+        with pytest.raises(
+            KernelValidationError,
+            match=r"kernel 'probe', statements\[0\] \(Store to 'zz'\): "
+            r"references undeclared array 'zz'",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_undeclared_constant_named(self):
+        kernel = _kernel([Store("x", Affine(1, 0), ConstRef("missing"))])
+        with pytest.raises(
+            KernelValidationError,
+            match="references undeclared constant 'missing'",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_undeclared_scalar_named(self):
+        kernel = _kernel([ScalarUpdate("phantom", Load("x", Affine(1, 0)))])
+        with pytest.raises(
+            KernelValidationError,
+            match="updates undeclared scalar 'phantom'",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_zero_trip_count_rejected(self):
+        kernel = _kernel(
+            [
+                Loop(
+                    "j",
+                    0,
+                    (Store("x", Affine(1, 0), Load("x", Affine(1, 0))),),
+                )
+            ]
+        )
+        with pytest.raises(
+            KernelValidationError,
+            match=r"statements\[0\] \(Loop over 'j'\): trip count must be "
+            r"positive, got 0",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_negative_trip_count_rejected(self):
+        kernel = _kernel(
+            [
+                Loop(
+                    "j",
+                    -3,
+                    (Store("x", Affine(1, 0), Load("x", Affine(1, 0))),),
+                )
+            ]
+        )
+        with pytest.raises(
+            KernelValidationError, match="trip count must be positive, got -3"
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_shadowed_loop_variable_rejected(self):
+        inner = Loop("i", 2, (Store("x", Affine(1, 0), Load("x", Affine(1, 0))),))
+        kernel = _kernel([inner])
+        with pytest.raises(
+            KernelValidationError, match="shadows an enclosing loop variable"
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_out_of_scope_loop_variable_rejected(self):
+        kernel = _kernel(
+            [Store("x", Affine(1, 0), Load("x", Computed(IndexRef("never"))))]
+        )
+        with pytest.raises(
+            KernelValidationError,
+            match="references loop variable 'never' which is not in scope",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_statement_path_reaches_into_nested_blocks(self):
+        kernel = _kernel(
+            [
+                Loop(
+                    "j",
+                    2,
+                    (
+                        If(
+                            IntBinOp("<", IndexRef("j"), IntConst(1)),
+                            (ScalarUpdate("ghost", Load("x", Affine(1, 0))),),
+                        ),
+                    ),
+                )
+            ]
+        )
+        with pytest.raises(
+            KernelValidationError,
+            match=r"statements\[0\]\.body\[0\]\.then\[0\] "
+            r"\(ScalarUpdate of 'ghost'\)",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_out_of_range_affine_rejected(self):
+        kernel = _kernel(
+            [Store("x", Affine(1, 30), Load("x", Affine(1, 0)))],
+            iterations=8,
+        )
+        with pytest.raises(
+            KernelValidationError, match=r"affine access x\[37\] out of range"
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_out_of_range_indirect_rejected(self):
+        arrays = [
+            ArrayDecl("x", 8, "float"),
+            ArrayDecl("ix", 8, "int", (99,)),
+        ]
+        kernel = _kernel(
+            [Store("x", Affine(1, 0), LoadIndirect("x", Indirect("ix", Affine(1, 0))))]
+        )
+        with pytest.raises(
+            KernelValidationError, match="out-of-range indirect index"
+        ):
+            validate_kernel(kernel, arrays)
+
+    def test_array_kind_mismatch_named(self):
+        kernel = _kernel(
+            [
+                IntScalarUpdate(
+                    "k",
+                    IntBinOp("+", IntScalarRef("k"), IntLoad("x", IntConst(0))),
+                )
+            ],
+            int_scalars={"k": 0},
+        )
+        with pytest.raises(
+            KernelValidationError,
+            match="array 'x' is declared float but used as int",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_float_int_scalar_name_overlap_rejected(self):
+        kernel = _kernel(
+            [Store("x", Affine(1, 0), Load("x", Affine(1, 0)))],
+            scalars={"q": 1.0},
+            int_scalars={"q": 1},
+        )
+        with pytest.raises(
+            KernelValidationError,
+            match="both float and integer scalars",
+        ):
+            validate_kernel(kernel, _ARRAYS)
+
+    def test_suite_builder_propagates_named_diagnostics(self):
+        from repro.kernels.suite import build_kernel_suite
+
+        kernel = _kernel([Store("zz", Affine(1, 0), Load("x", Affine(1, 0)))])
+        with pytest.raises(
+            KernelValidationError, match="kernel 'probe'.*undeclared array 'zz'"
+        ):
+            build_kernel_suite([kernel], _ARRAYS)
+
+    def test_suite_builder_rejects_duplicate_labels(self):
+        from repro.kernels.suite import build_kernel_suite
+
+        kernel = _kernel([Store("x", Affine(1, 0), Load("x", Affine(1, 0)))])
+        with pytest.raises(ValueError, match="duplicate kernel label 'probe'"):
+            build_kernel_suite([kernel, kernel], _ARRAYS)
+
+
+# ----------------------------------------------------------------------
+# Compiler guardrails for structured kernels
+# ----------------------------------------------------------------------
+class TestStructuredCompilerLimits:
+    def test_too_many_nested_loop_vars_rejected(self):
+        body: tuple = (Store("x", Affine(1, 0), Load("x", Affine(1, 0))),)
+        for number in range(8):
+            body = (Loop(f"j{number}", 2, body),)
+        kernel = _kernel(body)
+        with pytest.raises(CompileError, match="too many nested loop variables"):
+            compile_kernel(kernel)
+
+    def test_oversized_iteration_count_rejected(self):
+        kernel = _kernel(
+            [
+                IntScalarUpdate(
+                    "k", IntBinOp("+", IntScalarRef("k"), IntConst(1))
+                )
+            ],
+            iterations=0x8000,
+            int_scalars={"k": 0},
+        )
+        with pytest.raises(CompileError, match="16-bit trip-count immediate"):
+            compile_kernel(kernel)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trip (the corpus format)
+# ----------------------------------------------------------------------
+class TestSerialization:
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_round_trip_generated(self, seed):
+        workload = generate_workload(seed, "tiny")
+        text = workload_to_json(workload.kernel, workload.arrays, seed=seed)
+        kernel, arrays, metadata = workload_from_json(text)
+        assert kernel == workload.kernel
+        assert tuple(arrays) == workload.arrays
+        assert metadata["seed"] == seed
+
+    def test_rejects_unknown_node_type(self):
+        workload = generate_workload(0, "tiny")
+        text = workload_to_json(workload.kernel, workload.arrays)
+        broken = text.replace('"t": "Store"', '"t": "Teleport"', 1)
+        with pytest.raises(SerializeError, match="unknown node type 'Teleport'"):
+            workload_from_json(broken)
+
+    def test_rejects_wrong_format_version(self):
+        workload = generate_workload(0, "tiny")
+        text = workload_to_json(workload.kernel, workload.arrays)
+        broken = text.replace('"format": 1', '"format": 99', 1)
+        with pytest.raises(SerializeError, match="unsupported corpus format"):
+            workload_from_json(broken)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SerializeError, match="not valid JSON"):
+            workload_from_json("{nope")
+
+    def test_missing_field_names_path(self):
+        with pytest.raises(SerializeError, match="missing field 'kernel'"):
+            workload_from_json('{"format": 1, "arrays": []}')
+
+
+# ----------------------------------------------------------------------
+# Livermore stays classic (the paper's figures are untouched)
+# ----------------------------------------------------------------------
+def test_livermore_kernels_remain_classic():
+    from repro.kernels.loops import make_kernels
+
+    for kernel in make_kernels(scale=0.05):
+        assert kernel.is_classic, f"{kernel.label} fell off the classic path"
+
+
+def test_budget_registry_names_match():
+    for name, budget in BUDGETS.items():
+        assert budget.name == name

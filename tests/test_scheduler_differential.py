@@ -338,6 +338,76 @@ def test_compiled_false_matches_compiled_true(single_loop_program):
 
 
 # ----------------------------------------------------------------------
+# Generated-program matrix (the fuzz layer feeding the same promise)
+# ----------------------------------------------------------------------
+# A fixed seed slice of generated loop-nest kernels (nested loops,
+# conditionals, integer scalars, pointer-chasing) runs the full ladder
+# traced.  The wide seeded sweep lives in `repro-sim fuzz` and the CI
+# fuzz job; tier-1 pins these seeds forever so an engine regression on
+# structured workloads fails here, not just nightly.
+GENERATED_SEEDS = (0, 3, 11, 47, 2026)
+
+_GENERATED_CONFIGS = {
+    "pipe-16-16": lambda: MachineConfig.pipe("16-16", 128, memory_access_time=6),
+    "tib": lambda: MachineConfig.tib(memory_access_time=6),
+}
+
+
+@pytest.fixture(scope="module")
+def generated_programs():
+    from repro.kernels.generate import generate_workload
+    from repro.kernels.suite import build_kernel_suite
+
+    programs = {}
+    for seed in GENERATED_SEEDS:
+        workload = generate_workload(seed, "tiny")
+        suite = build_kernel_suite(
+            [workload.kernel],
+            list(workload.arrays),
+            source_name=f"gen{seed}.s",
+        )
+        programs[seed] = suite.program
+    return programs
+
+
+@pytest.mark.parametrize("config_name", sorted(_GENERATED_CONFIGS))
+@pytest.mark.parametrize("seed", GENERATED_SEEDS)
+def test_generated_programs_byte_identical(
+    seed, config_name, generated_programs, tmp_path
+):
+    config = _GENERATED_CONFIGS[config_name]()
+    program = generated_programs[seed]
+    runs = {}
+    for tag, kwargs in ENGINES:
+        path = tmp_path / f"{tag.replace('+', '-')}.jsonl"
+        result = simulate_traced(config, program, path, **kwargs)
+        runs[tag] = (result, path)
+    ref_result, ref_path = runs["reference"]
+    for tag in FAST_TAGS:
+        result, path = runs[tag]
+        _compare(
+            f"generated seed {seed} on {config_name}",
+            tag,
+            result,
+            ref_result,
+            path,
+            ref_path,
+        )
+
+
+@pytest.mark.parametrize("seed", GENERATED_SEEDS)
+def test_generated_programs_identical_untraced(seed, generated_programs):
+    """Untraced, so replay can engage on the generated loop nests too."""
+    config = MachineConfig.pipe("16-16", 128, memory_access_time=6)
+    program = generated_programs[seed]
+    results = {
+        tag: simulate(config, program, **kwargs) for tag, kwargs in ENGINES
+    }
+    for tag in FAST_TAGS:
+        _compare(f"generated seed {seed} untraced", tag, results[tag], results["reference"])
+
+
+# ----------------------------------------------------------------------
 # Protocol sanity
 # ----------------------------------------------------------------------
 def test_progress_clock_ticks():
