@@ -25,9 +25,30 @@ __all__ = [
     "ProfileReport",
     "profile_engine",
     "profile_program",
+    "render_codegen_stats",
     "render_engine_profile",
     "render_profile",
 ]
+
+
+def render_codegen_stats() -> str:
+    """One-line codegen-cache summary for profile footers.
+
+    Reads :func:`repro.core.compiled.compile_stats` — kernels and
+    per-program dispatch tables compiled so far this process, their
+    cache hits, and the cumulative codegen time.
+    """
+    from ..core.compiled import compile_stats
+
+    stats = compile_stats()
+    return (
+        f"codegen: {stats['compiles']} kernel(s) compiled "
+        f"({stats['kernel_cache_hits']} cache hit(s)), "
+        f"{stats['dispatch_tables']} dispatch table(s) / "
+        f"{stats['dispatch_handlers']} handler(s) "
+        f"({stats['dispatch_cache_hits']} cache hit(s)), "
+        f"{stats['codegen_seconds'] * 1000.0:.1f} ms codegen"
+    )
 
 
 @dataclass(frozen=True)

@@ -194,8 +194,15 @@ def _finish_supervised(
         )
     print(supervisor.report.summary())
     if args.fault_report is not None:
+        from .core.compiled import compile_stats
+
+        payload = supervisor.report.to_dict()
+        # codegen-cache engagement sits next to the per-rung tallies so
+        # one JSON answers both "which rung served each point" and "what
+        # did the compiled rung actually compile or reuse"
+        payload["codegen"] = compile_stats()
         with open(args.fault_report, "w") as handle:
-            json.dump(supervisor.report.to_dict(), handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"fault report written : {args.fault_report}")
     if args.inject_faults is not None:
         faults.deactivate()
@@ -325,6 +332,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .analysis.profile import (
         profile_engine,
         profile_program,
+        render_codegen_stats,
         render_engine_profile,
         render_profile,
     )
@@ -338,6 +346,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     else:
         report = profile_program(config, suite.program, suite.regions())
         print(render_profile(report))
+    print(render_codegen_stats())
     return 0
 
 
@@ -501,9 +510,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .core.fuzz import run_corpus, run_fuzz
 
     configs = args.configs.split(",") if args.configs else None
+    engines = args.engines.split(",") if args.engines else None
     progress = None if args.quiet else print
     if args.corpus is not None:
-        report = run_corpus(args.corpus, configs=configs, progress=progress)
+        report = run_corpus(
+            args.corpus, configs=configs, progress=progress, engines=engines
+        )
     else:
         report = run_fuzz(
             start_seed=args.seed,
@@ -513,6 +525,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             failures_dir=args.save_failures,
             shrink=not args.no_shrink,
             progress=progress,
+            engines=engines,
         )
     print(report.summary())
     for failure in report.failures:
@@ -688,6 +701,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated machine configs to cycle through "
         "(default: all fuzz configs)",
+    )
+    fuzz_parser.add_argument(
+        "--engines",
+        default=None,
+        help="comma-separated engine rungs to pin the ladder to, e.g. "
+        "'compiled' (the reference baseline is always included; "
+        "default: all four rungs)",
     )
     fuzz_parser.add_argument(
         "--corpus",

@@ -52,20 +52,33 @@ selects the interpreted engines for differential testing.
 from __future__ import annotations
 
 import hashlib
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..cpu.backend import Backend, _PendingBranch
 from ..cpu.data_engine import DataQueueEngine
+from ..cpu.dispatch import ProgramDispatchTable, dispatch_codegen_stats
 from ..cpu.executor import execute, queue_effects
 from ..cpu.queues import ArchitecturalQueue
 from ..frontend.base import FetchUnit
+from ..frontend.conventional import ConventionalFetchUnit
+from ..frontend.icache import InstructionCache
+from ..frontend.pipe_fetch import PipeFetchUnit
+from ..frontend.tib import TibFetchUnit
+from ..isa.encoding import DecodeError
+from ..isa.predecode import PredecodedImage
 from ..memory.external import ExternalMemory
 from ..memory.fpu import is_fpu_address
 from ..memory.fpu_timing import TimedFpu
 from ..memory.requests import RequestKind, RequestPriority, acceptance_order
 from ..memory.system import MemorySystem
-from .scheduler import ENGINE_REVISION, IDLE
+from .scheduler import (
+    ENGINE_REVISION,
+    IDLE,
+    inline_frontend_enabled_default,
+    specialize_dispatch_enabled_default,
+)
 
 __all__ = [
     "CompiledKernel",
@@ -132,6 +145,15 @@ class KernelSpec:
     inline_begin: bool
     inline_end: bool
     poll_guard: bool
+    inline_frontend: bool
+    specialize_dispatch: bool
+    #: PIPE only: icache line size folded into the IQB-exhaustion guards
+    line_size: int | None
+    #: PIPE only: IQ byte capacity folded into the transfer loop
+    pipe_iq_size: int | None
+    #: TIB only: stream-request geometry folded into the request guard
+    tib_block_size: int | None
+    tib_stream_capacity: int | None
     engine_precheck: bool
     fold_drained: bool
     fold_wake_memory: bool
@@ -177,6 +199,108 @@ def kernel_spec_for(sim) -> KernelSpec:
         and memory._sources[0] is frontend
         and memory._sources[1] is engine
     )
+    poll_guard = getattr(type(frontend), "COMPILED_POLL_GUARD", False) and _clean(
+        frontend, "poll_requests"
+    )
+    inline_step = (
+        plain_backend
+        and plain_engine
+        and plain_queues
+        and _clean(backend, "step", "_stall", "_handle_branch_bookkeeping")
+        and _clean(engine, "ldq_has_data")
+    )
+    # Frontend inlining: the emitted update/post_issue/next_instruction/
+    # consume/poll bodies assume the exact shipped state machines, so
+    # eligibility demands the exact class (a subclass inherits the
+    # COMPILED_FRONTEND_INLINE flag but not necessarily the machine) and
+    # no instance-level monkeypatching of any method the emitted guards
+    # reason about.  An ineligible frontend falls back to bound calls.
+    inline_frontend = False
+    line_size = None
+    pipe_iq_size = None
+    tib_block_size = None
+    tib_stream_capacity = None
+    if (
+        inline_frontend_enabled_default()
+        and poll_guard
+        and getattr(type(frontend), "COMPILED_FRONTEND_INLINE", False)
+    ):
+        if type(frontend) is ConventionalFetchUnit:
+            cache = frontend.cache
+            inline_frontend = (
+                type(cache) is InstructionCache
+                and getattr(type(cache), "COMPILED_RESIDENCY_EPOCH", False)
+                and type(frontend.predecode) is PredecodedImage
+                and _clean(
+                    frontend,
+                    "update",
+                    "post_issue",
+                    "_maybe_promote",
+                    "_maybe_request",
+                    "_choose_prefetch",
+                    "_current_instruction_resident",
+                    "_prefetchable",
+                    "_issue_request",
+                    "_block_address",
+                    "next_instruction",
+                    "consume",
+                )
+                and _clean(
+                    cache,
+                    "probe",
+                    "lookup",
+                    "fill",
+                    "invalidate_all",
+                    "record_hit",
+                    "record_miss",
+                    "touch",
+                )
+            )
+        elif type(frontend) is PipeFetchUnit:
+            cache = frontend.cache
+            inline_frontend = (
+                type(cache) is InstructionCache
+                and getattr(type(cache), "COMPILED_RESIDENCY_EPOCH", False)
+                and type(frontend.predecode) is PredecodedImage
+                and _clean(
+                    frontend,
+                    "update",
+                    "post_issue",
+                    "_advance",
+                    "_promote_if_starving",
+                    "_transfer_to_iq",
+                    "_choose_fill",
+                    "_start_fill",
+                    "next_instruction",
+                    "consume",
+                )
+                and _clean(
+                    cache,
+                    "probe",
+                    "fill",
+                    "invalidate_all",
+                    "record_hit",
+                    "record_miss",
+                    "touch",
+                )
+            )
+            if inline_frontend:
+                line_size = frontend.line_size
+                pipe_iq_size = frontend.iq_size
+        elif type(frontend) is TibFetchUnit:
+            inline_frontend = type(frontend.predecode) is PredecodedImage and _clean(
+                frontend,
+                "update",
+                "post_issue",
+                "_promote_if_starving",
+                "_maybe_request",
+                "_has_instruction",
+                "next_instruction",
+                "consume",
+            )
+            if inline_frontend:
+                tib_block_size = frontend.block_size
+                tib_stream_capacity = frontend.stream_capacity
     return KernelSpec(
         config_key=config_fingerprint(config),
         traced=sim.tracer.enabled,
@@ -194,13 +318,7 @@ def kernel_spec_for(sim) -> KernelSpec:
         instruction_first=memory.priority is RequestPriority.INSTRUCTION_FIRST,
         strategy=config.fetch_strategy.value,
         describe=config.describe(),
-        inline_step=(
-            plain_backend
-            and plain_engine
-            and plain_queues
-            and _clean(backend, "step", "_stall", "_handle_branch_bookkeeping")
-            and _clean(engine, "ldq_has_data")
-        ),
+        inline_step=inline_step,
         inline_update=plain_engine and plain_queues and _clean(engine, "update"),
         inline_begin=(
             plain_memory
@@ -214,10 +332,15 @@ def kernel_spec_for(sim) -> KernelSpec:
             and _clean(external, "can_accept", "accept")
             and _clean(fpu, "can_accept", "accept")
         ),
-        poll_guard=(
-            getattr(type(frontend), "COMPILED_POLL_GUARD", False)
-            and _clean(frontend, "poll_requests")
+        poll_guard=poll_guard,
+        inline_frontend=inline_frontend,
+        specialize_dispatch=(
+            specialize_dispatch_enabled_default() and inline_step
         ),
+        line_size=line_size,
+        pipe_iq_size=pipe_iq_size,
+        tib_block_size=tib_block_size,
+        tib_stream_capacity=tib_stream_capacity,
         engine_precheck=(
             plain_engine
             and plain_queues
@@ -298,6 +421,38 @@ _BINDINGS: dict[str, str] = {
     "fpu_accept": "sim.memory.fpu.accept",
     "replay_on_backedge": "sim.replay_controller.on_backedge",
     "replay_check_runaway": "sim.replay_controller.check_runaway",
+    # -- frontend-inlining bindings (spec.inline_frontend only) --------
+    # The frontends' stats objects and queue/table storage are mutated
+    # in place for the whole run (replay advances counters with setattr
+    # on the same objects), so hoisting them obeys the hoisting rule.
+    "fe_stats": "sim.frontend.stats",
+    "icache_stats": "sim.frontend.cache.stats",
+    "icache_unit": "sim.frontend.cache",
+    "cache_probe": "sim.frontend.cache.probe",
+    "pipe_iq": "sim.frontend._iq",
+    "pipe_clock": "sim.frontend._clock",
+    "pd_table": "sim.frontend.predecode._table",
+    "fe_memo": "{}",
+    "res_memo": "{}",
+    "probe_memo": "{}",
+    "frontend_maybe_promote": "sim.frontend._maybe_promote",
+    "frontend_promote_starving": "sim.frontend._promote_if_starving",
+    "frontend_maybe_request": "sim.frontend._maybe_request",
+    "frontend_predecode_at": "sim.frontend.predecode.at",
+    "frontend_start_fill": "sim.frontend._start_fill",
+    # -- program-specialized dispatch (spec.specialize_dispatch only) --
+    "dispatch_get": "_dispatch_for(sim).handler_for",
+}
+
+
+#: The frontend classes whose state machines the generator knows how to
+#: inline, by strategy name.  ``kernel_spec_for`` only sets
+#: ``inline_frontend`` after verifying the live instance is *exactly*
+#: one of these classes, so the lookup can key on the folded strategy.
+_FRONTEND_CLASSES: dict[str, type] = {
+    "conventional": ConventionalFetchUnit,
+    "pipe": PipeFetchUnit,
+    "tib": TibFetchUnit,
 }
 
 
@@ -317,6 +472,11 @@ class KernelContext:
         self._body: list[str] = []
         self._depth = 1
         self._needs: set[str] = set()
+        #: the frontend class whose emitters to use, or ``None`` when
+        #: the kernel calls the bound frontend methods instead
+        self.frontend_cls = (
+            _FRONTEND_CLASSES.get(spec.strategy) if spec.inline_frontend else None
+        )
 
     # -- emission ------------------------------------------------------
     def line(self, text: str) -> None:
@@ -369,6 +529,24 @@ def _emit_phase_update(ctx: KernelContext) -> None:
     else:
         ctx.need("engine_update")
         ctx.line("engine_update(now)")
+
+
+def _emit_phase_frontend_update(ctx: KernelContext) -> None:
+    ctx.comment("frontend.update(now)")
+    if ctx.frontend_cls is not None:
+        ctx.frontend_cls.emit_compiled_update(ctx)
+    else:
+        ctx.need("frontend_update")
+        ctx.line("frontend_update(now)")
+
+
+def _emit_phase_frontend_post_issue(ctx: KernelContext) -> None:
+    ctx.comment("frontend.post_issue(now)")
+    if ctx.frontend_cls is not None:
+        ctx.frontend_cls.emit_compiled_post_issue(ctx)
+    else:
+        ctx.need("frontend_post_issue")
+        ctx.line("frontend_post_issue(now)")
 
 
 def _emit_phase_step(ctx: KernelContext) -> None:
@@ -543,8 +721,7 @@ def generate_source(spec: KernelSpec) -> str:
     ctx = KernelContext(spec)
     traced = spec.traced
     ctx.need("memory", "mem_stats", "external", "fpu", "engine", "frontend",
-             "backend", "clock", "frontend_update", "frontend_post_issue",
-             "frontend_halt")
+             "backend", "clock", "frontend_halt")
     if traced:
         ctx.need("tracer", "tracer_emit")
         ctx.line("tracer.cycle = 0")
@@ -562,11 +739,11 @@ def generate_source(spec: KernelSpec) -> str:
             ctx.line("conflicts_before = mem_stats.acceptance_conflicts")
         _emit_phase_begin(ctx)
         _emit_phase_update(ctx)
-        ctx.line("frontend_update(now)")
+        _emit_phase_frontend_update(ctx)
         _emit_phase_step(ctx)
         with ctx.block("if backend.halted:"):
             ctx.line("frontend_halt()")
-        ctx.line("frontend_post_issue(now)")
+        _emit_phase_frontend_post_issue(ctx)
         _emit_phase_end(ctx)
         ctx.line("now += 1")
         _emit_drain_check(ctx)
@@ -606,6 +783,30 @@ class CompiledKernel:
 
 _KERNEL_CACHE: dict[KernelSpec, CompiledKernel] = {}
 _COMPILE_COUNT = 0
+_KERNEL_HITS = 0
+_CODEGEN_SECONDS = 0.0
+
+#: Per-program dispatch tables, keyed ``(program_fingerprint,
+#: config_key)``.  The config key already folds ``ENGINE_REVISION``
+#: (see :func:`config_fingerprint`), so a generator bump invalidates
+#: dispatch tables exactly as it invalidates kernels.
+_DISPATCH_CACHE: dict[tuple[str, str], ProgramDispatchTable] = {}
+_DISPATCH_HITS = 0
+
+
+def _dispatch_table_for(sim, config_key: str) -> ProgramDispatchTable:
+    """The (cached) per-program dispatch table for one kernel run."""
+    global _DISPATCH_HITS
+    from .simcache import program_fingerprint
+
+    key = (program_fingerprint(sim.program), config_key)
+    table = _DISPATCH_CACHE.get(key)
+    if table is None:
+        table = ProgramDispatchTable()
+        _DISPATCH_CACHE[key] = table
+    else:
+        _DISPATCH_HITS += 1
+    return table
 
 
 def _kernel_globals(spec: KernelSpec) -> dict:
@@ -623,34 +824,63 @@ def _kernel_globals(spec: KernelSpec) -> dict:
         ),
         "K_LOAD": RequestKind.LOAD,
         "K_STORE": RequestKind.STORE,
+        "DecodeError": DecodeError,
+        "_dispatch_for": (
+            lambda sim, _key=spec.config_key: _dispatch_table_for(sim, _key)
+        ),
     }
 
 
 def _compile(spec: KernelSpec) -> CompiledKernel:
-    global _COMPILE_COUNT
+    global _COMPILE_COUNT, _CODEGEN_SECONDS
+    started = time.perf_counter()
     source = generate_source(spec)
     namespace = _kernel_globals(spec)
     code = compile(source, f"<repro-kernel-{spec.config_key[:12]}>", "exec")
     exec(code, namespace)  # noqa: S102 — the source is our own codegen
     _COMPILE_COUNT += 1
+    _CODEGEN_SECONDS += time.perf_counter() - started
     return CompiledKernel(spec, source, namespace["__kernel"])
 
 
 def kernel_for(sim) -> CompiledKernel:
     """The (cached) compiled kernel serving one simulator instance."""
+    global _KERNEL_HITS
     spec = kernel_spec_for(sim)
     kernel = _KERNEL_CACHE.get(spec)
     if kernel is None:
         kernel = _compile(spec)
         _KERNEL_CACHE[spec] = kernel
+    else:
+        _KERNEL_HITS += 1
     return kernel
 
 
 def compile_stats() -> dict:
-    """Cache observability for tests: resident kernels and compiles."""
-    return {"kernels": len(_KERNEL_CACHE), "compiles": _COMPILE_COUNT}
+    """Codegen-cache observability: both cache levels plus codegen time.
+
+    ``codegen_seconds`` sums kernel generation/compilation with the
+    per-instruction dispatch-handler compiles (the dispatch module
+    keeps its own cumulative clock).
+    """
+    dispatch = dispatch_codegen_stats()
+    return {
+        "kernels": len(_KERNEL_CACHE),
+        "compiles": _COMPILE_COUNT,
+        "kernel_cache_hits": _KERNEL_HITS,
+        "codegen_seconds": _CODEGEN_SECONDS + dispatch["codegen_seconds"],
+        "dispatch_tables": len(_DISPATCH_CACHE),
+        "dispatch_handlers": sum(len(t) for t in _DISPATCH_CACHE.values()),
+        "dispatch_handler_compiles": dispatch["handler_compiles"],
+        "dispatch_cache_hits": _DISPATCH_HITS,
+    }
 
 
 def clear_compile_cache() -> None:
-    """Drop every cached kernel (test isolation)."""
+    """Drop every cached kernel and per-program dispatch table.
+
+    Both cache levels clear together so a stale program kernel cannot
+    survive a clear (``tests/test_compiled_engine.py`` pins this).
+    """
     _KERNEL_CACHE.clear()
+    _DISPATCH_CACHE.clear()

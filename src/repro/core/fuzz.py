@@ -186,12 +186,36 @@ def _functional_problems(suite: KernelSuite, kernel: Kernel) -> list[str]:
     return problems
 
 
-def _ladder_problems(suite: KernelSuite, config: MachineConfig) -> list[str]:
+def _select_engines(engines: list[str] | None) -> tuple:
+    """Resolve an engine-tag filter against :data:`ENGINES`.
+
+    ``reference`` is always included — it is the baseline every other
+    rung is compared against — so ``engines=["compiled"]`` pins a run
+    to the reference/compiled pair.
+    """
+    if engines is None:
+        return ENGINES
+    known = {tag for tag, _ in ENGINES}
+    unknown = [tag for tag in engines if tag not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown engine tag(s) {unknown}; choose from {sorted(known)}"
+        )
+    wanted = set(engines) | {"reference"}
+    return tuple(pair for pair in ENGINES if pair[0] in wanted)
+
+
+def _ladder_problems(
+    suite: KernelSuite,
+    config: MachineConfig,
+    engines: list[str] | None = None,
+) -> list[str]:
     """Four-engine run: cycles, stats dicts, and trace bytes must match."""
     problems: list[str] = []
+    selected = _select_engines(engines)
     with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
         runs = {}
-        for tag, kwargs in ENGINES:
+        for tag, kwargs in selected:
             path = Path(tmp) / f"{tag.replace('+', '-')}.jsonl"
             try:
                 result = simulate_traced(config, suite.program, path, **kwargs)
@@ -203,8 +227,8 @@ def _ladder_problems(suite: KernelSuite, config: MachineConfig) -> list[str]:
             return problems
         reference_result, reference_path = runs["reference"]
         reference_trace = reference_path.read_bytes()
-        for tag in ("idle-skip", "skip+replay", "compiled"):
-            if tag not in runs:
+        for tag, _kwargs in selected:
+            if tag == "reference" or tag not in runs:
                 continue
             result, path = runs[tag]
             if result.cycles != reference_result.cycles:
@@ -226,15 +250,22 @@ def _ladder_problems(suite: KernelSuite, config: MachineConfig) -> list[str]:
 
 
 def check_workload(
-    kernel: Kernel, arrays, config: MachineConfig
+    kernel: Kernel,
+    arrays,
+    config: MachineConfig,
+    engines: list[str] | None = None,
 ) -> list[str]:
-    """All divergences for one workload × config (empty = clean)."""
+    """All divergences for one workload × config (empty = clean).
+
+    ``engines`` restricts the ladder to the named tags (plus the
+    reference baseline); ``None`` runs all four rungs.
+    """
     try:
         suite = build_kernel_suite([kernel], list(arrays))
     except (KernelValidationError, CompileError, ValueError) as error:
         return [f"suite build failed: {type(error).__name__}: {error}"]
     problems = _functional_problems(suite, kernel)
-    problems.extend(_ladder_problems(suite, config))
+    problems.extend(_ladder_problems(suite, config, engines))
     return problems
 
 
@@ -337,6 +368,7 @@ def run_fuzz(
     failures_dir: str | Path | None = None,
     shrink: bool = True,
     progress=None,
+    engines: list[str] | None = None,
 ) -> FuzzReport:
     """Fuzz ``count`` seeded workloads starting at ``start_seed``.
 
@@ -344,8 +376,10 @@ def run_fuzz(
     ``configs`` (default: all of :data:`FUZZ_CONFIGS`, round-robin).
     Failures are shrunk and written as JSON reproducers under
     ``failures_dir`` (if given); ``progress`` is an optional callable
-    receiving one status line per case.
+    receiving one status line per case.  ``engines`` pins the ladder to
+    the named rungs plus the reference baseline (default: all four).
     """
+    _select_engines(engines)  # validate tags before the first case
     config_names = list(configs or FUZZ_CONFIGS)
     for name in config_names:
         if name not in FUZZ_CONFIGS:
@@ -361,7 +395,9 @@ def run_fuzz(
         config_name = _config_for_case(index, config_names)
         config = FUZZ_CONFIGS[config_name]()
         workload = generate_workload(seed, budget)
-        problems = check_workload(workload.kernel, workload.arrays, config)
+        problems = check_workload(
+            workload.kernel, workload.arrays, config, engines=engines
+        )
         report.cases += 1
         if progress is not None:
             status = "ok" if not problems else f"FAIL ({len(problems)} problems)"
@@ -401,8 +437,10 @@ def run_corpus(
     corpus_dir: str | Path,
     configs: list[str] | None = None,
     progress=None,
+    engines: list[str] | None = None,
 ) -> FuzzReport:
     """Re-check every JSON reproducer in ``corpus_dir`` on all configs."""
+    _select_engines(engines)  # validate tags before the first case
     config_names = list(configs or FUZZ_CONFIGS)
     paths = sorted(Path(corpus_dir).glob("*.json"))
     if not paths:
@@ -412,7 +450,7 @@ def run_corpus(
         kernel, arrays, metadata = workload_from_json(path.read_text())
         for config_name in config_names:
             config = FUZZ_CONFIGS[config_name]()
-            problems = check_workload(kernel, arrays, config)
+            problems = check_workload(kernel, arrays, config, engines=engines)
             report.cases += 1
             if progress is not None:
                 status = "ok" if not problems else f"FAIL ({len(problems)} problems)"

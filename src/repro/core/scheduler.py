@@ -39,14 +39,18 @@ __all__ = [
     "ENGINE_RUNGS",
     "IDLE",
     "NO_COMPILED_ENV",
+    "NO_INLINE_FRONTEND_ENV",
     "NO_REPLAY_ENV",
     "NO_SKIP_ENV",
+    "NO_SPECIALIZE_DISPATCH_ENV",
     "ProgressClock",
     "SeqCounter",
     "compiled_enabled_default",
+    "inline_frontend_enabled_default",
     "replay_enabled_default",
     "rung_kwargs",
     "skip_enabled_default",
+    "specialize_dispatch_enabled_default",
 ]
 
 #: Sentinel returned by ``next_event_cycle`` hints: no self-scheduled
@@ -57,7 +61,7 @@ IDLE: int = 1 << 62
 #: scheduling engine never satisfy a lookup.  Bump on any change to the
 #: skip scheduler's, the replay engine's, or the compiled step-kernel
 #: generator's accounting.
-ENGINE_REVISION = "skip-1+replay-1+compiled-1"
+ENGINE_REVISION = "skip-1+replay-1+compiled-2"
 
 #: Environment variable forcing the reference (no-skip) loop.
 NO_SKIP_ENV = "REPRO_NO_SKIP"
@@ -67,6 +71,14 @@ NO_REPLAY_ENV = "REPRO_NO_REPLAY"
 
 #: Environment variable disabling the compiled step-kernel engine.
 NO_COMPILED_ENV = "REPRO_NO_COMPILED"
+
+#: Environment variable disabling frontend state-machine inlining inside
+#: compiled kernels (the kernel falls back to bound-method phase calls).
+NO_INLINE_FRONTEND_ENV = "REPRO_NO_INLINE_FRONTEND"
+
+#: Environment variable disabling program-specialized instruction
+#: dispatch inside compiled kernels (falls back to the generic executor).
+NO_SPECIALIZE_DISPATCH_ENV = "REPRO_NO_SPECIALIZE_DISPATCH"
 
 
 #: The engine-degradation ladder, fastest first.  Every rung produces
@@ -119,6 +131,24 @@ def replay_enabled_default() -> bool:
 def compiled_enabled_default() -> bool:
     """Compiled kernels default to on unless ``REPRO_NO_COMPILED`` is set."""
     return os.environ.get(NO_COMPILED_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+def inline_frontend_enabled_default() -> bool:
+    """Frontend inlining defaults to on unless ``REPRO_NO_INLINE_FRONTEND``."""
+    return os.environ.get(NO_INLINE_FRONTEND_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+def specialize_dispatch_enabled_default() -> bool:
+    """Dispatch specialization is on unless ``REPRO_NO_SPECIALIZE_DISPATCH``."""
+    return os.environ.get(NO_SPECIALIZE_DISPATCH_ENV, "").strip().lower() not in (
         "1",
         "true",
         "yes",

@@ -237,6 +237,7 @@ class Backend:
         """
         spec = ctx.spec
         traced = spec.traced
+        frontend_cls = ctx.frontend_cls
         ctx.need(
             "backend",
             "clock",
@@ -244,8 +245,6 @@ class Backend:
             "backend_state",
             "backend_env",
             "effects_memo",
-            "frontend_next_instruction",
-            "frontend_consume",
             "frontend_note_branch",
             "frontend_branch_resolved",
             "frontend_redirect",
@@ -254,6 +253,10 @@ class Backend:
             "saq_items",
             "sdq_items",
         )
+        if frontend_cls is None:
+            ctx.need("frontend_next_instruction", "frontend_consume")
+        if spec.specialize_dispatch:
+            ctx.need("dispatch_get")
 
         def stall(reason: str) -> None:
             ctx.line(f"backend_stalls[{reason!r}] += 1")
@@ -292,7 +295,10 @@ class Backend:
                         ):
                             ctx.line("backend.replay_backedge = target")
             with ctx.block("if ok:"):
-                ctx.line("fetched = frontend_next_instruction()")
+                if frontend_cls is not None:
+                    frontend_cls.emit_compiled_next_instruction(ctx)
+                else:
+                    ctx.line("fetched = frontend_next_instruction()")
                 with ctx.block("if fetched is None:"):
                     stall(StallReason.FRONTEND)
                 with ctx.block("else:"):
@@ -300,11 +306,19 @@ class Backend:
                     ctx.line("entry = effects_memo.get(id(instruction))")
                     with ctx.block("if entry is None:"):
                         ctx.line("_fx = queue_effects(instruction)")
-                        ctx.line(
-                            "entry = (instruction, _fx.pops_ldq, "
-                            "_fx.pushes_laq, _fx.pushes_saq, "
-                            "_fx.pushes_sdq, instruction.op.is_branch)"
-                        )
+                        if spec.specialize_dispatch:
+                            ctx.line(
+                                "entry = (instruction, _fx.pops_ldq, "
+                                "_fx.pushes_laq, _fx.pushes_saq, "
+                                "_fx.pushes_sdq, instruction.op.is_branch, "
+                                "dispatch_get(instruction))"
+                            )
+                        else:
+                            ctx.line(
+                                "entry = (instruction, _fx.pops_ldq, "
+                                "_fx.pushes_laq, _fx.pushes_saq, "
+                                "_fx.pushes_sdq, instruction.op.is_branch)"
+                            )
                         ctx.line("effects_memo[id(instruction)] = entry")
                     with ctx.block("if entry[5] and pending is not None:"):
                         stall(StallReason.BRANCH_OVERLAP)
@@ -329,10 +343,16 @@ class Backend:
                         ):
                             stall(StallReason.SDQ_FULL)
                     with ctx.block("else:"):
-                        ctx.line(
-                            "outcome = execute(instruction, backend_state, "
-                            "backend_env)"
-                        )
+                        if spec.specialize_dispatch:
+                            ctx.line(
+                                "outcome = entry[6](backend_state, "
+                                "backend_env)"
+                            )
+                        else:
+                            ctx.line(
+                                "outcome = execute(instruction, "
+                                "backend_state, backend_env)"
+                            )
                         if spec.replay:
                             with ctx.block(
                                 "if backend.issue_log is not None:"
@@ -342,7 +362,10 @@ class Backend:
                                     '("i", pc, instruction, outcome))'
                                 )
                         ctx.line("clock.ticks += 1")
-                        ctx.line("frontend_consume(now)")
+                        if frontend_cls is not None:
+                            frontend_cls.emit_compiled_consume(ctx)
+                        else:
+                            ctx.line("frontend_consume(now)")
                         ctx.line("backend.instructions += 1")
                         ctx.line("backend.last_pc = pc")
                         if traced:

@@ -79,6 +79,13 @@ class FetchUnit(abc.ABC):
     #: subclass, so the kernel may drop it from the idle-skip wake scan.
     #: Valid only for subclasses that do not override the base method.
     COMPILED_IDLE_HINT = True
+    #: True when the subclass ships ``emit_compiled_update`` /
+    #: ``emit_compiled_post_issue`` / ``emit_compiled_next_instruction``
+    #: / ``emit_compiled_consume`` classmethods whose emitted code is
+    #: byte-identical to the bound methods for an unmonkeypatched
+    #: instance.  A frontend without emitters leaves this False and the
+    #: generated kernel transparently falls back to bound-method calls.
+    COMPILED_FRONTEND_INLINE = False
 
     stats: FetchStats
     #: set by :meth:`halt`; no new fetch work may start afterwards
@@ -86,6 +93,27 @@ class FetchUnit(abc.ABC):
     #: the outstanding off-chip fetch, if any (subclasses rebind these)
     _request: MemoryRequest | None = None
     _request_accepted: bool = False
+
+    @classmethod
+    def emit_compiled_poll(cls, ctx) -> None:
+        """Emit the ``poll_requests`` body into a compiled kernel.
+
+        All three shipped frontends share this poll machine verbatim:
+        withdraw the outstanding request after HALT, otherwise offer it.
+        The kernel only reaches this code under the ``COMPILED_POLL_GUARD``
+        test (``_request is not None and not _request_accepted``), so the
+        early-out branches of the bound method are already decided.
+        """
+        with ctx.block("if frontend._halted:"):
+            if ctx.spec.traced:
+                ctx.line(
+                    'tracer_emit("fetch", "cancel", '
+                    "seq=frontend._request.seq, reason=\"halt\")"
+                )
+            ctx.line("frontend._request = None")
+            ctx.line("f_reqs = ()")
+        with ctx.block("else:"):
+            ctx.line("f_reqs = (frontend._request,)")
 
     def _install_decoder(
         self,

@@ -70,6 +70,9 @@ class ConventionalFetchUnit(FetchUnit):
     #: unaccepted request is outstanding (see the method), so the
     #: compiled kernel may guard the poll behind that test.
     COMPILED_POLL_GUARD = True
+    #: the ``emit_compiled_*`` classmethods below lower this unit's
+    #: state machines into the kernel (``docs/COMPILED.md``)
+    COMPILED_FRONTEND_INLINE = True
 
     def __init__(
         self,
@@ -115,6 +118,68 @@ class ConventionalFetchUnit(FetchUnit):
 
     def _block_address(self, address: int) -> int:
         return address - (address % self.block_size)
+
+    # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    # Both per-cycle phases are ``_maybe_promote(); _maybe_request(now)``.
+    # The lowered form folds the helpers' early-out guards and memoizes
+    # the *no-op* outcome of ``_maybe_request`` per ``(pc, cache epoch)``:
+    # when the call at a given pc issued no request, every later call at
+    # the same pc is a provable no-op until the cache mutates (the
+    # ``COMPILED_RESIDENCY_EPOCH`` contract — residency answers are
+    # constant per epoch, TAGGED's tag-add is idempotent, ON_MISS's
+    # deferred block can only change via a request whose completion bumps
+    # the epoch).  ``next_instruction`` is pure in the same pair and is
+    # memoized the same way.
+
+    @classmethod
+    def _emit_phase(cls, ctx) -> None:
+        ctx.need(
+            "frontend", "icache_unit", "fe_memo", "frontend_maybe_promote",
+            "frontend_maybe_request",
+        )
+        ctx.line("f_req = frontend._request")
+        with ctx.block("if f_req is None:"):
+            with ctx.block("if not frontend._halted:"):
+                ctx.line("f_pc = frontend._pc")
+                with ctx.block("if fe_memo.get(f_pc) != icache_unit._epoch:"):
+                    ctx.line("frontend_maybe_request(now)")
+                    with ctx.block("if frontend._request is None:"):
+                        ctx.line("fe_memo[f_pc] = icache_unit._epoch")
+        with ctx.block("elif not f_req.demand:"):
+            ctx.line("frontend_maybe_promote()")
+
+    @classmethod
+    def emit_compiled_update(cls, ctx) -> None:
+        cls._emit_phase(ctx)
+
+    @classmethod
+    def emit_compiled_post_issue(cls, ctx) -> None:
+        cls._emit_phase(ctx)
+
+    @classmethod
+    def emit_compiled_next_instruction(cls, ctx) -> None:
+        """``fetched = <next_instruction()>`` memoized per (pc, epoch)."""
+        ctx.need("frontend", "icache_unit", "res_memo", "frontend_next_instruction")
+        ctx.line("f_pc = frontend._pc")
+        ctx.line("entry = res_memo.get(f_pc)")
+        with ctx.block("if entry is not None and entry[0] == icache_unit._epoch:"):
+            ctx.line("fetched = entry[1]")
+        with ctx.block("else:"):
+            ctx.line("fetched = frontend_next_instruction()")
+            ctx.line("res_memo[f_pc] = (icache_unit._epoch, fetched)")
+
+    @classmethod
+    def emit_compiled_consume(cls, ctx) -> None:
+        """Inline :meth:`consume`; ``pc``/``size`` are in scope from the
+        issued instruction, so the predecode lookup is already done."""
+        ctx.need("frontend", "fe_stats", "icache_stats")
+        ctx.line("icache_stats.hits += 1")
+        if ctx.spec.traced:
+            ctx.line('tracer_emit("icache", "hit", addr=pc)')
+        ctx.line("frontend._pc = pc + size")
+        ctx.line("fe_stats.instructions_supplied += 1")
 
     def _current_instruction_resident(self) -> bool:
         if not self.cache.probe(self._pc, 2):

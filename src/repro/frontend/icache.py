@@ -64,6 +64,12 @@ class InstructionCache:
     #: statically ``IDLE`` — so the generated kernel never touches it
     #: directly; all access stays inside the owning frontend.
     COMPILED_PASSIVE = True
+    #: compiled-kernel contract: ``_epoch`` increments on every mutation
+    #: of the tag/valid arrays (:meth:`fill`, :meth:`invalidate_all`), so
+    #: residency answers (:meth:`probe`) for a fixed address range are
+    #: constant while ``_epoch`` is unchanged.  Licenses the generated
+    #: kernel to memoize probe outcomes per epoch.
+    COMPILED_RESIDENCY_EPOCH = True
 
     def __init__(
         self,
@@ -98,6 +104,7 @@ class InstructionCache:
             for _ in range(self.num_sets)
         ]
         self._clock = 0
+        self._epoch = 0
         self.stats = CacheStats()
         self._tracer = tracer if tracer is not None else NULL_TRACER
 
@@ -210,6 +217,7 @@ class InstructionCache:
             self._clock += 1
             way.stamp = self._clock
             position += self.sub_block_size
+        self._epoch += 1
         self.stats.fills += 1
         self.stats.line_replacements += replaced
         if self._tracer.enabled:
@@ -248,6 +256,7 @@ class InstructionCache:
                 way.tag = None
                 way.valid = [False] * self.sub_blocks_per_line
                 way.stamp = 0
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     def resident_bytes(self) -> int:

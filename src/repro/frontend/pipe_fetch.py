@@ -69,6 +69,9 @@ class PipeFetchUnit(FetchUnit):
     #: unaccepted request is outstanding (see the method), so the
     #: compiled kernel may guard the poll behind that test.
     COMPILED_POLL_GUARD = True
+    #: the ``emit_compiled_*`` classmethods below lower this unit's
+    #: state machines into the kernel (``docs/COMPILED.md``)
+    COMPILED_FRONTEND_INLINE = True
 
     def __init__(
         self,
@@ -156,6 +159,237 @@ class PipeFetchUnit(FetchUnit):
             self.stats.prefetch_promotions += 1
             if self._tracer.enabled:
                 self._tracer.emit("fetch", "promote", seq=request.seq)
+
+    # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    # The lowered phases open-code :meth:`_transfer_to_iq` and the
+    # :meth:`_choose_fill` decision with ``line_size``/``iq_size`` as
+    # literals.  The cache-resident arm of :meth:`_start_fill` is also
+    # inlined, memoizing positive :meth:`InstructionCache.probe` answers
+    # per residency epoch (``COMPILED_RESIDENCY_EPOCH``: probe answers
+    # are constant while ``_epoch`` is unchanged, and ``probe`` itself is
+    # side-effect free, so a memo miss simply re-probes).  Off-chip fills
+    # drop to the bound :meth:`_start_fill`, which re-checks everything.
+
+    @classmethod
+    def _emit_predecode_lookup(cls, ctx, pc: str) -> None:
+        """``t_entry = (instruction, size) | None`` for ``pc``.
+
+        Mirrors ``self.predecode.at(pc)``: the table answers directly,
+        an unseen pc decodes (and caches) through the bound method, and
+        invalid bytes — ``None`` in the table, :class:`DecodeError` from
+        the method — normalize to ``t_entry = None``.
+        """
+        ctx.line(f"t_entry = pd_table.get({pc}, False)")
+        with ctx.block("if t_entry is False:"):
+            with ctx.block("try:"):
+                ctx.line(f"t_entry = frontend_predecode_at({pc})")
+            with ctx.block("except DecodeError:"):
+                ctx.line("t_entry = None")
+
+    @classmethod
+    def _emit_transfer_guard(cls, ctx) -> None:
+        """Inline :meth:`_transfer_to_iq` behind its folded early-outs."""
+        line = ctx.spec.line_size
+        iq_cap = ctx.spec.pipe_iq_size
+        with ctx.block(
+            "if not pipe_iq and frontend._iqb_loaded "
+            f"and frontend._iqb_read_pc < frontend._iqb_base + {line}:"
+        ):
+            ctx.line("t_moved = 0")
+            ctx.line(f"t_line_end = frontend._iqb_base + {line}")
+            ctx.line("t_span = frontend._span_pc")
+            ctx.line("t_ok = True")
+            with ctx.block("if t_span is not None:"):
+                # the latched head parcel completes only once the IQB
+                # holds the successor line and the tail bytes arrived
+                with ctx.block(
+                    "if frontend._iqb_base != "
+                    f"(t_span + 2) - ((t_span + 2) % {line}):"
+                ):
+                    ctx.line("t_ok = False")
+                with ctx.block("else:"):
+                    cls._emit_predecode_lookup(ctx, "t_span")
+                    with ctx.block(
+                        "if t_entry is None "
+                        "or frontend._iqb_valid_end < t_span + t_entry[1]:"
+                    ):
+                        ctx.line("t_ok = False")
+                    with ctx.block("else:"):
+                        ctx.line("t_size = t_entry[1]")
+                        ctx.line("pipe_iq.append((t_span, t_entry[0], t_size))")
+                        ctx.line("pipe_clock.ticks += 1")
+                        ctx.line("t_moved = t_size")
+                        ctx.line("frontend._iq_next_pc = t_span + t_size")
+                        ctx.line("frontend._iqb_read_pc = t_span + t_size")
+                        ctx.line("frontend._span_pc = None")
+                        if ctx.spec.traced:
+                            ctx.line(
+                                'tracer_emit("iq", "push", pc=t_span, '
+                                "depth=len(pipe_iq), bytes=t_moved)"
+                            )
+            with ctx.block("elif frontend._iqb_read_pc != frontend._iq_next_pc:"):
+                ctx.line("t_ok = False")
+            with ctx.block("if t_ok:"):
+                with ctx.block("while True:"):
+                    ctx.line("t_pc = frontend._iq_next_pc")
+                    with ctx.block(
+                        "if t_pc >= t_line_end "
+                        "or t_pc >= frontend._iqb_valid_end:"
+                    ):
+                        ctx.line("break")
+                    cls._emit_predecode_lookup(ctx, "t_pc")
+                    with ctx.block("if t_entry is None:"):
+                        ctx.line("break")
+                    ctx.line("t_size = t_entry[1]")
+                    with ctx.block("if t_pc + t_size > t_line_end:"):
+                        with ctx.block(
+                            "if t_moved == 0 "
+                            "and frontend._iqb_valid_end >= t_line_end:"
+                        ):
+                            ctx.line("frontend._span_pc = t_pc")
+                            ctx.line("frontend._iqb_read_pc = t_line_end")
+                            ctx.line("pipe_clock.ticks += 1")
+                        ctx.line("break")
+                    with ctx.block(
+                        "if t_pc + t_size > frontend._iqb_valid_end:"
+                    ):
+                        ctx.line("break")
+                    with ctx.block(f"if t_moved + t_size > {iq_cap}:"):
+                        ctx.line("break")
+                    ctx.line("pipe_iq.append((t_pc, t_entry[0], t_size))")
+                    ctx.line("pipe_clock.ticks += 1")
+                    ctx.line("t_moved += t_size")
+                    ctx.line("frontend._iq_next_pc = t_pc + t_size")
+                    ctx.line("frontend._iqb_read_pc = t_pc + t_size")
+                    if ctx.spec.traced:
+                        ctx.line(
+                            'tracer_emit("iq", "push", pc=t_pc, '
+                            "depth=len(pipe_iq), bytes=t_moved)"
+                        )
+                # the IQ was empty on entry, so the byte recount is the
+                # bytes moved (reference: sum over the IQ entries)
+                ctx.line("frontend._iq_bytes = t_moved")
+
+    @classmethod
+    def _emit_start_fill(cls, ctx, start: str) -> None:
+        """Inline :meth:`_start_fill`'s cache-resident arm for ``start``.
+
+        Positive probe answers memoize per residency epoch; anything
+        off-chip (or epoch-stale) falls back to the bound method, whose
+        own probe is side-effect free.
+        """
+        line = ctx.spec.line_size
+        ctx.line(f"t_start = {start}")
+        ctx.line(f"t_line = t_start - (t_start % {line})")
+        with ctx.block(
+            "if probe_memo.get(t_line) == icache_unit._epoch "
+            f"or cache_probe(t_line, {line}):"
+        ):
+            ctx.line("probe_memo[t_line] = icache_unit._epoch")
+            ctx.line("icache_stats.hits += 1")
+            if ctx.spec.traced:
+                ctx.line('tracer_emit("icache", "hit", addr=t_line)')
+            ctx.line("pipe_clock.ticks += 1")
+            ctx.line("frontend._iqb_loaded = True")
+            ctx.line("frontend._iqb_base = t_line")
+            ctx.line("frontend._iqb_read_pc = t_start")
+            ctx.line(f"frontend._iqb_valid_end = t_line + {line}")
+            if ctx.spec.traced:
+                ctx.line(
+                    'tracer_emit("iqb", "assign", base=t_line, source="cache")'
+                )
+        with ctx.block("else:"):
+            ctx.line("frontend_start_fill(t_start, now)")
+
+    @classmethod
+    def _emit_advance(cls, ctx) -> None:
+        line = ctx.spec.line_size
+        ctx.need(
+            "frontend",
+            "pipe_iq",
+            "pipe_clock",
+            "pd_table",
+            "probe_memo",
+            "icache_unit",
+            "icache_stats",
+            "cache_probe",
+            "frontend_predecode_at",
+            "frontend_start_fill",
+        )
+        cls._emit_transfer_guard(ctx)
+        with ctx.block("if not frontend._halted:"):
+            with ctx.block(
+                "if frontend._request is None or frontend._request_discarded:"
+            ):
+                ctx.line("branch = frontend._branch")
+                with ctx.block(
+                    "if branch is not None and branch.resolved and branch.taken "
+                    "and frontend._iq_next_pc >= branch.delay_end_pc:"
+                ):
+                    # redirect the IQB to the target line unless it
+                    # already covers the stream there
+                    ctx.line("t_target = branch.target")
+                    with ctx.block(
+                        "if not (frontend._iqb_loaded and frontend._iqb_base "
+                        f"== t_target - (t_target % {line}) "
+                        "and frontend._iqb_read_pc <= t_target):"
+                    ):
+                        cls._emit_start_fill(ctx, "t_target")
+                with ctx.block(
+                    "elif not frontend._iqb_loaded "
+                    f"or frontend._iqb_read_pc >= frontend._iqb_base + {line}:"
+                ):
+                    ctx.line("t_span = frontend._span_pc")
+                    with ctx.block("if t_span is not None:"):
+                        # fetch the successor line holding the latched
+                        # instruction's tail parcel
+                        ctx.line(
+                            f"t_next = t_span - (t_span % {line}) + {line}"
+                        )
+                        with ctx.block(
+                            "if frontend._iqb_base != t_next "
+                            "or not frontend._iqb_loaded:"
+                        ):
+                            cls._emit_start_fill(ctx, "t_next")
+                    with ctx.block("else:"):
+                        cls._emit_start_fill(ctx, "frontend._iq_next_pc")
+        cls._emit_transfer_guard(ctx)
+
+    @classmethod
+    def emit_compiled_update(cls, ctx) -> None:
+        ctx.need("frontend", "pipe_iq", "frontend_promote_starving")
+        ctx.line("f_req = frontend._request")
+        with ctx.block(
+            "if f_req is not None and not frontend._request_discarded "
+            "and not f_req.demand and not pipe_iq:"
+        ):
+            ctx.line("frontend_promote_starving()")
+        cls._emit_advance(ctx)
+
+    @classmethod
+    def emit_compiled_post_issue(cls, ctx) -> None:
+        cls._emit_advance(ctx)
+
+    @classmethod
+    def emit_compiled_next_instruction(cls, ctx) -> None:
+        ctx.need("pipe_iq")
+        ctx.line("fetched = pipe_iq[0] if pipe_iq else None")
+
+    @classmethod
+    def emit_compiled_consume(cls, ctx) -> None:
+        """Inline :meth:`consume`; ``pc``/``size`` are in scope (the
+        popped entry is exactly the issued ``fetched`` tuple)."""
+        ctx.need("frontend", "pipe_iq", "fe_stats")
+        ctx.line("pipe_iq.popleft()")
+        ctx.line("frontend._iq_bytes -= size")
+        ctx.line("fe_stats.instructions_supplied += 1")
+        if ctx.spec.traced:
+            ctx.line(
+                'tracer_emit("iq", "pop", pc=pc, depth=len(pipe_iq), '
+                "bytes=frontend._iq_bytes)"
+            )
 
     # ------------------------------------------------------------------
     # IQB -> IQ transfer

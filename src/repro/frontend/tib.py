@@ -71,6 +71,9 @@ class TibFetchUnit(FetchUnit):
     #: unaccepted request is outstanding (see the method), so the
     #: compiled kernel may guard the poll behind that test.
     COMPILED_POLL_GUARD = True
+    #: the ``emit_compiled_*`` classmethods below lower this unit's
+    #: state machines into the kernel (``docs/COMPILED.md``)
+    COMPILED_FRONTEND_INLINE = True
 
     def __init__(
         self,
@@ -131,6 +134,75 @@ class TibFetchUnit(FetchUnit):
 
     def _buffered_bytes(self) -> int:
         return self._valid_end - self._pc
+
+    # ------------------------------------------------------------------
+    # compiled-kernel lowering (repro.core.compiled)
+    # ------------------------------------------------------------------
+    # The lowered phases fold ``_maybe_request``'s cheap early-outs —
+    # the stream-buffer room test with ``stream_capacity``/``block_size``
+    # as literals — and call the bound helpers only when they can act
+    # (each re-checks its own guards).  ``next_instruction`` reads the
+    # shared predecode table directly: the common case (entry already
+    # decoded, fully arrived) is three comparisons and a dict lookup.
+
+    @classmethod
+    def _emit_request_guard(cls, ctx) -> None:
+        cap = ctx.spec.tib_stream_capacity
+        block = ctx.spec.tib_block_size
+        with ctx.block(
+            "if not frontend._halted and "
+            f"{cap} - (frontend._valid_end - frontend._pc) >= {block}:"
+        ):
+            ctx.line("frontend_maybe_request(now)")
+
+    @classmethod
+    def emit_compiled_update(cls, ctx) -> None:
+        ctx.need(
+            "frontend", "frontend_promote_starving", "frontend_maybe_request"
+        )
+        ctx.line("f_req = frontend._request")
+        with ctx.block("if f_req is not None:"):
+            with ctx.block("if not f_req.demand:"):
+                ctx.line("frontend_promote_starving()")
+        with ctx.block("else:"):
+            cls._emit_request_guard(ctx)
+
+    @classmethod
+    def emit_compiled_post_issue(cls, ctx) -> None:
+        ctx.need("frontend", "frontend_maybe_request")
+        with ctx.block("if frontend._request is None:"):
+            cls._emit_request_guard(ctx)
+
+    @classmethod
+    def emit_compiled_next_instruction(cls, ctx) -> None:
+        """Inline :meth:`next_instruction` over the predecode table.
+
+        ``False`` is the not-yet-decoded sentinel (``dict.get`` default);
+        ``None`` marks bytes that do not decode, which the bound method
+        also reports as nothing-to-issue.
+        """
+        ctx.need("frontend", "pd_table", "frontend_next_instruction")
+        ctx.line("f_pc = frontend._pc")
+        ctx.line("f_end = frontend._valid_end")
+        with ctx.block("if f_pc + 2 > f_end:"):
+            ctx.line("fetched = None")
+        with ctx.block("else:"):
+            ctx.line("entry = pd_table.get(f_pc, False)")
+            with ctx.block("if entry is False:"):
+                ctx.line("fetched = frontend_next_instruction()")
+            with ctx.block("elif entry is None:"):
+                ctx.line("fetched = None")
+            with ctx.block("elif f_pc + entry[1] <= f_end:"):
+                ctx.line("fetched = (f_pc, entry[0], entry[1])")
+            with ctx.block("else:"):
+                ctx.line("fetched = None")
+
+    @classmethod
+    def emit_compiled_consume(cls, ctx) -> None:
+        """Inline :meth:`consume`; ``pc``/``size`` are in scope."""
+        ctx.need("frontend", "fe_stats")
+        ctx.line("frontend._pc = pc + size")
+        ctx.line("fe_stats.instructions_supplied += 1")
 
     def _maybe_request(self, now: int) -> None:
         if self._halted or self._request is not None:

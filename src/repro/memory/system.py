@@ -297,7 +297,6 @@ class MemorySystem:
             "memory",
             "mem_stats",
             "external",
-            "frontend_poll",
             "engine_poll",
             "frontend_notify",
             "engine_notify",
@@ -310,10 +309,15 @@ class MemorySystem:
                 "if frontend._request is not None "
                 "and not frontend._request_accepted:"
             ):
-                ctx.line("f_reqs = frontend_poll(now)")
+                if ctx.frontend_cls is not None:
+                    ctx.frontend_cls.emit_compiled_poll(ctx)
+                else:
+                    ctx.need("frontend_poll")
+                    ctx.line("f_reqs = frontend_poll(now)")
             with ctx.block("else:"):
                 ctx.line("f_reqs = ()")
         else:
+            ctx.need("frontend_poll")
             ctx.line("f_reqs = frontend_poll(now)")
         if spec.engine_precheck:
             ctx.need("laq_items", "saq_items", "sdq_items")

@@ -18,15 +18,10 @@ def __kernel(sim):
     backend_state = sim.backend.state
     backend_env = sim.backend._env
     effects_memo = {}
-    frontend_next_instruction = sim.frontend.next_instruction
-    frontend_consume = sim.frontend.consume
     frontend_note_branch = sim.frontend.note_branch
     frontend_branch_resolved = sim.frontend.branch_resolved
     frontend_redirect = sim.frontend.redirect
     frontend_halt = sim.frontend.halt
-    frontend_update = sim.frontend.update
-    frontend_post_issue = sim.frontend.post_issue
-    frontend_poll = sim.frontend.poll_requests
     frontend_notify = sim.frontend.notify_accepted
     engine_poll = sim.engine.poll_requests
     engine_notify = sim.engine.notify_accepted
@@ -36,6 +31,18 @@ def __kernel(sim):
     fpu_accept = sim.memory.fpu.accept
     replay_on_backedge = sim.replay_controller.on_backedge
     replay_check_runaway = sim.replay_controller.check_runaway
+    fe_stats = sim.frontend.stats
+    icache_stats = sim.frontend.cache.stats
+    icache_unit = sim.frontend.cache
+    cache_probe = sim.frontend.cache.probe
+    pipe_iq = sim.frontend._iq
+    pipe_clock = sim.frontend._clock
+    pd_table = sim.frontend.predecode._table
+    probe_memo = {}
+    frontend_promote_starving = sim.frontend._promote_if_starving
+    frontend_predecode_at = sim.frontend.predecode.at
+    frontend_start_fill = sim.frontend._start_fill
+    dispatch_get = _dispatch_for(sim).handler_for
     last_ticks = clock.ticks
     last_progress_at = 0
     while True:
@@ -52,7 +59,172 @@ def __kernel(sim):
             ldq_push(ifl.popleft().value)
         if len(ifl) > engine_stats.ldq_max_wait_entries:
             engine_stats.ldq_max_wait_entries = len(ifl)
-        frontend_update(now)
+        # frontend.update(now)
+        f_req = frontend._request
+        if f_req is not None and not frontend._request_discarded and not f_req.demand and not pipe_iq:
+            frontend_promote_starving()
+        if not pipe_iq and frontend._iqb_loaded and frontend._iqb_read_pc < frontend._iqb_base + 16:
+            t_moved = 0
+            t_line_end = frontend._iqb_base + 16
+            t_span = frontend._span_pc
+            t_ok = True
+            if t_span is not None:
+                if frontend._iqb_base != (t_span + 2) - ((t_span + 2) % 16):
+                    t_ok = False
+                else:
+                    t_entry = pd_table.get(t_span, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_span)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None or frontend._iqb_valid_end < t_span + t_entry[1]:
+                        t_ok = False
+                    else:
+                        t_size = t_entry[1]
+                        pipe_iq.append((t_span, t_entry[0], t_size))
+                        pipe_clock.ticks += 1
+                        t_moved = t_size
+                        frontend._iq_next_pc = t_span + t_size
+                        frontend._iqb_read_pc = t_span + t_size
+                        frontend._span_pc = None
+            elif frontend._iqb_read_pc != frontend._iq_next_pc:
+                t_ok = False
+            if t_ok:
+                while True:
+                    t_pc = frontend._iq_next_pc
+                    if t_pc >= t_line_end or t_pc >= frontend._iqb_valid_end:
+                        break
+                    t_entry = pd_table.get(t_pc, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_pc)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None:
+                        break
+                    t_size = t_entry[1]
+                    if t_pc + t_size > t_line_end:
+                        if t_moved == 0 and frontend._iqb_valid_end >= t_line_end:
+                            frontend._span_pc = t_pc
+                            frontend._iqb_read_pc = t_line_end
+                            pipe_clock.ticks += 1
+                        break
+                    if t_pc + t_size > frontend._iqb_valid_end:
+                        break
+                    if t_moved + t_size > 16:
+                        break
+                    pipe_iq.append((t_pc, t_entry[0], t_size))
+                    pipe_clock.ticks += 1
+                    t_moved += t_size
+                    frontend._iq_next_pc = t_pc + t_size
+                    frontend._iqb_read_pc = t_pc + t_size
+                frontend._iq_bytes = t_moved
+        if not frontend._halted:
+            if frontend._request is None or frontend._request_discarded:
+                branch = frontend._branch
+                if branch is not None and branch.resolved and branch.taken and frontend._iq_next_pc >= branch.delay_end_pc:
+                    t_target = branch.target
+                    if not (frontend._iqb_loaded and frontend._iqb_base == t_target - (t_target % 16) and frontend._iqb_read_pc <= t_target):
+                        t_start = t_target
+                        t_line = t_start - (t_start % 16)
+                        if probe_memo.get(t_line) == icache_unit._epoch or cache_probe(t_line, 16):
+                            probe_memo[t_line] = icache_unit._epoch
+                            icache_stats.hits += 1
+                            pipe_clock.ticks += 1
+                            frontend._iqb_loaded = True
+                            frontend._iqb_base = t_line
+                            frontend._iqb_read_pc = t_start
+                            frontend._iqb_valid_end = t_line + 16
+                        else:
+                            frontend_start_fill(t_start, now)
+                elif not frontend._iqb_loaded or frontend._iqb_read_pc >= frontend._iqb_base + 16:
+                    t_span = frontend._span_pc
+                    if t_span is not None:
+                        t_next = t_span - (t_span % 16) + 16
+                        if frontend._iqb_base != t_next or not frontend._iqb_loaded:
+                            t_start = t_next
+                            t_line = t_start - (t_start % 16)
+                            if probe_memo.get(t_line) == icache_unit._epoch or cache_probe(t_line, 16):
+                                probe_memo[t_line] = icache_unit._epoch
+                                icache_stats.hits += 1
+                                pipe_clock.ticks += 1
+                                frontend._iqb_loaded = True
+                                frontend._iqb_base = t_line
+                                frontend._iqb_read_pc = t_start
+                                frontend._iqb_valid_end = t_line + 16
+                            else:
+                                frontend_start_fill(t_start, now)
+                    else:
+                        t_start = frontend._iq_next_pc
+                        t_line = t_start - (t_start % 16)
+                        if probe_memo.get(t_line) == icache_unit._epoch or cache_probe(t_line, 16):
+                            probe_memo[t_line] = icache_unit._epoch
+                            icache_stats.hits += 1
+                            pipe_clock.ticks += 1
+                            frontend._iqb_loaded = True
+                            frontend._iqb_base = t_line
+                            frontend._iqb_read_pc = t_start
+                            frontend._iqb_valid_end = t_line + 16
+                        else:
+                            frontend_start_fill(t_start, now)
+        if not pipe_iq and frontend._iqb_loaded and frontend._iqb_read_pc < frontend._iqb_base + 16:
+            t_moved = 0
+            t_line_end = frontend._iqb_base + 16
+            t_span = frontend._span_pc
+            t_ok = True
+            if t_span is not None:
+                if frontend._iqb_base != (t_span + 2) - ((t_span + 2) % 16):
+                    t_ok = False
+                else:
+                    t_entry = pd_table.get(t_span, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_span)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None or frontend._iqb_valid_end < t_span + t_entry[1]:
+                        t_ok = False
+                    else:
+                        t_size = t_entry[1]
+                        pipe_iq.append((t_span, t_entry[0], t_size))
+                        pipe_clock.ticks += 1
+                        t_moved = t_size
+                        frontend._iq_next_pc = t_span + t_size
+                        frontend._iqb_read_pc = t_span + t_size
+                        frontend._span_pc = None
+            elif frontend._iqb_read_pc != frontend._iq_next_pc:
+                t_ok = False
+            if t_ok:
+                while True:
+                    t_pc = frontend._iq_next_pc
+                    if t_pc >= t_line_end or t_pc >= frontend._iqb_valid_end:
+                        break
+                    t_entry = pd_table.get(t_pc, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_pc)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None:
+                        break
+                    t_size = t_entry[1]
+                    if t_pc + t_size > t_line_end:
+                        if t_moved == 0 and frontend._iqb_valid_end >= t_line_end:
+                            frontend._span_pc = t_pc
+                            frontend._iqb_read_pc = t_line_end
+                            pipe_clock.ticks += 1
+                        break
+                    if t_pc + t_size > frontend._iqb_valid_end:
+                        break
+                    if t_moved + t_size > 16:
+                        break
+                    pipe_iq.append((t_pc, t_entry[0], t_size))
+                    pipe_clock.ticks += 1
+                    t_moved += t_size
+                    frontend._iq_next_pc = t_pc + t_size
+                    frontend._iqb_read_pc = t_pc + t_size
+                frontend._iq_bytes = t_moved
         # backend.step(now)
         if not backend.halted:
             ok = True
@@ -80,7 +252,7 @@ def __kernel(sim):
                         if last_pc is not None and target < last_pc:
                             backend.replay_backedge = target
             if ok:
-                fetched = frontend_next_instruction()
+                fetched = pipe_iq[0] if pipe_iq else None
                 if fetched is None:
                     backend_stalls['frontend_empty'] += 1
                     backend.last_stall_reason = 'frontend_empty'
@@ -89,7 +261,7 @@ def __kernel(sim):
                     entry = effects_memo.get(id(instruction))
                     if entry is None:
                         _fx = queue_effects(instruction)
-                        entry = (instruction, _fx.pops_ldq, _fx.pushes_laq, _fx.pushes_saq, _fx.pushes_sdq, instruction.op.is_branch)
+                        entry = (instruction, _fx.pops_ldq, _fx.pushes_laq, _fx.pushes_saq, _fx.pushes_sdq, instruction.op.is_branch, dispatch_get(instruction))
                         effects_memo[id(instruction)] = entry
                     if entry[5] and pending is not None:
                         backend_stalls['branch_overlap'] += 1
@@ -107,11 +279,13 @@ def __kernel(sim):
                         backend_stalls['sdq_full'] += 1
                         backend.last_stall_reason = 'sdq_full'
                     else:
-                        outcome = execute(instruction, backend_state, backend_env)
+                        outcome = entry[6](backend_state, backend_env)
                         if backend.issue_log is not None:
                             backend.issue_log.append(("i", pc, instruction, outcome))
                         clock.ticks += 1
-                        frontend_consume(now)
+                        pipe_iq.popleft()
+                        frontend._iq_bytes -= size
+                        fe_stats.instructions_supplied += 1
                         backend.instructions += 1
                         backend.last_pc = pc
                         if outcome.halted:
@@ -126,10 +300,176 @@ def __kernel(sim):
                             pending.slots_remaining -= 1
         if backend.halted:
             frontend_halt()
-        frontend_post_issue(now)
+        # frontend.post_issue(now)
+        if not pipe_iq and frontend._iqb_loaded and frontend._iqb_read_pc < frontend._iqb_base + 16:
+            t_moved = 0
+            t_line_end = frontend._iqb_base + 16
+            t_span = frontend._span_pc
+            t_ok = True
+            if t_span is not None:
+                if frontend._iqb_base != (t_span + 2) - ((t_span + 2) % 16):
+                    t_ok = False
+                else:
+                    t_entry = pd_table.get(t_span, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_span)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None or frontend._iqb_valid_end < t_span + t_entry[1]:
+                        t_ok = False
+                    else:
+                        t_size = t_entry[1]
+                        pipe_iq.append((t_span, t_entry[0], t_size))
+                        pipe_clock.ticks += 1
+                        t_moved = t_size
+                        frontend._iq_next_pc = t_span + t_size
+                        frontend._iqb_read_pc = t_span + t_size
+                        frontend._span_pc = None
+            elif frontend._iqb_read_pc != frontend._iq_next_pc:
+                t_ok = False
+            if t_ok:
+                while True:
+                    t_pc = frontend._iq_next_pc
+                    if t_pc >= t_line_end or t_pc >= frontend._iqb_valid_end:
+                        break
+                    t_entry = pd_table.get(t_pc, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_pc)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None:
+                        break
+                    t_size = t_entry[1]
+                    if t_pc + t_size > t_line_end:
+                        if t_moved == 0 and frontend._iqb_valid_end >= t_line_end:
+                            frontend._span_pc = t_pc
+                            frontend._iqb_read_pc = t_line_end
+                            pipe_clock.ticks += 1
+                        break
+                    if t_pc + t_size > frontend._iqb_valid_end:
+                        break
+                    if t_moved + t_size > 16:
+                        break
+                    pipe_iq.append((t_pc, t_entry[0], t_size))
+                    pipe_clock.ticks += 1
+                    t_moved += t_size
+                    frontend._iq_next_pc = t_pc + t_size
+                    frontend._iqb_read_pc = t_pc + t_size
+                frontend._iq_bytes = t_moved
+        if not frontend._halted:
+            if frontend._request is None or frontend._request_discarded:
+                branch = frontend._branch
+                if branch is not None and branch.resolved and branch.taken and frontend._iq_next_pc >= branch.delay_end_pc:
+                    t_target = branch.target
+                    if not (frontend._iqb_loaded and frontend._iqb_base == t_target - (t_target % 16) and frontend._iqb_read_pc <= t_target):
+                        t_start = t_target
+                        t_line = t_start - (t_start % 16)
+                        if probe_memo.get(t_line) == icache_unit._epoch or cache_probe(t_line, 16):
+                            probe_memo[t_line] = icache_unit._epoch
+                            icache_stats.hits += 1
+                            pipe_clock.ticks += 1
+                            frontend._iqb_loaded = True
+                            frontend._iqb_base = t_line
+                            frontend._iqb_read_pc = t_start
+                            frontend._iqb_valid_end = t_line + 16
+                        else:
+                            frontend_start_fill(t_start, now)
+                elif not frontend._iqb_loaded or frontend._iqb_read_pc >= frontend._iqb_base + 16:
+                    t_span = frontend._span_pc
+                    if t_span is not None:
+                        t_next = t_span - (t_span % 16) + 16
+                        if frontend._iqb_base != t_next or not frontend._iqb_loaded:
+                            t_start = t_next
+                            t_line = t_start - (t_start % 16)
+                            if probe_memo.get(t_line) == icache_unit._epoch or cache_probe(t_line, 16):
+                                probe_memo[t_line] = icache_unit._epoch
+                                icache_stats.hits += 1
+                                pipe_clock.ticks += 1
+                                frontend._iqb_loaded = True
+                                frontend._iqb_base = t_line
+                                frontend._iqb_read_pc = t_start
+                                frontend._iqb_valid_end = t_line + 16
+                            else:
+                                frontend_start_fill(t_start, now)
+                    else:
+                        t_start = frontend._iq_next_pc
+                        t_line = t_start - (t_start % 16)
+                        if probe_memo.get(t_line) == icache_unit._epoch or cache_probe(t_line, 16):
+                            probe_memo[t_line] = icache_unit._epoch
+                            icache_stats.hits += 1
+                            pipe_clock.ticks += 1
+                            frontend._iqb_loaded = True
+                            frontend._iqb_base = t_line
+                            frontend._iqb_read_pc = t_start
+                            frontend._iqb_valid_end = t_line + 16
+                        else:
+                            frontend_start_fill(t_start, now)
+        if not pipe_iq and frontend._iqb_loaded and frontend._iqb_read_pc < frontend._iqb_base + 16:
+            t_moved = 0
+            t_line_end = frontend._iqb_base + 16
+            t_span = frontend._span_pc
+            t_ok = True
+            if t_span is not None:
+                if frontend._iqb_base != (t_span + 2) - ((t_span + 2) % 16):
+                    t_ok = False
+                else:
+                    t_entry = pd_table.get(t_span, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_span)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None or frontend._iqb_valid_end < t_span + t_entry[1]:
+                        t_ok = False
+                    else:
+                        t_size = t_entry[1]
+                        pipe_iq.append((t_span, t_entry[0], t_size))
+                        pipe_clock.ticks += 1
+                        t_moved = t_size
+                        frontend._iq_next_pc = t_span + t_size
+                        frontend._iqb_read_pc = t_span + t_size
+                        frontend._span_pc = None
+            elif frontend._iqb_read_pc != frontend._iq_next_pc:
+                t_ok = False
+            if t_ok:
+                while True:
+                    t_pc = frontend._iq_next_pc
+                    if t_pc >= t_line_end or t_pc >= frontend._iqb_valid_end:
+                        break
+                    t_entry = pd_table.get(t_pc, False)
+                    if t_entry is False:
+                        try:
+                            t_entry = frontend_predecode_at(t_pc)
+                        except DecodeError:
+                            t_entry = None
+                    if t_entry is None:
+                        break
+                    t_size = t_entry[1]
+                    if t_pc + t_size > t_line_end:
+                        if t_moved == 0 and frontend._iqb_valid_end >= t_line_end:
+                            frontend._span_pc = t_pc
+                            frontend._iqb_read_pc = t_line_end
+                            pipe_clock.ticks += 1
+                        break
+                    if t_pc + t_size > frontend._iqb_valid_end:
+                        break
+                    if t_moved + t_size > 16:
+                        break
+                    pipe_iq.append((t_pc, t_entry[0], t_size))
+                    pipe_clock.ticks += 1
+                    t_moved += t_size
+                    frontend._iq_next_pc = t_pc + t_size
+                    frontend._iqb_read_pc = t_pc + t_size
+                frontend._iq_bytes = t_moved
         # memory.end_cycle(now)
         if frontend._request is not None and not frontend._request_accepted:
-            f_reqs = frontend_poll(now)
+            if frontend._halted:
+                frontend._request = None
+                f_reqs = ()
+            else:
+                f_reqs = (frontend._request,)
         else:
             f_reqs = ()
         if laq_items or (saq_items and sdq_items):

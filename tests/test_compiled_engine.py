@@ -27,6 +27,7 @@ from repro.core.config import MachineConfig
 from repro.core.simulator import Simulator, simulate
 
 GOLDEN = Path(__file__).parent / "goldens" / "compiled_kernel_headline.py"
+CONV_GOLDEN = Path(__file__).parent / "goldens" / "compiled_kernel_conventional.py"
 
 
 def _pipe(**overrides) -> MachineConfig:
@@ -132,6 +133,106 @@ class TestEscapeHatch:
         assert result == simulate(_pipe(), tiny_program, compiled=False)
 
 
+class TestDispatchCache:
+    """The second cache level: per-(program, config) dispatch tables."""
+
+    def test_dispatch_table_is_cached_per_program_and_config(
+        self, tiny_program
+    ):
+        simulate(_pipe(), tiny_program, compiled=True)
+        stats = compile_stats()
+        assert stats["dispatch_tables"] == 1
+        assert stats["dispatch_handlers"] > 0
+        hits = stats["dispatch_cache_hits"]
+        simulate(_pipe(), tiny_program, compiled=True)
+        assert compile_stats()["dispatch_tables"] == 1
+        assert compile_stats()["dispatch_cache_hits"] == hits + 1
+        # a different program under the same config is a new table
+        simulate(_pipe(), assemble("halt"), compiled=True)
+        assert compile_stats()["dispatch_tables"] == 2
+
+    def test_clear_drops_stale_program_kernels(self, tiny_program):
+        """A cleared cache cannot serve stale per-program dispatch tables.
+
+        ``clear_compile_cache`` documents that both cache levels clear
+        together; this pins it.
+        """
+        baseline = simulate(_pipe(), tiny_program, compiled=True)
+        assert compile_stats()["dispatch_tables"] == 1
+        clear_compile_cache()
+        stats = compile_stats()
+        assert stats["kernels"] == 0
+        assert stats["dispatch_tables"] == 0
+        assert stats["dispatch_handlers"] == 0
+        # the rerun rebuilds from scratch (a miss, not a stale hit) and
+        # still reproduces the pre-clear run exactly
+        hits = stats["dispatch_cache_hits"]
+        assert simulate(_pipe(), tiny_program, compiled=True) == baseline
+        after = compile_stats()
+        assert after["dispatch_tables"] == 1
+        assert after["dispatch_cache_hits"] == hits
+
+
+class TestFrontendInlining:
+    def test_headline_spec_inlines_frontend_and_dispatch(self, tiny_program):
+        spec = kernel_spec_for(_sim(program=tiny_program))
+        assert spec.inline_frontend is True
+        assert spec.specialize_dispatch is True
+        assert spec.line_size == 16
+        source = generate_source(spec)
+        # the frontend phases are open-coded, not bound-method calls...
+        assert "frontend_update(" not in source
+        assert "frontend_post_issue(" not in source
+        # ...and execution goes through the per-program handler table
+        assert "dispatch_get(instruction)" in source
+
+    def test_conventional_and_tib_specs_inline_their_frontends(
+        self, tiny_program
+    ):
+        conv = kernel_spec_for(
+            _sim(MachineConfig.conventional(128, memory_access_time=6))
+        )
+        assert conv.inline_frontend is True
+        tib = kernel_spec_for(
+            _sim(MachineConfig.tib(memory_access_time=6), tiny_program)
+        )
+        assert tib.inline_frontend is True
+        assert tib.tib_block_size is not None
+        assert tib.tib_stream_capacity is not None
+
+    def test_frontend_subclass_falls_back_byte_identically(
+        self, tiny_program
+    ):
+        """A subclass inherits COMPILED_FRONTEND_INLINE, not eligibility.
+
+        The emitted state machines assume the exact shipped classes; a
+        subclass (which may override anything) must drop to bound-method
+        calls and still reproduce the run exactly.
+        """
+        from repro.frontend.pipe_fetch import PipeFetchUnit
+
+        baseline = simulate(_pipe(), tiny_program, compiled=True)
+
+        class TweakedPipe(PipeFetchUnit):
+            pass
+
+        sim = _sim(program=tiny_program)
+        sim.frontend.__class__ = TweakedPipe
+        kernel = kernel_for(sim)
+        assert kernel.spec.inline_frontend is False
+        assert kernel.spec.poll_guard is True  # unrelated folds survive
+        assert "frontend_update(" in kernel.source
+        assert sim.run() == baseline
+
+    def test_monkeypatched_frontend_method_disables_inlining(
+        self, tiny_program
+    ):
+        sim = _sim(program=tiny_program)
+        original = sim.frontend.consume
+        sim.frontend.consume = lambda now: original(now)
+        assert kernel_spec_for(sim).inline_frontend is False
+
+
 class TestFingerprint:
     def test_stable_across_equal_configs(self):
         assert config_fingerprint(_pipe()) == config_fingerprint(_pipe())
@@ -185,7 +286,26 @@ class TestGenerateSource:
         )
         assert generate_source(spec) == GOLDEN.read_text()
 
+    def test_conventional_kernel_matches_the_golden(self):
+        """The conventional frontend's inlined kernel is golden-pinned too.
+
+        This is the frontend whose emitted body leans on the icache
+        residency-epoch memos, so its codegen deserves its own diff
+        review.  Regenerate alongside the headline golden.
+        """
+        spec = kernel_spec_for(
+            _sim(MachineConfig.conventional(128, memory_access_time=6))
+        )
+        assert spec.inline_frontend is True
+        assert generate_source(spec) == CONV_GOLDEN.read_text()
+
 
 def regenerate_golden() -> None:  # pragma: no cover - maintenance helper
-    spec = kernel_spec_for(_sim())
-    GOLDEN.write_text(generate_source(spec))
+    GOLDEN.write_text(generate_source(kernel_spec_for(_sim())))
+    CONV_GOLDEN.write_text(
+        generate_source(
+            kernel_spec_for(
+                _sim(MachineConfig.conventional(128, memory_access_time=6))
+            )
+        )
+    )

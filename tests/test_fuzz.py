@@ -89,7 +89,7 @@ def test_fuzz_failure_writes_minimized_reproducer(tmp_path, monkeypatch):
     # Force every case to "fail" so the reproducer path runs without a
     # real engine bug; shrinking is exercised separately below.
     monkeypatch.setattr(
-        fuzz, "check_workload", lambda kernel, arrays, config: ["forced divergence"]
+        fuzz, "check_workload", lambda kernel, arrays, config, engines=None: ["forced divergence"]
     )
     report = run_fuzz(
         start_seed=3,
@@ -117,7 +117,7 @@ def test_run_corpus_reports_failures(tmp_path, monkeypatch):
     source = (CORPUS_DIR / "reduction.json").read_text()
     (tmp_path / "reduction.json").write_text(source)
     monkeypatch.setattr(
-        fuzz, "check_workload", lambda kernel, arrays, config: ["forced divergence"]
+        fuzz, "check_workload", lambda kernel, arrays, config, engines=None: ["forced divergence"]
     )
     report = run_corpus(tmp_path, configs=["pipe-16-16"])
     assert report.cases == 1
