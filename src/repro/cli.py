@@ -49,7 +49,13 @@ from .core import faults
 from .core.config import PAPER_CACHE_SIZES, PIPE_CONFIGURATIONS, MachineConfig
 from .core.parallel import parallel_map, resolve_jobs
 from .core.resilience import SweepCheckpoint, SweepSupervisor, ladder_simulate
-from .core.scheduler import NO_COMPILED_ENV, NO_REPLAY_ENV, NO_SKIP_ENV
+from .core.scheduler import (
+    NO_AFFINITY_ENV,
+    NO_COMPILED_ENV,
+    NO_DISK_CODEGEN_ENV,
+    NO_REPLAY_ENV,
+    NO_SKIP_ENV,
+)
 from .core.simcache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, SimulationCache
 from .core.simulator import simulate, simulate_traced
 from .core.trace import TraceMetrics
@@ -194,13 +200,14 @@ def _finish_supervised(
         )
     print(supervisor.report.summary())
     if args.fault_report is not None:
-        from .core.compiled import compile_stats
+        from .core.compiled import fleet_compile_stats
 
         payload = supervisor.report.to_dict()
         # codegen-cache engagement sits next to the per-rung tallies so
         # one JSON answers both "which rung served each point" and "what
-        # did the compiled rung actually compile or reuse"
-        payload["codegen"] = compile_stats()
+        # did the compiled rung actually compile or reuse" — summed
+        # across this process and every pool worker that reported in
+        payload["codegen"] = fleet_compile_stats()
         with open(args.fault_report, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"fault report written : {args.fault_report}")
@@ -497,12 +504,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from .core.codegen_store import CODEGEN_SUBDIR, CodegenStore
+
     cache = SimulationCache(args.cache_dir)
+    store = CodegenStore(os.path.join(str(cache.root), CODEGEN_SUBDIR))
     if args.action == "stats":
         print(cache.describe())
+        print(store.describe())
     else:  # clear
-        removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.root}")
+        clear_sim = not args.codegen_only
+        clear_codegen = not args.sim_only
+        if clear_sim:
+            removed = cache.clear()
+            print(f"removed {removed} cached result(s) from {cache.root}")
+        if clear_codegen:
+            removed = store.clear()
+            print(f"removed {removed} codegen artifact(s) from {store.root}")
     return 0
 
 
@@ -562,6 +579,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the per-config compiled step kernel and run the "
         "interpreted engines (results are identical; equivalent to "
         "REPRO_NO_COMPILED=1)",
+    )
+    parser.add_argument(
+        "--no-disk-codegen",
+        action="store_true",
+        help="disable the persistent codegen artifact store under "
+        "<cache-dir>/codegen (results are identical; equivalent to "
+        "REPRO_NO_DISK_CODEGEN=1)",
+    )
+    parser.add_argument(
+        "--no-affinity",
+        action="store_true",
+        help="disable config-affinity batched scheduling of sweep "
+        "points; each point travels as its own pool task (results are "
+        "identical; equivalent to REPRO_NO_AFFINITY=1)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -679,6 +710,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
     )
+    cache_parser.add_argument(
+        "--codegen-only",
+        action="store_true",
+        help="clear only the codegen artifact store, keep simulation "
+        "results",
+    )
+    cache_parser.add_argument(
+        "--sim-only",
+        action="store_true",
+        help="clear only the simulation results, keep codegen artifacts",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
 
     fuzz_parser = sub.add_parser(
@@ -742,6 +784,10 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[NO_REPLAY_ENV] = "1"
     if args.no_compiled:
         os.environ[NO_COMPILED_ENV] = "1"
+    if args.no_disk_codegen:
+        os.environ[NO_DISK_CODEGEN_ENV] = "1"
+    if args.no_affinity:
+        os.environ[NO_AFFINITY_ENV] = "1"
     return args.func(args)
 
 

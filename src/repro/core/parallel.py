@@ -31,10 +31,13 @@ from typing import Callable, Generic, Iterable, Sequence, TypeVar
 from ..asm.program import Program
 from .config import MachineConfig
 from .results import SimulationResult
+from .scheduler import affinity_enabled_default
 
 __all__ = [
     "JOBS_ENV",
     "ItemOutcome",
+    "affinity_batches",
+    "config_affinity_key",
     "parallel_map",
     "parallel_map_outcomes",
     "resolve_jobs",
@@ -195,6 +198,70 @@ def parallel_map_outcomes(
 
 
 # ----------------------------------------------------------------------
+# Config-affinity batching: group sweep points by kernel family
+# ----------------------------------------------------------------------
+#: Ceiling on points per IPC batch, whatever the grid size: batches
+#: bound the retry/timeout blast radius (a killed worker forfeits at
+#: most one batch of work) and keep per-point fault injection precise.
+MAX_AFFINITY_BATCH = 8
+
+
+def config_affinity_key(config: MachineConfig) -> str:
+    """The scheduling affinity key of one sweep point: its kernel family.
+
+    Every config field except the ones that never reach the generated
+    kernel text: ``icache_size``, ``memory_access_time``, and
+    ``input_bus_width`` all parameterize runtime state (cache geometry
+    and memory timing enter the kernel through its exec-time globals),
+    so all sizes and memory speeds of one machine shape share codegen
+    warmth — one generated source, one bytecode compile, one set of
+    dispatch handlers.  Sweeps vary exactly these fields, which is what
+    makes the grouping dense.
+    """
+    fields = config.to_dict()
+    for name in ("icache_size", "memory_access_time", "input_bus_width"):
+        fields.pop(name, None)
+    return repr(sorted(fields.items()))
+
+
+def affinity_batches(
+    keys: Sequence[str],
+    jobs: int,
+    max_batch: int = MAX_AFFINITY_BATCH,
+) -> list[list[int]]:
+    """Deterministic point-index batches, one kernel family per batch.
+
+    Indices are grouped by affinity key (first-occurrence order, so the
+    plan is a pure function of the input), each group is chunked to at
+    most ``min(max_batch, ceil(n/jobs))`` points — small enough that
+    every worker gets work even when one family dominates — and chunks
+    are emitted round-robin across families so distinct families run
+    concurrently rather than queueing behind one another.  Order never
+    affects *results*: callers merge per-point outcomes by index.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, key in enumerate(keys):
+        groups.setdefault(key, []).append(index)
+    jobs = max(1, jobs)
+    cap = max(1, min(int(max_batch), -(-len(keys) // jobs)))
+    chunked = [
+        [indices[start : start + cap] for start in range(0, len(indices), cap)]
+        for indices in groups.values()
+    ]
+    batches: list[list[int]] = []
+    depth = 0
+    while True:
+        emitted = False
+        for chunks in chunked:
+            if depth < len(chunks):
+                batches.append(chunks[depth])
+                emitted = True
+        if not emitted:
+            return batches
+        depth += 1
+
+
+# ----------------------------------------------------------------------
 # Simulation fan-out: the program lives in each worker, configs travel.
 # ----------------------------------------------------------------------
 _worker_program: Program | None = None
@@ -212,6 +279,31 @@ def _simulate_point(config: MachineConfig) -> SimulationResult:
     return simulate(config, _worker_program)
 
 
+def _simulate_batch(
+    task: Sequence[tuple[int, dict]],
+) -> tuple[list[tuple[int, SimulationResult]], dict]:
+    """Worker body: one affinity batch of ``(index, config fields)``.
+
+    Configs travel as their compact ``to_dict`` descriptors (one small
+    dict per point instead of a pickled object graph per IPC round).
+    Returns the indexed results plus this worker's codegen-stat delta,
+    tagged with its pid, so the parent can aggregate fleet-wide codegen
+    visibility; freshly learned dispatch handlers are flushed to the
+    persistent store at the batch boundary.
+    """
+    from .compiled import compile_stats, compile_stats_delta, flush_codegen_artifacts
+    from .simulator import simulate
+
+    assert _worker_program is not None, "worker initialized without a program"
+    baseline = compile_stats()
+    results = [
+        (index, simulate(MachineConfig.from_dict(fields), _worker_program))
+        for index, fields in task
+    ]
+    flush_codegen_artifacts()
+    return results, compile_stats_delta(baseline)
+
+
 def simulate_many(
     program: Program,
     configs: Sequence[MachineConfig],
@@ -220,7 +312,10 @@ def simulate_many(
     """Simulate every config against ``program``, fanned out over workers.
 
     Results are returned in ``configs`` order and are bit-identical to
-    running the same list serially.
+    running the same list serially.  Multi-worker runs ship points in
+    config-affinity batches (:func:`affinity_batches`) unless
+    ``REPRO_NO_AFFINITY`` is set, in which case every point travels as
+    its own pool task exactly as before.
     """
     configs = list(configs)
     jobs = min(resolve_jobs(jobs), len(configs))
@@ -228,13 +323,39 @@ def simulate_many(
         from .simulator import simulate
 
         return [simulate(config, program) for config in configs]
-    return parallel_map(
-        _simulate_point,
-        configs,
+    if not affinity_enabled_default():
+        return parallel_map(
+            _simulate_point,
+            configs,
+            jobs=jobs,
+            initializer=_init_simulation_worker,
+            initargs=(program,),
+        )
+    from .compiled import prime_codegen_artifacts, record_worker_stats
+
+    batches = affinity_batches([config_affinity_key(c) for c in configs], jobs)
+    tasks = [
+        [(index, configs[index].to_dict()) for index in batch]
+        for batch in batches
+    ]
+    # Fleet warmup: publish one kernel artifact per family (first point
+    # of each batch) so no worker pays full codegen for a family the
+    # parent could hand it.  No-op without the persistent store.
+    prime_codegen_artifacts(
+        program, [configs[batch[0]] for batch in batches]
+    )
+    results: list[SimulationResult | None] = [None] * len(configs)
+    for indexed, delta in parallel_map(
+        _simulate_batch,
+        tasks,
         jobs=jobs,
         initializer=_init_simulation_worker,
         initargs=(program,),
-    )
+    ):
+        record_worker_stats(delta)
+        for index, result in indexed:
+            results[index] = result
+    return results  # type: ignore[return-value] — every index was delivered
 
 
 # ----------------------------------------------------------------------

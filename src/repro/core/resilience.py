@@ -581,6 +581,48 @@ def _supervised_point(task: tuple[str, MachineConfig]):
     return result, rung, report.events
 
 
+def _supervised_batch(task: Sequence[tuple[str, dict]]):
+    """Worker body for one affinity batch of ``(key, config fields)``.
+
+    Each point runs injectors + the degradation ladder exactly as
+    :func:`_supervised_point` does, but outcomes are captured *per
+    point*: an in-process exception (a deadlock, a timeout result, a
+    reference-rung bug) becomes that point's outcome entry instead of
+    failing its batch siblings.  Only process-level faults — a kill
+    injector, a hang past the batch deadline, a real crash — surface as
+    batch-level failures, which the supervisor retries as a whole
+    (the once-only injector markers make that converge).  Returns the
+    outcome list plus this worker's pid-tagged codegen-stat delta.
+    """
+    from . import parallel
+    from .compiled import (
+        compile_stats,
+        compile_stats_delta,
+        flush_codegen_artifacts,
+    )
+    from .faults import maybe_hang_point, maybe_kill_worker
+
+    program = parallel._worker_program
+    assert program is not None, "worker initialized without a program"
+    baseline = compile_stats()
+    outcomes = []
+    for key, fields in task:
+        config = MachineConfig.from_dict(fields)
+        maybe_kill_worker(key)
+        maybe_hang_point(key)
+        report = FaultReport()
+        try:
+            result, rung = ladder_simulate(
+                config, program, report=report, point=key[:12]
+            )
+        except Exception as exc:  # noqa: BLE001 — per-point boundary
+            outcomes.append((key, None, None, report.events, exc))
+        else:
+            outcomes.append((key, result, rung, report.events, None))
+    flush_codegen_artifacts()
+    return outcomes, compile_stats_delta(baseline)
+
+
 def supervised_simulate_many(
     program: Program,
     configs: Sequence[MachineConfig],
@@ -600,7 +642,13 @@ def supervised_simulate_many(
     Results come back in ``configs`` order, byte-identical to a clean
     serial reference run.
     """
-    from .parallel import _init_simulation_worker
+    from .parallel import (
+        _init_simulation_worker,
+        affinity_batches,
+        config_affinity_key,
+        resolve_jobs,
+    )
+    from .scheduler import affinity_enabled_default
     from .simcache import sweep_point_keys
     from .simulator import DeadlockError, SimulationTimeout
 
@@ -610,31 +658,110 @@ def supervised_simulate_many(
     if report is None:
         report = FaultReport()
 
-    def merge(index: int, value) -> None:
+    delivered: dict[int, SimulationResult] = {}
+
+    def merge_point(index: int, value) -> None:
         result, rung, events = value
         report.extend(events)
         # The worker-local report is discarded, so its rung tally
         # (including the success-path count) is re-recorded here —
         # exactly once per delivered point.
         report.tally_rung(rung)
+        delivered[index] = result
         if on_result is not None:
             on_result(index, result)
 
-    values = supervised_map(
-        _supervised_point,
-        list(zip(keys, configs)),
-        jobs=jobs,
-        timeout=timeout,
-        max_retries=max_retries,
-        backoff=backoff,
-        report=report,
-        labels=[key[:12] for key in keys],
-        no_retry=(DeadlockError, SimulationTimeout),
-        initializer=_init_simulation_worker,
-        initargs=(program,),
-        on_result=merge,
-    )
-    return [value[0] for value in values]
+    effective_jobs = min(resolve_jobs(jobs), len(configs))
+    if effective_jobs > 1 and len(configs) > 1 and affinity_enabled_default():
+        # Phase 1: affinity batches.  One IPC round carries a batch of
+        # points from one kernel family; per-point outcomes come back
+        # individually (exceptions included), so retry granularity and
+        # the fault ledger stay per-point.  Points a batch could not
+        # deliver — a point that raised, a batch whose worker died past
+        # the retry budget — fall through to the per-point phase below,
+        # which owns the no-retry policy for architectural outcomes.
+        from .compiled import record_worker_stats
+
+        batches = affinity_batches(
+            [config_affinity_key(config) for config in configs],
+            effective_jobs,
+        )
+        tasks = [
+            [(keys[index], configs[index].to_dict()) for index in batch]
+            for batch in batches
+        ]
+        labels = [
+            f"{keys[batch[0]][:12]}[x{len(batch)}]" for batch in batches
+        ]
+        # Fleet warmup: one published kernel artifact per family before
+        # the pool spawns (no-op without the persistent store).
+        from .compiled import prime_codegen_artifacts
+
+        prime_codegen_artifacts(
+            program, [configs[batch[0]] for batch in batches]
+        )
+        batch_timeout = (
+            timeout * max(len(batch) for batch in batches)
+            if timeout is not None
+            else None
+        )
+
+        def merge_batch(position: int, value) -> None:
+            outcomes, delta = value
+            record_worker_stats(delta)
+            for offset, (_key, result, rung, events, exc) in enumerate(outcomes):
+                index = batches[position][offset]
+                report.extend(events)
+                if exc is not None:
+                    continue  # re-resolved by the per-point phase
+                report.tally_rung(rung)
+                delivered[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+
+        try:
+            supervised_map(
+                _supervised_batch,
+                tasks,
+                jobs=jobs,
+                timeout=batch_timeout,
+                max_retries=max_retries,
+                backoff=backoff,
+                report=report,
+                labels=labels,
+                no_retry=(),  # batch failures are process-level: retryable
+                initializer=_init_simulation_worker,
+                initargs=(program,),
+                on_result=merge_batch,
+            )
+        except SweepPointError:
+            # A batch that stayed broken is not a verdict on its points:
+            # each one gets an individual hearing below.
+            pass
+
+    # Phase 2 (and the whole story for serial / affinity-off runs):
+    # every undelivered point as its own supervised task.
+    leftovers = [
+        index for index in range(len(configs)) if index not in delivered
+    ]
+    if leftovers:
+        supervised_map(
+            _supervised_point,
+            [(keys[index], configs[index]) for index in leftovers],
+            jobs=jobs,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+            report=report,
+            labels=[keys[index][:12] for index in leftovers],
+            no_retry=(DeadlockError, SimulationTimeout),
+            initializer=_init_simulation_worker,
+            initargs=(program,),
+            on_result=lambda position, value: merge_point(
+                leftovers[position], value
+            ),
+        )
+    return [delivered[index] for index in range(len(configs))]
 
 
 # ----------------------------------------------------------------------
@@ -696,7 +823,10 @@ class SweepCheckpoint:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": self.MANIFEST_VERSION, "points": self._points}
         tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
+        # Canonical key order: manifests written under different point
+        # scheduling (affinity batches vs singletons vs serial) compare
+        # byte-identical once they hold the same completed points.
+        tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, self.path)
         self._dirty = 0
 
