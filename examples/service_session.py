@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Scripted client session against the resilient simulation service.
+
+Boots an in-process :class:`~repro.core.service.SimulationService` over
+a real worker pool, arms the deterministic fault injectors (worker
+kills and cache corruption), then drives the full client story:
+
+* a stampede of concurrent requests, most of them duplicates, so
+  request coalescing provably folds them onto shared in-flight work;
+* one request submitted with an already-expired deadline, which must
+  come back as a structured ``504`` timeout rather than a result;
+* a sweep job whose per-point progress is streamed back as NDJSON.
+
+Every served checksum is written to ``--served-out`` and the clean,
+uncached reference-engine checksum for the same design points to
+``--reference-out``: if the service degraded, retried, healed a
+corrupted cache entry, or coalesced work, the two files must still be
+**identical** — the resilience machinery is allowed to cost latency,
+never correctness.  CI diffs the two files; run locally with::
+
+    PYTHONPATH=src python examples/service_session.py
+
+"""
+
+import argparse
+import json
+import sys
+import threading
+from pathlib import Path
+
+from repro.core import faults
+from repro.core.config import MachineConfig
+from repro.core.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.core.simcache import result_key
+from repro.core.simulator import simulate
+from repro.kernels import build_livermore_program
+
+#: duplicated this many times, the unique points below give a 67%
+#: duplicate rate across the stampede
+REPEATS = 3
+
+
+def unique_points() -> list[dict]:
+    points = []
+    for size in (64, 128, 256, 512):
+        points.append(MachineConfig.conventional(icache_size=size).to_dict())
+        points.append(MachineConfig.pipe("16-16", icache_size=size).to_dict())
+    return points
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--jobs", type=int, default=2, help="pool workers")
+    parser.add_argument("--served-out", type=Path, default=Path("served.json"))
+    parser.add_argument(
+        "--reference-out", type=Path, default=Path("reference.json")
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default="seed=11,kill=0.4,corrupt=0.4,hang-seconds=30",
+        help="fault plan spec (empty string disarms)",
+    )
+    args = parser.parse_args()
+
+    print(f"building the benchmark program (scale {args.scale}) ...")
+    program = build_livermore_program(scale=args.scale)
+    points = unique_points()
+    requests = [
+        points[index % len(points)] for index in range(len(points) * REPEATS)
+    ]
+
+    if args.inject_faults:
+        faults.activate(faults.FaultPlan.parse(args.inject_faults))
+        print(f"fault injectors armed: {args.inject_faults}")
+
+    config = ServiceConfig(
+        pool_jobs=args.jobs,
+        queue_limit=128,
+        tenant_quota=128,
+        shed_limit=64,
+        point_timeout=5.0,
+        max_retries=6,
+        backoff=0.02,
+        default_deadline=300.0,
+    )
+    served: dict[str, str] = {}
+    lock = threading.Lock()
+    failures: list[str] = []
+
+    try:
+        with ServiceThread(program, config, cache=None) as handle:
+            print(f"service up on 127.0.0.1:{handle.port}")
+            client = ServiceClient("127.0.0.1", handle.port, timeout=300)
+
+            # -- the stampede: concurrent, mostly-duplicate requests --
+            def request(fields: dict) -> None:
+                status, payload = client.simulate(fields, deadline=300.0)
+                if status != 200:
+                    with lock:
+                        failures.append(f"{status}: {payload}")
+                    return
+                with lock:
+                    served[payload["key"]] = payload["checksum"]
+
+            threads = [
+                threading.Thread(target=request, args=(fields,))
+                for fields in requests
+            ]
+            for thread in threads:
+                thread.start()
+
+            # -- one past-deadline request rides along ----------------
+            status, payload = client.simulate(points[0], deadline=0.0)
+            if status != 504 or payload.get("error", {}).get("type") != "deadline":
+                failures.append(
+                    f"expected a structured 504 deadline, got {status}: {payload}"
+                )
+            else:
+                print("past-deadline request correctly refused with 504")
+
+            for thread in threads:
+                thread.join()
+
+            # -- a sweep job with streamed progress -------------------
+            status, job = client.submit_job(points[:4], deadline=300.0)
+            if status != 202:
+                failures.append(f"job submit failed: {status}: {job}")
+            else:
+                streamed = 0
+                for event in client.job_events(job["id"]):
+                    if event.get("type") == "point":
+                        streamed += 1
+                        served[event["key"]] = event["checksum"]
+                print(f"sweep job {job['id']} streamed {streamed} points")
+
+            stats = client.stats()
+    finally:
+        if args.inject_faults:
+            faults.deactivate()
+
+    print(
+        f"served {len(requests)} requests over {len(points)} unique points: "
+        f"{stats['coalesce_hits']} coalesce hits, "
+        f"{stats['simulations']} simulations, "
+        f"{stats['pool_respawns']} pool respawns, "
+        f"faults={stats['faults']}"
+    )
+    if stats["coalesce_hits"] == 0:
+        failures.append("no coalesce hits recorded across the duplicates")
+
+    # -- the correctness bar: served == clean uncached reference ------
+    reference = {
+        result_key(MachineConfig.from_dict(fields), program): simulate(
+            MachineConfig.from_dict(fields), program
+        ).checksum()
+        for fields in points
+    }
+    args.served_out.write_text(
+        json.dumps(dict(sorted(served.items())), indent=2) + "\n"
+    )
+    args.reference_out.write_text(
+        json.dumps(dict(sorted(reference.items())), indent=2) + "\n"
+    )
+    print(f"served checksums    -> {args.served_out}")
+    print(f"reference checksums -> {args.reference_out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if served != reference:
+        print("FAIL: served checksums diverge from the reference", file=sys.stderr)
+        return 1
+    print("PASS: every served checksum matches the clean reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

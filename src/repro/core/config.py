@@ -242,15 +242,27 @@ class MachineConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MachineConfig":
-        """Rebuild a config serialized by :meth:`to_dict`."""
+        """Rebuild a config serialized by :meth:`to_dict`.
+
+        Missing fields take the dataclass defaults, so hand-written
+        partial dicts (e.g. a service request body of just
+        ``{"fetch_strategy": "conventional", "icache_size": 128}``)
+        build the paper's baseline machine with those overrides; an
+        *unknown* key is still an error.
+        """
         kwargs = dict(data)
-        kwargs["fetch_strategy"] = FetchStrategy(kwargs["fetch_strategy"])
-        kwargs["instruction_format"] = InstructionFormat(
-            kwargs["instruction_format"]
-        )
-        kwargs["priority"] = RequestPriority(kwargs["priority"])
-        kwargs["prefetch_policy"] = PrefetchPolicy(kwargs["prefetch_policy"])
-        kwargs["fpu_latencies"] = FpuLatencies(**kwargs["fpu_latencies"])
+        if "fetch_strategy" in kwargs:
+            kwargs["fetch_strategy"] = FetchStrategy(kwargs["fetch_strategy"])
+        if "instruction_format" in kwargs:
+            kwargs["instruction_format"] = InstructionFormat(
+                kwargs["instruction_format"]
+            )
+        if "priority" in kwargs:
+            kwargs["priority"] = RequestPriority(kwargs["priority"])
+        if "prefetch_policy" in kwargs:
+            kwargs["prefetch_policy"] = PrefetchPolicy(kwargs["prefetch_policy"])
+        if "fpu_latencies" in kwargs:
+            kwargs["fpu_latencies"] = FpuLatencies(**kwargs["fpu_latencies"])
         return cls(**kwargs)
 
     def describe(self) -> str:

@@ -359,6 +359,38 @@ def simulate_many(
 
 
 # ----------------------------------------------------------------------
+# Service fan-out: one job-service point per pool task.
+# ----------------------------------------------------------------------
+def _service_point(task: tuple[str, dict, tuple]):
+    """Worker body for one service point: injectors, then the ladder.
+
+    ``task`` is ``(key, config fields, rungs)`` — the rung tuple is the
+    service's circuit-breaker board's surviving ladder, so a rung whose
+    breaker is open is never attempted in any worker.  Returns
+    ``(result, served rung, fault events)`` exactly like the supervised
+    sweep's worker body, so the parent can feed its breaker board and
+    fault report from the same channel.
+    """
+    from .faults import maybe_hang_point, maybe_kill_worker
+    from .resilience import FaultReport, ladder_simulate
+
+    key, fields, rungs = task
+    maybe_kill_worker(key)
+    maybe_hang_point(key)
+    assert _worker_program is not None, "worker initialized without a program"
+    config = MachineConfig.from_dict(fields)
+    report = FaultReport()
+    result, rung = ladder_simulate(
+        config,
+        _worker_program,
+        report=report,
+        point=key[:12],
+        rungs=tuple(rungs),
+    )
+    return result, rung, report.events
+
+
+# ----------------------------------------------------------------------
 # Traced fan-out: workers stream each point's events to a per-point part
 # file; the parts are merged in submission order, so the combined trace
 # is byte-identical to a serial traced run of the same config list.

@@ -66,12 +66,16 @@ from .results import SimulationResult
 from .scheduler import ENGINE_RUNGS, rung_kwargs
 
 __all__ = [
+    "BreakerBoard",
+    "CheckpointLockError",
+    "CircuitBreaker",
     "FaultEvent",
     "FaultReport",
     "SweepCheckpoint",
     "SweepPointError",
     "SweepSupervisor",
     "ladder_simulate",
+    "retry_backoff",
     "supervised_map",
     "supervised_simulate_many",
 ]
@@ -198,6 +202,185 @@ class SweepPointError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
+# Retry backoff (decorrelated jitter, seeded-deterministic)
+# ----------------------------------------------------------------------
+#: default ceiling on one jittered retry delay, as a multiple of ``base``
+BACKOFF_CAP_FACTOR = 16.0
+
+
+def retry_backoff(
+    base: float,
+    attempt: int,
+    key: str,
+    cap: float | None = None,
+    seed: int | None = None,
+) -> float:
+    """Decorrelated-jitter delay before retry ``attempt`` of point ``key``.
+
+    A pool respawn hands every interrupted point back at the same
+    instant; if they all sleep ``base * attempt`` they all return at the
+    same instant too and stampede the fresh pool.  Jitter decorrelates
+    them — each point walks its own delay sequence
+    ``d(i) = min(cap, base + u * (3 * d(i-1) - base))`` with ``u`` drawn
+    per ``(seed, key, i)`` — while staying a *pure function* of its
+    inputs: the seed comes from the active fault plan
+    (``REPRO_FAULT_PLAN``; 0 when disarmed), so an injected rehearsal
+    replays byte-identical timing decisions.  ``base <= 0`` disables
+    backoff entirely, as before.
+    """
+    if base <= 0 or attempt <= 0:
+        return 0.0
+    if cap is None:
+        cap = base * BACKOFF_CAP_FACTOR
+    from .faults import active_plan, seeded_uniform
+
+    if seed is None:
+        plan = active_plan()
+        seed = plan.seed if plan is not None else 0
+    delay = base
+    for step in range(1, attempt + 1):
+        u = seeded_uniform(seed, "backoff", key, str(step))
+        delay = min(cap, base + u * (3.0 * delay - base))
+    return delay
+
+
+# ----------------------------------------------------------------------
+# Circuit breakers (graceful degradation for the service's engine rungs)
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """A count-based breaker: closed → open → half-open → closed.
+
+    ``threshold`` consecutive failures open the breaker; after
+    ``cooldown`` seconds :meth:`allow` admits exactly one half-open
+    probe.  A probe success closes the breaker (failure count reset); a
+    probe failure re-opens it and restarts the cooldown.  A probe whose
+    outcome never arrives (the worker died before reporting) expires
+    after another ``cooldown``, so the breaker cannot wedge half-open.
+
+    The clock is injectable for tests; all methods are synchronous and
+    expected to run on one event loop (no internal locking).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probe_started: float | None = None
+        #: lifetime transition tally (observability)
+        self.opened_count = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probe_started is not None:
+            return "half-open"
+        if self._clock() - self._opened_at >= self.cooldown:
+            return "half-open"  # next allow() takes the probe token
+        return "open"
+
+    def allow(self) -> bool:
+        """May the caller run the protected path right now?
+
+        In the half-open window this hands out a single probe token;
+        concurrent callers see ``False`` until the probe settles (or
+        expires after ``cooldown``).
+        """
+        if self._opened_at is None:
+            return True
+        now = self._clock()
+        if self._probe_started is not None:
+            if now - self._probe_started >= self.cooldown:
+                self._probe_started = now  # lost probe: hand out another
+                return True
+            return False
+        if now - self._opened_at >= self.cooldown:
+            self._probe_started = now
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probe_started = None
+
+    def record_failure(self) -> None:
+        if self._opened_at is not None:
+            # A failed half-open probe (or a straggler from before the
+            # open): re-open and restart the cooldown.
+            self._opened_at = self._clock()
+            self._probe_started = None
+            return
+        self._failures += 1
+        if self._failures >= self.threshold:
+            self._opened_at = self._clock()
+            self._probe_started = None
+            self.opened_count += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._failures,
+            "opened_count": self.opened_count,
+        }
+
+
+class BreakerBoard:
+    """One :class:`CircuitBreaker` per *degradable* engine rung.
+
+    The last rung (the reference loop) has no breaker: it is the floor
+    that produces ground truth and must always be available, so
+    :meth:`effective_rungs` never returns an empty ladder.  Feed the
+    board with :meth:`observe` after each point: ``engine_fault`` events
+    count against their rung, the rung that finally served the point
+    counts as its success (closing a half-open breaker).
+    """
+
+    def __init__(
+        self,
+        rungs: Sequence[str] = ENGINE_RUNGS,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rungs = tuple(rungs)
+        if not self.rungs:
+            raise ValueError("a breaker board needs at least one rung")
+        self.breakers = {
+            rung: CircuitBreaker(threshold, cooldown, clock)
+            for rung in self.rungs[:-1]
+        }
+
+    def effective_rungs(self) -> tuple[str, ...]:
+        """The ladder a new point should run, open breakers skipped."""
+        allowed = [
+            rung for rung in self.rungs[:-1] if self.breakers[rung].allow()
+        ]
+        allowed.append(self.rungs[-1])
+        return tuple(allowed)
+
+    def observe(
+        self, served_rung: str | None, events: Sequence[FaultEvent] = ()
+    ) -> None:
+        """Settle one point's outcome into the per-rung breakers."""
+        for event in events:
+            if event.kind == "engine_fault" and event.rung in self.breakers:
+                self.breakers[event.rung].record_failure()
+        if served_rung in self.breakers:
+            self.breakers[served_rung].record_success()
+
+    def to_dict(self) -> dict:
+        return {rung: breaker.to_dict() for rung, breaker in self.breakers.items()}
+
+
+# ----------------------------------------------------------------------
 # The engine-degradation ladder
 # ----------------------------------------------------------------------
 def ladder_simulate(
@@ -207,21 +390,27 @@ def ladder_simulate(
     point: str = "?",
     traced: bool = False,
     trace_path=None,
+    rungs: Sequence[str] | None = None,
 ) -> tuple[SimulationResult, str]:
     """Simulate one point, degrading engines instead of crashing.
 
-    Tries each rung of :data:`~repro.core.scheduler.ENGINE_RUNGS` in
-    order; any exception from a fast-path engine moves one rung down
-    and is recorded in ``report``.  Returns ``(result, rung)`` with the
-    rung that produced the result — byte-identical across rungs, so a
-    degraded point is indistinguishable in the numbers.
+    Tries each rung of ``rungs`` (default: the full
+    :data:`~repro.core.scheduler.ENGINE_RUNGS` ladder) in order; any
+    exception from a fast-path engine moves one rung down and is
+    recorded in ``report``.  Returns ``(result, rung)`` with the rung
+    that produced the result — byte-identical across rungs, so a
+    degraded point is indistinguishable in the numbers.  A restricted
+    ``rungs`` list (the service passes its circuit-breaker board's
+    surviving rungs) must be a subset of the ladder in ladder order;
+    its last entry is the rung whose failure propagates.
 
     :class:`~repro.core.simulator.DeadlockError` and
     :class:`~repro.core.simulator.SimulationTimeout` are *architectural*
     outcomes (the same on every rung, with true cycle counts) and
-    propagate immediately; so does a reference-rung failure, which no
+    propagate immediately; so does a last-rung failure, which no
     ladder can fix.
     """
+    from .faults import maybe_trip_rung
     from .simulator import (  # late: the simulator is heavy
         DeadlockError,
         SimulationTimeout,
@@ -229,10 +418,21 @@ def ladder_simulate(
         simulate_traced,
     )
 
+    if rungs is None:
+        ladder = ENGINE_RUNGS
+    else:
+        ladder = tuple(rungs)
+        unknown = [rung for rung in ladder if rung not in ENGINE_RUNGS]
+        if not ladder or unknown:
+            raise ValueError(
+                f"invalid engine ladder {ladder!r}; rungs must be a "
+                f"non-empty subset of {ENGINE_RUNGS}"
+            )
     last_exc: BaseException | None = None
-    for index, rung in enumerate(ENGINE_RUNGS):
+    for index, rung in enumerate(ladder):
         kwargs = rung_kwargs(rung)
         try:
+            maybe_trip_rung(rung, point)
             if traced:
                 result = simulate_traced(
                     config, program, trace_path=trace_path, **kwargs
@@ -250,8 +450,8 @@ def ladder_simulate(
                     detail=f"{type(exc).__name__}: {exc}",
                     rung=rung,
                 )
-            if index == len(ENGINE_RUNGS) - 1:
-                raise  # the reference loop itself failed: a real bug
+            if index == len(ladder) - 1:
+                raise  # the last rung itself failed: nothing below it
             continue
         if index > 0 and report is not None:
             report.record(
@@ -318,8 +518,11 @@ def supervised_map(
     failures are *handled* instead of propagated:
 
     * an exception from ``fn`` retries the point up to ``max_retries``
-      times with linear backoff (``no_retry`` types fail immediately:
-      deterministic outcomes gain nothing from a retry);
+      times with decorrelated-jitter backoff (:func:`retry_backoff`:
+      per-point delays, so simultaneous retries after a pool respawn
+      don't stampede the fresh pool in lockstep; ``no_retry`` types
+      fail immediately: deterministic outcomes gain nothing from a
+      retry);
     * a worker crash (``BrokenProcessPool``) respawns the pool and
       requeues every in-flight point, charging an attempt only to
       points the crash interrupted;
@@ -386,7 +589,11 @@ def supervised_map(
                         f"{type(exc).__name__}: {exc}",
                     ):
                         if backoff:
-                            time.sleep(backoff * attempts[index])
+                            time.sleep(
+                                retry_backoff(
+                                    backoff, attempts[index], labels[index]
+                                )
+                            )
                         continue
                     break
                 else:
@@ -532,7 +739,11 @@ def supervised_map(
                             index, exc, "retry", f"{type(exc).__name__}: {exc}"
                         ):
                             if backoff:
-                                time.sleep(backoff * attempts[index])
+                                time.sleep(
+                                    retry_backoff(
+                                        backoff, attempts[index], labels[index]
+                                    )
+                                )
                             pending.append(index)
                     else:
                         deliver(index, value)
@@ -767,6 +978,10 @@ def supervised_simulate_many(
 # ----------------------------------------------------------------------
 # Sweep checkpoint / resume
 # ----------------------------------------------------------------------
+class CheckpointLockError(RuntimeError):
+    """Another live process holds the checkpoint manifest's lock."""
+
+
 class SweepCheckpoint:
     """Atomic manifest of completed sweep points, for ``--resume``.
 
@@ -776,6 +991,19 @@ class SweepCheckpoint:
     changed sweep — unmatched entries are simply ignored.  Writes go to
     a temp sibling and are published with ``os.replace``, every
     ``interval`` completions and at :meth:`flush`.
+
+    **Exclusive lock.**  ``os.replace`` makes each individual publish
+    atomic, but two ``--resume`` runs writing the same manifest would
+    still interleave *whole* publishes and silently drop each other's
+    points (last writer wins).  :meth:`acquire` takes an exclusive
+    lockfile (``<manifest>.lock``, claimed with ``O_CREAT | O_EXCL``)
+    before the manifest is read or written; a second run fails fast
+    with :class:`CheckpointLockError` naming the holder instead of
+    corrupting progress.  A lock left by a dead process (the pid inside
+    no longer exists) is broken automatically — a crashed sweep must
+    not brick its own resume.  The supervised sweep path and the job
+    service acquire the lock for you; direct users can treat the
+    checkpoint as a context manager.
     """
 
     MANIFEST_VERSION = 1
@@ -785,6 +1013,92 @@ class SweepCheckpoint:
         self.interval = max(1, int(interval))
         self._points: dict[str, dict] = {}
         self._dirty = 0
+        self._lock_fd: int | None = None
+
+    # ------------------------------------------------------------------
+    # Exclusive lock (one live writer per manifest)
+    # ------------------------------------------------------------------
+    @property
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OSError):
+            return True  # exists but isn't ours — still alive
+        return True
+
+    def acquire(self) -> "SweepCheckpoint":
+        """Take the manifest's exclusive lock (idempotent per instance).
+
+        Raises :class:`CheckpointLockError` if a *live* process holds
+        it; a stale lock (dead pid, or unreadable contents) is broken
+        and re-claimed.
+        """
+        if self._lock_fd is not None:
+            return self  # already ours
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for _attempt in range(16):
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                try:
+                    holder = int(self.lock_path.read_text().strip())
+                except (OSError, ValueError):
+                    holder = None  # torn write or vanished: treat as stale
+                if (
+                    holder is not None
+                    and holder != os.getpid()  # our own earlier claim
+                    and self._pid_alive(holder)
+                ):
+                    raise CheckpointLockError(
+                        f"checkpoint {self.path} is locked by running "
+                        f"process {holder} ({self.lock_path})"
+                    )
+                # Stale: break it and race for the claim again.  Only
+                # one of several breakers wins the O_EXCL create.
+                try:
+                    self.lock_path.unlink()
+                except OSError:
+                    pass
+                continue
+            os.write(fd, str(os.getpid()).encode())
+            self._lock_fd = fd
+            return self
+        raise CheckpointLockError(
+            f"could not claim {self.lock_path} after repeated stale-lock "
+            "breaks (another process keeps re-claiming it)"
+        )
+
+    def release(self) -> None:
+        """Drop the lock (no-op when not held by this instance)."""
+        if self._lock_fd is None:
+            return
+        try:
+            os.close(self._lock_fd)
+        except OSError:
+            pass
+        self._lock_fd = None
+        try:
+            self.lock_path.unlink()
+        except OSError:
+            pass
+
+    @property
+    def locked(self) -> bool:
+        return self._lock_fd is not None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
     def load(self) -> int:
         """Read the manifest; a missing/corrupt one starts empty."""

@@ -1,0 +1,1115 @@
+"""Simulation-as-a-service: a resilient asyncio job front door.
+
+The design-space study behind every figure is the workload a shared
+simulation service would receive: many clients probing overlapping
+``(config, program)`` grids, most points repeats of each other.  This
+module is that front door — a long-running asyncio job service over
+the existing machinery (the engine-degradation ladder, the worker
+pool, the content-addressed result cache) whose entire surface is
+robustness:
+
+**Admission control & backpressure.**  The service holds at most
+:attr:`ServiceConfig.queue_limit` unfinished jobs (HTTP 429 beyond
+that) and at most :attr:`ServiceConfig.tenant_quota` per tenant, so
+one stampeding client cannot starve the rest.  When the number of
+*distinct* in-flight simulations reaches
+:attr:`ServiceConfig.shed_limit` the service sheds load: warm-cache
+hits and coalesce joins are still served (they cost no pool work) but
+requests that would start a new simulation get HTTP 503.
+
+**Deadlines & cancellation.**  Every request carries a deadline
+(default :attr:`ServiceConfig.default_deadline`).  It bounds the
+per-attempt pool timeout, and a hung worker is killed — the pool is
+respawned — rather than waited on.  A request whose deadline passes
+gets a structured timeout, never a late result; a simulation whose
+waiters have *all* timed out is abandoned, not requeued.
+
+**Request coalescing.**  Jobs are keyed by the simulation cache's
+content address (:func:`~repro.core.simcache.result_key`), so
+concurrent requests for the same point share one in-flight simulation
+and every waiter receives the byte-identical
+:meth:`~repro.core.results.SimulationResult.checksum`.
+
+**Graceful degradation.**  A :class:`~repro.core.resilience.BreakerBoard`
+keeps one circuit breaker per fast-path engine rung: repeated rung
+failures open the breaker and pin new points to the lower rungs
+(byte-identical results, slower), half-open probes restore the fast
+path when it heals.  The reference rung has no breaker — it is the
+floor.
+
+**Observability.**  ``GET /healthz`` answers from the event loop alone
+(it cannot be wedged by pool trouble), ``GET /stats`` reports queue
+depth, breaker states, coalesce hits, admission rejections, the
+:class:`~repro.core.resilience.FaultReport` rollup and fleet codegen
+stats, and sweep jobs stream per-point progress
+(``GET /jobs/<id>/events``) backed by a
+:class:`~repro.core.resilience.SweepCheckpoint` manifest.
+
+Everything is stdlib: the HTTP layer is a minimal HTTP/1.1 parser over
+``asyncio.start_server`` streams (no ``http.server``), and the
+blocking :class:`ServiceClient` rides ``http.client``.  The
+deterministic fault injectors (:mod:`repro.core.faults`) reach every
+layer: ``worker_kill``/``point_hang`` fire inside pool workers,
+``breaker_trip`` fails individual engine rungs, ``queue_full`` forces
+admission rejections and ``slow_client`` delays response writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..asm.program import Program
+from .config import MachineConfig
+from .resilience import (
+    BreakerBoard,
+    FaultReport,
+    SweepCheckpoint,
+    _kill_pool,
+    retry_backoff,
+)
+from .results import SimulationResult
+from .simcache import SimulationCache, program_fingerprint, result_key
+
+__all__ = [
+    "AdmissionError",
+    "DeadlineExceeded",
+    "PointFailed",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "SimulationService",
+    "serve",
+]
+
+
+# ----------------------------------------------------------------------
+# Structured failures (each maps to one HTTP status + error type)
+# ----------------------------------------------------------------------
+class ServiceError(RuntimeError):
+    """A request failure the service reports as structured JSON."""
+
+    type = "error"
+    status = 500
+
+
+class AdmissionError(ServiceError):
+    """The request was rejected before any work was done (429/503)."""
+
+    def __init__(self, reason: str, status: int, detail: str):
+        super().__init__(detail)
+        self.type = reason
+        self.status = status
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before a result was produced."""
+
+    type = "deadline"
+    status = 504
+
+
+class PointFailed(ServiceError):
+    """The simulation itself failed after every recovery was exhausted."""
+
+    type = "failed"
+    status = 500
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceConfig:
+    """Every robustness knob of one :class:`SimulationService`."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick a free port (read it back from ``service.port``)
+    port: int = 0
+    #: max unfinished jobs service-wide; beyond it submits get HTTP 429
+    queue_limit: int = 64
+    #: max unfinished jobs per tenant (the ``tenant`` request field)
+    tenant_quota: int = 16
+    #: distinct in-flight simulations beyond which *cold* requests are
+    #: shed with HTTP 503 (warm hits and coalesce joins still served)
+    shed_limit: int = 32
+    #: worker processes; 0 runs points on in-process threads instead
+    #: (fast to start, but a hung point cannot actually be killed and
+    #: the process-level fault injectors are inert — test mode)
+    pool_jobs: int = 0
+    #: per-attempt ceiling on one pool execution; a point still running
+    #: after this is treated as hung (pool killed, attempt charged)
+    point_timeout: float | None = 30.0
+    #: retries per point after worker crashes / hangs / engine faults
+    max_retries: int = 2
+    #: base for the decorrelated-jitter retry delay (0 disables)
+    backoff: float = 0.05
+    #: deadline applied to requests that do not carry their own
+    default_deadline: float = 60.0
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+
+
+# ----------------------------------------------------------------------
+# The service core (usable directly from asyncio, no sockets required)
+# ----------------------------------------------------------------------
+class _Entry:
+    """One in-flight simulation shared by every coalesced waiter."""
+
+    __slots__ = ("key", "fields", "future", "deadlines", "task")
+
+    def __init__(self, key: str, fields: dict, future: asyncio.Future):
+        self.key = key
+        self.fields = fields
+        self.future = future
+        #: absolute (monotonic) deadlines of currently-attached waiters;
+        #: the executor abandons the point when all of them have passed
+        self.deadlines: list[float] = []
+        self.task: asyncio.Task | None = None
+
+
+class _Job:
+    """One asynchronous sweep job: many points, streamed progress."""
+
+    __slots__ = (
+        "id",
+        "tenant",
+        "total",
+        "done",
+        "state",
+        "events",
+        "subscribers",
+        "errors",
+        "checkpoint",
+        "task",
+    )
+
+    def __init__(self, job_id: str, tenant: str, total: int):
+        self.id = job_id
+        self.tenant = tenant
+        self.total = total
+        self.done = 0
+        self.state = "running"
+        self.events: list[dict] = []
+        self.subscribers: list[asyncio.Queue] = []
+        self.errors: list[dict] = []
+        self.checkpoint: SweepCheckpoint | None = None
+        self.task: asyncio.Task | None = None
+
+    def publish(self, event: dict) -> None:
+        self.events.append(event)
+        for queue in self.subscribers:
+            queue.put_nowait(event)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "id": self.id,
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "progress": (self.done / self.total) if self.total else 1.0,
+            "errors": list(self.errors),
+        }
+        if self.checkpoint is not None:
+            payload["checkpoint_points"] = len(self.checkpoint)
+        return payload
+
+
+class SimulationService:
+    """The job service core plus its minimal HTTP/JSON front end.
+
+    One instance serves one benchmark :class:`Program` (points differ
+    by :class:`MachineConfig`), mirroring the sweep drivers.  The core
+    methods (:meth:`resolve_point`, :meth:`submit_job`, :meth:`stats`)
+    are plain asyncio and fully usable without any socket;``start()``
+    additionally binds the HTTP listener.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: ServiceConfig | None = None,
+        cache: SimulationCache | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.program = program
+        self.config = config or ServiceConfig()
+        self.cache = cache
+        self._clock = clock
+        self._program_fp = program_fingerprint(program)
+        self.report = FaultReport()
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            clock=clock,
+        )
+        self._inflight: dict[str, _Entry] = {}
+        self._jobs: dict[str, _Job] = {}
+        self._job_seq = itertools.count(1)
+        self._open_jobs = 0
+        self._tenant_jobs: dict[str, int] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._threads: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at = clock()
+        # Counters (all surfaced by /stats)
+        self.coalesce_hits = 0
+        self.simulations = 0
+        self.deadline_misses = 0
+        self.pool_respawns = 0
+        self.rejected: dict[str, int] = {
+            "queue_full": 0,
+            "tenant_quota": 0,
+            "load_shed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker pool management
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> None:
+        from .parallel import _init_simulation_worker
+
+        if self.config.pool_jobs <= 0:
+            if self._threads is None:
+                # In-process mode: the "workers" are threads of this
+                # process, so the program must be installed here once.
+                _init_simulation_worker(self.program)
+                self._threads = ThreadPoolExecutor(
+                    max_workers=max(4, self.config.shed_limit),
+                    thread_name_prefix="repro-service",
+                )
+            return
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.pool_jobs,
+                initializer=_init_simulation_worker,
+                initargs=(self.program,),
+            )
+
+    def _respawn_pool(self, reason: str) -> None:
+        if self._pool is None:
+            return  # thread mode: nothing to kill
+        _kill_pool(self._pool)
+        self._pool = None
+        self.pool_respawns += 1
+        self.report.record("pool", "pool_respawn", detail=reason)
+
+    async def _run_point(
+        self, key: str, fields: dict, rungs: Sequence[str], timeout: float
+    ):
+        from .parallel import _service_point
+
+        loop = asyncio.get_running_loop()
+        self._ensure_executor()
+        task = (key, fields, tuple(rungs))
+        if self._pool is not None:
+            future = asyncio.wrap_future(
+                self._pool.submit(_service_point, task), loop=loop
+            )
+        else:
+            future = loop.run_in_executor(self._threads, _service_point, task)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.CancelledError:
+            if asyncio.current_task().cancelling():
+                raise  # the service is stopping: genuine cancellation
+            # Crossfire from a pool respawn: killing the pool for one
+            # hung point cancels sibling submissions still queued.
+            # That is a pool-level failure of *this attempt*, not a
+            # cancellation of the job — retry it like a worker crash.
+            raise BrokenExecutor(
+                "pool task cancelled by a respawn"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self, key: str, tenant: str, cold: bool) -> None:
+        from .faults import queue_full_rejection
+
+        if queue_full_rejection(key):
+            self.rejected["queue_full"] += 1
+            raise AdmissionError(
+                "queue_full", 429, "injected queue-full rejection"
+            )
+        if self._open_jobs >= self.config.queue_limit:
+            self.rejected["queue_full"] += 1
+            raise AdmissionError(
+                "queue_full",
+                429,
+                f"job queue full ({self._open_jobs}/"
+                f"{self.config.queue_limit} unfinished jobs)",
+            )
+        if self._tenant_jobs.get(tenant, 0) >= self.config.tenant_quota:
+            self.rejected["tenant_quota"] += 1
+            raise AdmissionError(
+                "tenant_quota",
+                429,
+                f"tenant {tenant!r} already has "
+                f"{self.config.tenant_quota} jobs in flight",
+            )
+        if cold and len(self._inflight) >= self.config.shed_limit:
+            self.rejected["load_shed"] += 1
+            raise AdmissionError(
+                "load_shed",
+                503,
+                f"pool saturated ({len(self._inflight)} simulations in "
+                "flight); serving warm-cache hits only",
+            )
+
+    # ------------------------------------------------------------------
+    # The point pipeline: admission → coalesce → execute → deliver
+    # ------------------------------------------------------------------
+    async def resolve_point(
+        self,
+        fields: dict,
+        tenant: str = "anon",
+        deadline: float | None = None,
+    ) -> dict:
+        """Serve one simulation point; the synchronous request path.
+
+        Returns the response payload (key, serving rung, checksum, the
+        serialized result, and whether this waiter coalesced onto an
+        existing simulation).  Raises a :class:`ServiceError` subclass
+        for every structured failure.
+        """
+        try:
+            config = MachineConfig.from_dict(dict(fields))
+        except (TypeError, ValueError, KeyError) as exc:
+            error = AdmissionError(
+                "bad_request", 400, f"invalid config: {exc}"
+            )
+            raise error from exc
+        key = result_key(config, self.program, self._program_fp)
+        budget = (
+            self.config.default_deadline if deadline is None else float(deadline)
+        )
+        abs_deadline = self._clock() + budget
+
+        entry = self._inflight.get(key)
+        coalesced = entry is not None
+        if entry is None:
+            hit = (
+                self.cache.lookup(config, self.program)
+                if self.cache is not None
+                else None
+            )
+            if hit is not None:
+                return self._payload(key, hit, "cache", coalesced=False)
+            self._admit(key, tenant, cold=True)
+            entry = _Entry(key, config.to_dict(), asyncio.get_running_loop().create_future())
+            self._inflight[key] = entry
+            entry.task = asyncio.create_task(self._execute(entry))
+        else:
+            self._admit(key, tenant, cold=False)
+            self.coalesce_hits += 1
+
+        self._open_jobs += 1
+        self._tenant_jobs[tenant] = self._tenant_jobs.get(tenant, 0) + 1
+        entry.deadlines.append(abs_deadline)
+        try:
+            remaining = abs_deadline - self._clock()
+            result, rung = await asyncio.wait_for(
+                asyncio.shield(entry.future), max(0.0, remaining)
+            )
+        except asyncio.TimeoutError:
+            self.deadline_misses += 1
+            raise DeadlineExceeded(
+                f"deadline of {budget:g}s passed before point "
+                f"{key[:12]} completed"
+            ) from None
+        finally:
+            self._open_jobs -= 1
+            self._tenant_jobs[tenant] -= 1
+            if not self._tenant_jobs[tenant]:
+                del self._tenant_jobs[tenant]
+            try:
+                entry.deadlines.remove(abs_deadline)
+            except ValueError:
+                pass
+        return self._payload(key, result, rung, coalesced=coalesced)
+
+    def _payload(
+        self, key: str, result: SimulationResult, rung: str, coalesced: bool
+    ) -> dict:
+        return {
+            "key": key,
+            "rung": rung,
+            "coalesced": coalesced,
+            "checksum": result.checksum(),
+            "result": result.to_dict(),
+        }
+
+    async def _execute(self, entry: _Entry) -> None:
+        """Drive one unique simulation to a result (or a structured end).
+
+        Runs as its own task; delivery happens through ``entry.future``
+        so every coalesced waiter observes the same outcome.
+        """
+        from .simulator import DeadlockError, SimulationTimeout
+
+        attempts = 0
+        point = entry.key[:12]
+        try:
+            while True:
+                now = self._clock()
+                horizon = max(entry.deadlines, default=now)
+                if horizon <= now:
+                    # Nobody is waiting anymore: requeue nothing.
+                    self.report.record(
+                        point,
+                        "abandoned",
+                        detail="every waiter's deadline passed mid-run",
+                        attempt=attempts,
+                    )
+                    raise DeadlineExceeded(
+                        f"point {point} abandoned: all waiters timed out"
+                    )
+                budget = horizon - now
+                timeout = (
+                    budget
+                    if self.config.point_timeout is None
+                    else min(self.config.point_timeout, budget)
+                )
+                rungs = self.breakers.effective_rungs()
+                try:
+                    value = await self._run_point(
+                        entry.key, entry.fields, rungs, timeout
+                    )
+                except asyncio.TimeoutError:
+                    attempts += 1
+                    self.report.record(
+                        point,
+                        "timeout",
+                        detail=f"no result after {timeout:g}s",
+                        attempt=attempts,
+                    )
+                    self._respawn_pool("hung worker killed after point timeout")
+                    if attempts > self.config.max_retries:
+                        raise DeadlineExceeded(
+                            f"point {point} timed out on every attempt"
+                        ) from None
+                    continue
+                except (BrokenExecutor, OSError) as exc:
+                    attempts += 1
+                    self.report.record(
+                        point,
+                        "worker_crash",
+                        detail=f"worker died ({type(exc).__name__}: {exc})",
+                        attempt=attempts,
+                    )
+                    self._respawn_pool("worker process died mid-point")
+                    if attempts > self.config.max_retries:
+                        raise PointFailed(
+                            f"point {point} kept crashing workers: {exc}"
+                        ) from exc
+                    if self.config.backoff:
+                        await asyncio.sleep(
+                            retry_backoff(
+                                self.config.backoff, attempts, entry.key
+                            )
+                        )
+                    continue
+                except (DeadlockError, SimulationTimeout) as exc:
+                    # Architectural outcome: identical on every rung and
+                    # every retry — report it, never mask it.
+                    raise PointFailed(
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                except Exception as exc:  # noqa: BLE001 — supervisor boundary
+                    attempts += 1
+                    self.report.record(
+                        point,
+                        "retry",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        attempt=attempts,
+                    )
+                    if attempts > self.config.max_retries:
+                        raise PointFailed(
+                            f"point {point} failed after {attempts} "
+                            f"attempts: {type(exc).__name__}: {exc}"
+                        ) from exc
+                    if self.config.backoff:
+                        await asyncio.sleep(
+                            retry_backoff(
+                                self.config.backoff, attempts, entry.key
+                            )
+                        )
+                    continue
+
+                result, rung, events = value
+                self.breakers.observe(rung, events)
+                self.report.extend(events)
+                self.report.tally_rung(rung)
+                self.simulations += 1
+                if self.cache is not None:
+                    config = MachineConfig.from_dict(entry.fields)
+                    self.cache.store(config, self.program, result)
+                entry.future.set_result((result, rung))
+                return
+        except asyncio.CancelledError:
+            if not entry.future.done():
+                entry.future.cancel()
+            raise
+        except BaseException as exc:
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+                # Every waiter may have timed out already; mark the
+                # exception retrieved so an unobserved future does not
+                # warn at teardown.
+                entry.future.exception()
+            if not isinstance(exc, ServiceError):
+                raise
+        finally:
+            self._inflight.pop(entry.key, None)
+
+    # ------------------------------------------------------------------
+    # Sweep jobs: many points, checkpointed, progress streamed
+    # ------------------------------------------------------------------
+    def submit_job(
+        self,
+        configs: Sequence[dict],
+        tenant: str = "anon",
+        deadline: float | None = None,
+    ) -> _Job:
+        """Accept one asynchronous sweep job (admission applies)."""
+        configs = [dict(fields) for fields in configs]
+        if not configs:
+            raise AdmissionError("bad_request", 400, "a job needs configs")
+        self._admit(f"job:{tenant}", tenant, cold=False)
+        job = _Job(f"job-{next(self._job_seq)}", tenant, len(configs))
+        if self.cache is not None:
+            job.checkpoint = SweepCheckpoint(
+                self.cache.root / "service-jobs" / f"{job.id}.json"
+            )
+            job.checkpoint.acquire()
+        self._jobs[job.id] = job
+        job.task = asyncio.ensure_future(
+            self._run_job(job, configs, tenant, deadline)
+        )
+        return job
+
+    async def _run_job(
+        self,
+        job: _Job,
+        configs: list[dict],
+        tenant: str,
+        deadline: float | None,
+    ) -> None:
+        semaphore = asyncio.Semaphore(max(1, self.config.shed_limit // 2))
+
+        async def one(fields: dict) -> None:
+            async with semaphore:
+                try:
+                    payload = await self.resolve_point(
+                        fields, tenant=tenant, deadline=deadline
+                    )
+                except ServiceError as exc:
+                    job.errors.append(
+                        {"type": exc.type, "detail": str(exc)}
+                    )
+                    event = {"type": "error", "error": exc.type}
+                except Exception as exc:  # noqa: BLE001 — job boundary
+                    job.errors.append(
+                        {
+                            "type": "internal",
+                            "detail": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+                    event = {"type": "error", "error": "internal"}
+                else:
+                    if job.checkpoint is not None:
+                        job.checkpoint.add(
+                            payload["key"],
+                            SimulationResult.from_dict(payload["result"]),
+                        )
+                    event = {
+                        "type": "point",
+                        "key": payload["key"],
+                        "rung": payload["rung"],
+                        "checksum": payload["checksum"],
+                    }
+                job.done += 1
+                event["done"] = job.done
+                event["total"] = job.total
+                job.publish(event)
+
+        try:
+            await asyncio.gather(*(one(fields) for fields in configs))
+        finally:
+            job.state = "failed" if job.errors else "done"
+            if job.checkpoint is not None:
+                job.checkpoint.flush()
+                job.checkpoint.release()
+            job.publish({"type": "end", "state": job.state})
+
+    async def job_events(self, job: _Job):
+        """Async iterator over one job's events (replay, then live)."""
+        queue: asyncio.Queue = asyncio.Queue()
+        job.subscribers.append(queue)
+        try:
+            for event in list(job.events):
+                yield event
+                if event.get("type") == "end":
+                    return
+            while True:
+                event = await queue.get()
+                yield event
+                if event.get("type") == "end":
+                    return
+        finally:
+            job.subscribers.remove(queue)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        from .compiled import fleet_compile_stats
+
+        cache_stats = None
+        if self.cache is not None:
+            cache_stats = {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "stores": self.cache.stats.stores,
+                "quarantined": self.cache.stats.quarantined,
+            }
+        job_states: dict[str, int] = {}
+        for job in self._jobs.values():
+            job_states[job.state] = job_states.get(job.state, 0) + 1
+        return {
+            "uptime": self._clock() - self._started_at,
+            "queue": {
+                "open_jobs": self._open_jobs,
+                "queue_limit": self.config.queue_limit,
+                "executing": len(self._inflight),
+                "shed_limit": self.config.shed_limit,
+            },
+            "coalesce_hits": self.coalesce_hits,
+            "simulations": self.simulations,
+            "deadline_misses": self.deadline_misses,
+            "pool_respawns": self.pool_respawns,
+            "rejected": dict(self.rejected),
+            "breakers": self.breakers.to_dict(),
+            "faults": self.report.counts(),
+            "rungs": dict(self.report.rungs),
+            "cache": cache_stats,
+            "jobs": job_states,
+            "codegen": fleet_compile_stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("service not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "SimulationService":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for job in self._jobs.values():
+            if job.task is not None and not job.task.done():
+                job.task.cancel()
+            if job.checkpoint is not None:
+                job.checkpoint.release()
+        for entry in list(self._inflight.values()):
+            if entry.task is not None and not entry.task.done():
+                entry.task.cancel()
+        self._inflight.clear()
+        if self._pool is not None:
+            _kill_pool(self._pool)
+            self._pool = None
+        if self._threads is not None:
+            self._threads.shutdown(wait=False, cancel_futures=True)
+            self._threads = None
+
+    # ------------------------------------------------------------------
+    # The HTTP layer (minimal HTTP/1.1 over asyncio streams)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away: nothing to serve
+        except ServiceError as exc:
+            try:
+                _write_response(
+                    writer,
+                    exc.status,
+                    {"error": {"type": exc.type, "detail": str(exc)}},
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        except Exception as exc:  # noqa: BLE001 — connection boundary
+            try:
+                _write_response(
+                    writer,
+                    500,
+                    {"error": {"type": "internal", "detail": str(exc)}},
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        from .faults import slow_client_delay
+
+        if method == "GET" and path == "/healthz":
+            # Answered entirely from the event loop: no pool, no disk.
+            _write_response(
+                writer,
+                200,
+                {"ok": True, "uptime": self._clock() - self._started_at},
+            )
+            await writer.drain()
+            return
+        if method == "GET" and path == "/stats":
+            _write_response(writer, 200, self.stats())
+            await writer.drain()
+            return
+        if method == "POST" and path == "/simulate":
+            payload = _parse_json(body)
+            fields = payload.get("config")
+            if not isinstance(fields, dict):
+                raise AdmissionError(
+                    "bad_request", 400, "missing 'config' object"
+                )
+            try:
+                response = await self.resolve_point(
+                    fields,
+                    tenant=str(payload.get("tenant", "anon")),
+                    deadline=payload.get("deadline"),
+                )
+                status = 200
+            except ServiceError as exc:
+                response = {"error": {"type": exc.type, "detail": str(exc)}}
+                status = exc.status
+            delay = slow_client_delay(response.get("key", path))
+            if delay:
+                await asyncio.sleep(delay)
+            _write_response(writer, status, response)
+            await writer.drain()
+            return
+        if method == "POST" and path == "/jobs":
+            payload = _parse_json(body)
+            configs = payload.get("configs")
+            if not isinstance(configs, list):
+                raise AdmissionError(
+                    "bad_request", 400, "missing 'configs' list"
+                )
+            try:
+                job = self.submit_job(
+                    configs,
+                    tenant=str(payload.get("tenant", "anon")),
+                    deadline=payload.get("deadline"),
+                )
+                _write_response(writer, 202, job.to_dict())
+            except ServiceError as exc:
+                _write_response(
+                    writer,
+                    exc.status,
+                    {"error": {"type": exc.type, "detail": str(exc)}},
+                )
+            await writer.drain()
+            return
+        if method == "GET" and path.startswith("/jobs/"):
+            parts = path.split("/")
+            job = self._jobs.get(parts[2]) if len(parts) >= 3 else None
+            if job is None:
+                _write_response(
+                    writer,
+                    404,
+                    {"error": {"type": "not_found", "detail": path}},
+                )
+                await writer.drain()
+                return
+            if len(parts) == 4 and parts[3] == "events":
+                # Close-delimited NDJSON stream: one event per line,
+                # ended by the job's terminal event + connection close.
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/x-ndjson\r\n"
+                    b"Connection: close\r\n\r\n"
+                )
+                async for event in self.job_events(job):
+                    writer.write(json.dumps(event).encode() + b"\n")
+                    await writer.drain()
+                return
+            _write_response(writer, 200, job.to_dict())
+            await writer.drain()
+            return
+        _write_response(
+            writer,
+            404,
+            {"error": {"type": "not_found", "detail": f"{method} {path}"}},
+        )
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: ceiling on one request body (a config dict or a modest sweep)
+_MAX_BODY = 8 * 1024 * 1024
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes] | None:
+    """Parse one request: ``(method, path, body)``; ``None`` on EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, path, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise ValueError(f"malformed request line {line!r}") from None
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = min(int(value.strip()), _MAX_BODY)
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, body
+
+
+def _parse_json(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body)
+    except ValueError as exc:
+        raise AdmissionError(
+            "bad_request", 400, f"request body is not JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise AdmissionError(
+            "bad_request", 400, "request body must be a JSON object"
+        )
+    return payload
+
+
+def _write_response(
+    writer: asyncio.StreamWriter, status: int, payload: dict
+) -> None:
+    body = json.dumps(payload).encode()
+    writer.write(
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode() + body
+    )
+
+
+# ----------------------------------------------------------------------
+# Running the service
+# ----------------------------------------------------------------------
+async def serve(
+    program: Program,
+    config: ServiceConfig | None = None,
+    cache: SimulationCache | None = None,
+    ready: Callable[[SimulationService], None] | None = None,
+) -> None:
+    """Run a service until cancelled (the ``repro-sim serve`` body)."""
+    service = SimulationService(program, config, cache)
+    await service.start()
+    if ready is not None:
+        ready(service)
+    try:
+        await asyncio.Event().wait()  # until cancelled
+    finally:
+        await service.stop()
+
+
+class ServiceThread:
+    """A service on a background event loop — tests and scripted clients.
+
+    ::
+
+        with ServiceThread(program, config, cache) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, payload = client.simulate(config_fields)
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: ServiceConfig | None = None,
+        cache: SimulationCache | None = None,
+    ):
+        self.service = SimulationService(program, config, cache)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def __enter__(self) -> "ServiceThread":
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.service.start())
+            except BaseException as exc:  # noqa: BLE001 — reported to caller
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.service.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            raise failure[0]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# A blocking client (http.client; one connection per request)
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Minimal synchronous client for scripts, tests and the CI session."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return response.status, (json.loads(data) if data else {})
+        finally:
+            connection.close()
+
+    def healthz(self) -> tuple[int, dict]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")[1]
+
+    def simulate(
+        self,
+        fields: dict,
+        tenant: str = "anon",
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        payload: dict = {"config": fields, "tenant": tenant}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.request("POST", "/simulate", payload)
+
+    def submit_job(
+        self,
+        configs: Sequence[dict],
+        tenant: str = "anon",
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        payload: dict = {"configs": list(configs), "tenant": tenant}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> tuple[int, dict]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def job_events(self, job_id: str):
+        """Iterate one job's NDJSON event stream until its end marker."""
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    f"event stream failed with HTTP {response.status}"
+                )
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()

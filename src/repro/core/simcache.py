@@ -53,6 +53,8 @@ __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "QUARANTINE_DIR",
+    "QUARANTINE_MAX_AGE_SECONDS",
+    "QUARANTINE_MAX_BYTES",
     "SimulationCache",
     "cached_simulate",
     "config_fingerprint",
@@ -75,6 +77,14 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Subdirectory (under the cache root) holding quarantined entries.
 QUARANTINE_DIR = "quarantine"
+
+#: Caps on the quarantine directory, enforced after every quarantine
+#: move: entries older than the age cap are deleted, then the oldest
+#: survivors are evicted until the directory fits the byte cap.  A
+#: flaky disk quarantining on every lookup thus converges to a bounded
+#: forensic sample instead of a second, ever-growing cache.
+QUARANTINE_MAX_BYTES = 4 * 1024 * 1024
+QUARANTINE_MAX_AGE_SECONDS = 7 * 24 * 3600.0
 
 
 def program_fingerprint(program: Program) -> str:
@@ -147,10 +157,17 @@ class SimulationCache:
     error and never a silently wrong number.
     """
 
-    def __init__(self, root: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        quarantine_max_bytes: int = QUARANTINE_MAX_BYTES,
+        quarantine_max_age: float = QUARANTINE_MAX_AGE_SECONDS,
+    ):
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.root = Path(root)
+        self.quarantine_max_bytes = quarantine_max_bytes
+        self.quarantine_max_age = quarantine_max_age
         self.stats = CacheStats()
         #: optional ``(key, reason)`` callback fired on each quarantine
         #: (the sweep supervisor records these in its FaultReport)
@@ -258,6 +275,52 @@ class SimulationCache:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
+        self.prune_quarantine()
+
+    def prune_quarantine(self) -> int:
+        """Enforce the quarantine age and size caps; returns removals.
+
+        Entries older than :attr:`quarantine_max_age` seconds go first,
+        then the oldest survivors are evicted until the directory's
+        total size fits :attr:`quarantine_max_bytes`.  Newest blobs are
+        kept — they describe the corruption most likely still under
+        investigation.
+        """
+        import time
+
+        stamped: list[tuple[float, int, Path]] = []
+        for path in self.quarantined_entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted underneath us: nothing to prune
+            stamped.append((stat.st_mtime, stat.st_size, path))
+        stamped.sort()  # oldest first
+
+        removed = 0
+        cutoff = time.time() - self.quarantine_max_age
+        total = sum(size for _mtime, size, _path in stamped)
+        for mtime, size, path in stamped:
+            if mtime >= cutoff and total <= self.quarantine_max_bytes:
+                break  # survivors are younger and the cap is met
+            try:
+                path.unlink(missing_ok=True)
+                removed += 1
+                total -= size
+            except OSError:
+                pass
+        return removed
+
+    def clear_quarantine(self) -> int:
+        """Delete every quarantined blob; returns the number removed."""
+        removed = 0
+        for path in self.quarantined_entries():
+            try:
+                path.unlink(missing_ok=True)
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     # ------------------------------------------------------------------
     # Management (the ``repro-sim cache`` subcommand)
@@ -311,12 +374,21 @@ class SimulationCache:
         entries = self.entries()
         quarantined = self.quarantined_entries()
         total = self.size_bytes()
+        quarantine_bytes = 0
+        for path in quarantined:
+            try:
+                quarantine_bytes += path.stat().st_size
+            except OSError:
+                pass
         lines = [
             f"cache dir : {self.root}",
             f"entries   : {len(entries)}",
             f"size      : {total / 1024:.1f} KiB",
             f"quarantine: {len(quarantined)} entr"
-            f"{'y' if len(quarantined) == 1 else 'ies'}",
+            f"{'y' if len(quarantined) == 1 else 'ies'}, "
+            f"{quarantine_bytes / 1024:.1f} KiB "
+            f"(cap {self.quarantine_max_bytes / 1024:.0f} KiB / "
+            f"{self.quarantine_max_age / 86400:.0f} days)",
         ]
         if quarantined:
             lines.append(

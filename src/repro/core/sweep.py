@@ -200,6 +200,13 @@ def _run_supervised(
     """
     report = supervisor.report
     checkpoint = supervisor.checkpoint
+    if checkpoint is not None:
+        # Exclusive manifest lock: a second supervised run against the
+        # same checkpoint fails fast (CheckpointLockError) instead of
+        # interleaving partial manifest publishes with this one.
+        # Idempotent, so the sweeps of one report share one claim; the
+        # caller releases it when the supervised session ends.
+        checkpoint.acquire()
     configs = [config for _index, _size, config in points]
     keys = sweep_point_keys(program, configs)
 

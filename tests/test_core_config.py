@@ -101,3 +101,25 @@ class TestPresets:
         assert config.memory_access_time == 6
         assert config.instruction_format is InstructionFormat.FIXED32
         assert config.true_prefetch
+
+
+class TestFromDict:
+    def test_round_trips_to_dict(self):
+        config = MachineConfig.pipe("16-16", 256)
+        assert MachineConfig.from_dict(config.to_dict()) == config
+
+    def test_partial_dict_takes_the_paper_defaults(self):
+        # Service request bodies are hand-written partial dicts; the
+        # omitted fields must build the paper's baseline machine.
+        config = MachineConfig.from_dict(
+            {"fetch_strategy": "conventional", "icache_size": 64}
+        )
+        assert config.icache_size == 64
+        assert config.memory_access_time == 6
+        assert config.instruction_format is InstructionFormat.FIXED32
+
+    def test_unknown_key_is_an_error(self):
+        with pytest.raises(TypeError):
+            MachineConfig.from_dict(
+                {"fetch_strategy": "conventional", "cache_bytes": 64}
+            )

@@ -9,11 +9,15 @@ import pytest
 from repro.core.config import MachineConfig
 from repro.core.parallel import simulate_many
 from repro.core.resilience import (
+    BreakerBoard,
+    CheckpointLockError,
+    CircuitBreaker,
     FaultReport,
     SweepCheckpoint,
     SweepPointError,
     SweepSupervisor,
     ladder_simulate,
+    retry_backoff,
     supervised_map,
     supervised_simulate_many,
 )
@@ -334,3 +338,246 @@ class TestSupervisedSweep:
         resumer.checkpoint.load()
         run_cache_sweep(tiny_program, cache_sizes=[256], supervisor=resumer)
         assert resumer.resumed == 0
+
+
+class TestRetryBackoff:
+    def test_deterministic_for_fixed_inputs(self):
+        first = retry_backoff(0.25, 3, "point-a", seed=7)
+        second = retry_backoff(0.25, 3, "point-a", seed=7)
+        assert first == second
+
+    def test_distinct_points_get_distinct_delays(self):
+        delays = {
+            retry_backoff(0.25, 2, f"point-{n}", seed=7) for n in range(16)
+        }
+        # Decorrelation is the whole purpose: a respawned pool must not
+        # see every interrupted point return in lockstep.
+        assert len(delays) > 1
+
+    def test_bounded_by_base_and_cap(self):
+        for attempt in range(1, 12):
+            delay = retry_backoff(0.25, attempt, "k", seed=3)
+            assert 0.0 < delay <= 0.25 * 16.0
+        assert retry_backoff(0.25, 9, "k", cap=1.0, seed=3) <= 1.0
+
+    def test_zero_base_or_attempt_disables(self):
+        assert retry_backoff(0.0, 3, "k") == 0.0
+        assert retry_backoff(0.25, 0, "k") == 0.0
+
+    def test_seed_comes_from_the_active_fault_plan(self):
+        from repro.core import faults
+
+        faults.deactivate()
+        try:
+            disarmed = retry_backoff(0.25, 2, "k")
+            assert disarmed == retry_backoff(0.25, 2, "k", seed=0)
+            faults.activate(faults.FaultPlan(seed=99))
+            armed = retry_backoff(0.25, 2, "k")
+            assert armed == retry_backoff(0.25, 2, "k", seed=99)
+        finally:
+            faults.deactivate()
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=2, cooldown=10.0):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=threshold, cooldown=cooldown, clock=lambda: clock[0]
+        )
+        return breaker, clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _clock = self._breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _clock = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_hands_out_one_probe_token(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock[0] = 11.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent caller: still blocked
+
+    def test_probe_success_closes(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock[0] = 20.0  # only 9s since the re-open
+        assert not breaker.allow()
+        clock[0] = 21.5
+        assert breaker.allow()
+
+    def test_lost_probe_expires_after_another_cooldown(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.allow()  # probe whose outcome never arrives
+        clock[0] = 22.0
+        assert breaker.allow()  # replacement probe: no wedged half-open
+
+    def test_to_dict_surface(self):
+        breaker, _clock = self._breaker()
+        payload = breaker.to_dict()
+        assert payload["state"] == "closed"
+        assert payload["opened_count"] == 0
+
+
+class TestBreakerBoard:
+    def test_reference_rung_never_has_a_breaker(self):
+        board = BreakerBoard()
+        assert "reference" not in board.breakers
+        assert board.effective_rungs()[-1] == "reference"
+
+    def test_open_breaker_drops_its_rung_from_the_ladder(self):
+        clock = [0.0]
+        board = BreakerBoard(threshold=1, cooldown=100.0, clock=lambda: clock[0])
+        report = FaultReport()
+        report.record("p", "engine_fault", rung="compiled")
+        board.observe("replay", report.events)
+        assert "compiled" not in board.effective_rungs()
+        assert "replay" in board.effective_rungs()
+
+    def test_ladder_never_empties(self):
+        clock = [0.0]
+        board = BreakerBoard(threshold=1, cooldown=100.0, clock=lambda: clock[0])
+        report = FaultReport()
+        for rung in board.rungs[:-1]:
+            report.record("p", "engine_fault", rung=rung)
+        board.observe("reference", report.events)
+        assert board.effective_rungs() == ("reference",)
+
+    def test_served_rung_counts_as_success(self):
+        clock = [0.0]
+        board = BreakerBoard(threshold=2, cooldown=100.0, clock=lambda: clock[0])
+        report = FaultReport()
+        report.record("p", "engine_fault", rung="compiled")
+        board.observe("compiled", report.events)  # failed once, then served
+        board.observe("compiled", [])
+        assert board.breakers["compiled"].state == "closed"
+
+    def test_rejects_empty_rungs(self):
+        with pytest.raises(ValueError):
+            BreakerBoard(rungs=())
+
+
+class TestLadderRungRestriction:
+    def test_restricted_ladder_matches_full_ladder(self, tiny_program):
+        config = _pipe()
+        full, _rung = ladder_simulate(config, tiny_program)
+        restricted, rung = ladder_simulate(
+            config, tiny_program, rungs=("idle-skip", "reference")
+        )
+        assert restricted.checksum() == full.checksum()
+        assert rung == "idle-skip"
+
+    def test_unknown_rung_rejected(self, tiny_program):
+        with pytest.raises(ValueError):
+            ladder_simulate(_pipe(), tiny_program, rungs=("warp-drive",))
+        with pytest.raises(ValueError):
+            ladder_simulate(_pipe(), tiny_program, rungs=())
+
+
+class TestCheckpointLock:
+    def test_acquire_release_round_trip(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json")
+        checkpoint.acquire()
+        assert checkpoint.locked
+        assert checkpoint.lock_path.exists()
+        assert checkpoint.lock_path.read_text() == str(os.getpid())
+        checkpoint.release()
+        assert not checkpoint.locked
+        assert not checkpoint.lock_path.exists()
+
+    def test_acquire_is_idempotent_per_instance(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json")
+        checkpoint.acquire()
+        checkpoint.acquire()  # no error, still held
+        checkpoint.release()
+
+    def test_live_foreign_holder_raises(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json")
+        # The parent pytest process is alive and is not us.
+        checkpoint.lock_path.write_text(str(os.getppid()))
+        with pytest.raises(CheckpointLockError):
+            checkpoint.acquire()
+
+    def test_stale_lock_from_dead_process_is_broken(self, tmp_path):
+        import subprocess
+        import sys
+
+        child = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(child.stdout.strip())
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json")
+        checkpoint.lock_path.write_text(str(dead_pid))
+        checkpoint.acquire()  # broken and re-claimed, no error
+        assert checkpoint.locked
+        checkpoint.release()
+
+    def test_unreadable_lock_is_treated_as_stale(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "ck.json")
+        checkpoint.lock_path.write_text("not-a-pid")
+        checkpoint.acquire()
+        checkpoint.release()
+
+    def test_same_process_reacquire_across_instances(self, tmp_path):
+        # Two sequential supervised runs in one process (the CLI does
+        # this, and so do tests) must not dead-lock against themselves:
+        # the lock excludes other *processes*.
+        first = SweepCheckpoint(tmp_path / "ck.json")
+        first.acquire()
+        second = SweepCheckpoint(tmp_path / "ck.json")
+        second.acquire()
+        assert second.locked
+        second.release()
+
+    def test_context_manager(self, tmp_path):
+        with SweepCheckpoint(tmp_path / "ck.json") as checkpoint:
+            assert checkpoint.locked
+        assert not checkpoint.lock_path.exists()
+
+    def test_supervised_sweep_takes_and_conflicts_on_the_lock(
+        self, tiny_program, tmp_path
+    ):
+        supervisor = SweepSupervisor(
+            jobs=1, checkpoint=SweepCheckpoint(tmp_path / "ck.json")
+        )
+        run_cache_sweep(tiny_program, cache_sizes=[64], supervisor=supervisor)
+        # The sweep's claim is still held (the CLI releases at exit);
+        # a concurrent run in another process would now fail fast.
+        assert supervisor.checkpoint.locked
+        foreign = SweepCheckpoint(tmp_path / "ck.json")
+        foreign.lock_path.write_text(str(os.getppid()))  # simulate: alive
+        with pytest.raises(CheckpointLockError):
+            foreign.acquire()
+        supervisor.checkpoint.release()

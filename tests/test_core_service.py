@@ -1,0 +1,344 @@
+"""Tests of the resilient simulation job service (repro.core.service).
+
+Lifecycle coverage runs the service in in-process thread mode
+(``pool_jobs=0``): fast to boot, and every robustness mechanism except
+the process-level kill/hang injectors is fully live.  The chaos
+acceptance test with real worker processes lives in
+``test_service_chaos.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import faults
+from repro.core.config import MachineConfig
+from repro.core.service import (
+    AdmissionError,
+    DeadlineExceeded,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    SimulationService,
+)
+from repro.core.simcache import SimulationCache, cached_simulate, result_key
+from repro.core.simulator import simulate
+
+
+def _fields(size: int = 128, **overrides) -> dict:
+    return MachineConfig.conventional(icache_size=size, **overrides).to_dict()
+
+
+def _thread_config(**overrides) -> ServiceConfig:
+    defaults = dict(
+        pool_jobs=0,
+        point_timeout=30.0,
+        default_deadline=60.0,
+        backoff=0.01,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+@pytest.fixture
+def disarmed():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestPointLifecycle:
+    def test_served_result_matches_direct_cached_simulate(
+        self, tiny_program, tmp_path, disarmed
+    ):
+        cache = SimulationCache(tmp_path / "cache")
+        with ServiceThread(tiny_program, _thread_config(), cache) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, payload = client.simulate(_fields())
+        assert status == 200
+        direct = cached_simulate(
+            MachineConfig.from_dict(_fields()),
+            tiny_program,
+            cache=SimulationCache(tmp_path / "direct"),
+        )
+        assert payload["checksum"] == direct.checksum()
+        assert payload["result"]["cycles"] == direct.cycles
+
+    def test_second_request_is_a_warm_cache_hit(
+        self, tiny_program, tmp_path, disarmed
+    ):
+        cache = SimulationCache(tmp_path / "cache")
+        with ServiceThread(tiny_program, _thread_config(), cache) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            _, first = client.simulate(_fields())
+            _, second = client.simulate(_fields())
+        assert first["rung"] != "cache"
+        assert second["rung"] == "cache"
+        assert second["checksum"] == first["checksum"]
+
+    def test_concurrent_duplicates_coalesce_onto_one_simulation(
+        self, tiny_program, tmp_path, disarmed
+    ):
+        cache = SimulationCache(tmp_path / "cache")
+        with ServiceThread(tiny_program, _thread_config(), cache) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            outcomes = []
+
+            def hit():
+                outcomes.append(client.simulate(_fields(size=256)))
+
+            threads = [threading.Thread(target=hit) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = client.stats()
+        assert all(status == 200 for status, _ in outcomes)
+        checksums = {payload["checksum"] for _, payload in outcomes}
+        assert len(checksums) == 1
+        assert stats["coalesce_hits"] > 0
+        assert stats["simulations"] == 1
+        # At least one waiter rode an existing in-flight simulation.
+        assert any(payload["coalesced"] for _, payload in outcomes)
+
+    def test_past_deadline_returns_structured_timeout(
+        self, tiny_program, tmp_path, disarmed
+    ):
+        with ServiceThread(tiny_program, _thread_config()) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, payload = client.simulate(_fields(size=64), deadline=0.0)
+        assert status == 504
+        assert payload["error"]["type"] == "deadline"
+
+    def test_invalid_config_is_a_400(self, tiny_program, disarmed):
+        with ServiceThread(tiny_program, _thread_config()) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, payload = client.simulate({"no_such_field": 1})
+            missing, _ = client.request("POST", "/simulate", {})
+        assert status == 400
+        assert payload["error"]["type"] == "bad_request"
+        assert missing == 400
+
+
+class TestAdmissionControl:
+    def test_queue_limit_rejects_with_429(self, tiny_program, disarmed):
+        config = _thread_config(queue_limit=0)
+        with ServiceThread(tiny_program, config) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, payload = client.simulate(_fields())
+            health, _ = client.healthz()
+        assert status == 429
+        assert payload["error"]["type"] == "queue_full"
+        assert health == 200
+
+    def test_load_shed_serves_warm_hits_only(
+        self, tiny_program, tmp_path, disarmed
+    ):
+        cache = SimulationCache(tmp_path / "cache")
+        # Warm one key up front, then saturate the shed limit.
+        warm = MachineConfig.from_dict(_fields())
+        cache.store(warm, tiny_program, simulate(warm, tiny_program))
+        config = _thread_config(shed_limit=0)
+        with ServiceThread(tiny_program, config, cache) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            cold_status, cold = client.simulate(_fields(size=512))
+            warm_status, warm_payload = client.simulate(_fields())
+        assert cold_status == 503
+        assert cold["error"]["type"] == "load_shed"
+        assert warm_status == 200
+        assert warm_payload["rung"] == "cache"
+
+    def test_tenant_quota_applies_per_tenant(self, tiny_program, disarmed):
+        service = SimulationService(tiny_program, _thread_config(tenant_quota=0))
+        with pytest.raises(AdmissionError) as excinfo:
+            service._admit("k", "greedy", cold=False)
+        assert excinfo.value.type == "tenant_quota"
+        assert excinfo.value.status == 429
+
+    def test_injected_queue_full_rejection(self, tiny_program, disarmed):
+        faults.activate(faults.FaultPlan(seed=3, queue_full=1.0))
+        try:
+            with ServiceThread(tiny_program, _thread_config()) as handle:
+                client = ServiceClient("127.0.0.1", handle.port)
+                status, payload = client.simulate(_fields())
+                stats = client.stats()
+        finally:
+            faults.deactivate()
+        assert status == 429
+        assert payload["error"]["type"] == "queue_full"
+        assert stats["rejected"]["queue_full"] == 1
+
+
+class TestGracefulDegradation:
+    def test_breaker_trips_degrade_but_stay_byte_identical(
+        self, tiny_program, tmp_path, disarmed
+    ):
+        reference = simulate(MachineConfig.from_dict(_fields()), tiny_program)
+        faults.activate(faults.FaultPlan(seed=11, breaker_trip=1.0))
+        try:
+            config = _thread_config(breaker_threshold=1, breaker_cooldown=60.0)
+            with ServiceThread(tiny_program, config) as handle:
+                client = ServiceClient("127.0.0.1", handle.port)
+                status, payload = client.simulate(_fields())
+                stats = client.stats()
+        finally:
+            faults.deactivate()
+        # Every fast-path rung tripped; the reference floor served it.
+        assert status == 200
+        assert payload["rung"] == "reference"
+        assert payload["checksum"] == reference.checksum()
+        assert all(
+            breaker["state"] == "open"
+            for breaker in stats["breakers"].values()
+        )
+
+    def test_open_breakers_pin_new_points_to_lower_rungs(
+        self, tiny_program, disarmed
+    ):
+        # Trip every fast rung on the first point, then disarm: the
+        # second point must *still* run on the reference rung because
+        # the breakers are open — no injector involved.
+        faults.activate(faults.FaultPlan(seed=11, breaker_trip=1.0))
+        config = _thread_config(breaker_threshold=1, breaker_cooldown=600.0)
+        try:
+            with ServiceThread(tiny_program, config) as handle:
+                client = ServiceClient("127.0.0.1", handle.port)
+                client.simulate(_fields())
+                faults.deactivate()
+                status, payload = client.simulate(_fields(size=32))
+                stats = client.stats()
+        finally:
+            faults.deactivate()
+        assert status == 200
+        assert payload["rung"] == "reference"
+        assert stats["faults"].get("engine_fault", 0) >= 1
+
+    def test_half_open_probe_restores_the_fast_path(
+        self, tiny_program, disarmed
+    ):
+        faults.activate(faults.FaultPlan(seed=11, breaker_trip=1.0))
+        config = _thread_config(breaker_threshold=1, breaker_cooldown=0.1)
+        try:
+            with ServiceThread(tiny_program, config) as handle:
+                client = ServiceClient("127.0.0.1", handle.port)
+                client.simulate(_fields())
+                faults.deactivate()
+                time.sleep(0.25)  # past the cooldown: probes admitted
+                status, payload = client.simulate(_fields(size=32))
+                stats = client.stats()
+        finally:
+            faults.deactivate()
+        assert status == 200
+        # The probe ran the full ladder again and succeeded, so the
+        # compiled breaker closed.
+        assert payload["rung"] == "compiled"
+        assert stats["breakers"]["compiled"]["state"] == "closed"
+
+
+class TestObservability:
+    def test_healthz_and_stats_surface(self, tiny_program, disarmed):
+        with ServiceThread(tiny_program, _thread_config()) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            health_status, health = client.healthz()
+            client.simulate(_fields())
+            stats = client.stats()
+        assert health_status == 200 and health["ok"] is True
+        for key in (
+            "queue",
+            "coalesce_hits",
+            "breakers",
+            "faults",
+            "rungs",
+            "codegen",
+            "rejected",
+        ):
+            assert key in stats
+        assert stats["simulations"] == 1
+        assert stats["queue"]["queue_limit"] == 64
+
+    def test_unknown_route_is_a_404(self, tiny_program, disarmed):
+        with ServiceThread(tiny_program, _thread_config()) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, payload = client.request("GET", "/nope")
+        assert status == 404
+        assert payload["error"]["type"] == "not_found"
+
+
+class TestSweepJobs:
+    def test_job_streams_progress_and_checkpoints(
+        self, tiny_program, tmp_path, disarmed
+    ):
+        cache = SimulationCache(tmp_path / "cache")
+        configs = [_fields(size=size) for size in (32, 64, 128)]
+        with ServiceThread(tiny_program, _thread_config(), cache) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, job = client.submit_job(configs)
+            assert status == 202
+            events = list(client.job_events(job["id"]))
+            final_status, final = client.job(job["id"])
+        assert final_status == 200
+        assert final["state"] == "done"
+        assert final["done"] == final["total"] == len(configs)
+        assert final["checkpoint_points"] == len(configs)
+        kinds = [event["type"] for event in events]
+        assert kinds.count("point") == len(configs)
+        assert kinds[-1] == "end"
+        # Every streamed checksum matches a clean reference simulation.
+        by_key = {
+            result_key(MachineConfig.from_dict(fields), tiny_program): fields
+            for fields in configs
+        }
+        for event in events:
+            if event["type"] != "point":
+                continue
+            config = MachineConfig.from_dict(by_key[event["key"]])
+            assert event["checksum"] == simulate(
+                config, tiny_program
+            ).checksum()
+
+    def test_unknown_job_is_a_404(self, tiny_program, disarmed):
+        with ServiceThread(tiny_program, _thread_config()) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, _payload = client.job("job-999")
+        assert status == 404
+
+    def test_empty_job_is_rejected(self, tiny_program, disarmed):
+        with ServiceThread(tiny_program, _thread_config()) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            status, payload = client.submit_job([])
+        assert status == 400
+        assert payload["error"]["type"] == "bad_request"
+
+
+class TestDirectCore:
+    def test_resolve_point_without_sockets(self, tiny_program, disarmed):
+        import asyncio
+
+        service = SimulationService(tiny_program, _thread_config())
+
+        async def go():
+            try:
+                return await service.resolve_point(_fields())
+            finally:
+                await service.stop()
+
+        payload = asyncio.run(go())
+        assert payload["checksum"] == simulate(
+            MachineConfig.from_dict(_fields()), tiny_program
+        ).checksum()
+
+    def test_deadline_exceeded_is_structured(self, tiny_program, disarmed):
+        import asyncio
+
+        service = SimulationService(tiny_program, _thread_config())
+
+        async def go():
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    await service.resolve_point(_fields(), deadline=0.0)
+            finally:
+                await service.stop()
+
+        asyncio.run(go())
+        assert service.deadline_misses == 1

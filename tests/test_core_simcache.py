@@ -249,3 +249,68 @@ class TestCrashSafety:
         assert cache.clear() == 1  # quarantined blobs are not counted
         assert cache.entries() == []
         assert cache.quarantined_entries() == []
+
+
+class TestQuarantineCaps:
+    """Satellite: the quarantine directory is size- and age-capped."""
+
+    def _quarantine_blob(self, cache: SimulationCache, name: str, size: int,
+                         age: float = 0.0) -> Path:
+        qdir = cache.root / QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        path = qdir / f"{name}.json"
+        path.write_bytes(b"x" * size)
+        if age:
+            import time
+
+            stamp = time.time() - age
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_size_cap_evicts_oldest_first(self, tmp_path):
+        cache = SimulationCache(tmp_path, quarantine_max_bytes=3000)
+        old = self._quarantine_blob(cache, "old", 1500, age=300.0)
+        mid = self._quarantine_blob(cache, "mid", 1500, age=200.0)
+        new = self._quarantine_blob(cache, "new", 1500, age=100.0)
+        assert cache.prune_quarantine() == 1
+        assert not old.exists()
+        assert mid.exists() and new.exists()
+
+    def test_age_cap_expires_stale_blobs(self, tmp_path):
+        cache = SimulationCache(tmp_path, quarantine_max_age=60.0)
+        stale = self._quarantine_blob(cache, "stale", 10, age=120.0)
+        fresh = self._quarantine_blob(cache, "fresh", 10, age=5.0)
+        assert cache.prune_quarantine() == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_within_caps_nothing_is_pruned(self, tmp_path):
+        cache = SimulationCache(tmp_path)
+        kept = self._quarantine_blob(cache, "kept", 100, age=10.0)
+        assert cache.prune_quarantine() == 0
+        assert kept.exists()
+
+    def test_quarantining_an_entry_enforces_the_cap(
+        self, tiny_program, tmp_path
+    ):
+        # A flood of corrupt entries must not grow the quarantine
+        # without bound: the cap is applied on every quarantine, not
+        # only when someone remembers to prune.
+        cache = SimulationCache(tmp_path, quarantine_max_bytes=1)
+        cached_simulate(_pipe(), tiny_program, cache)
+        (entry,) = cache.entries()
+        entry.write_text("{torn")
+        cache.lookup(_pipe(), tiny_program)
+        assert cache.stats.quarantined == 1
+        assert cache.quarantined_entries() == []  # pruned straight away
+
+    def test_clear_quarantine_removes_everything(self, tmp_path):
+        cache = SimulationCache(tmp_path)
+        self._quarantine_blob(cache, "a", 10)
+        self._quarantine_blob(cache, "b", 10)
+        assert cache.clear_quarantine() == 2
+        assert cache.quarantined_entries() == []
+
+    def test_describe_reports_the_caps(self, tmp_path):
+        cache = SimulationCache(tmp_path)
+        description = cache.describe()
+        assert "cap 4096 KiB / 7 days" in description

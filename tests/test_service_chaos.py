@@ -1,0 +1,143 @@
+"""Chaos acceptance test for the simulation job service.
+
+The ISSUE-10 acceptance bar: ≥ 50 concurrent requests (≥ 30%
+duplicates) against a service running real worker processes under
+injected worker kills, point hangs and cache corruption must complete
+with **zero wrong answers** — every served checksum matches a clean
+uncached reference run — with duplicates provably coalesced, a
+past-deadline request answered with a structured timeout instead of a
+result, and ``/healthz`` answering throughout.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import faults
+from repro.core.config import MachineConfig
+from repro.core.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.core.simcache import SimulationCache, result_key
+from repro.core.simulator import simulate
+
+#: 18 unique points × 3 requests each = 54 requests, 36 duplicates (67%)
+UNIQUE_POINTS = 18
+REPEATS = 3
+
+
+def _unique_fields() -> list[dict]:
+    fields = []
+    for size in (32, 64, 128, 256, 512, 1024):
+        fields.append(MachineConfig.conventional(icache_size=size).to_dict())
+        fields.append(
+            MachineConfig.pipe("16-16", icache_size=size).to_dict()
+        )
+        fields.append(
+            MachineConfig.pipe("8-8", icache_size=size).to_dict()
+        )
+    assert len(fields) == UNIQUE_POINTS
+    return fields
+
+
+def test_chaos_session_serves_only_correct_answers(tiny_program, tmp_path):
+    unique = _unique_fields()
+    requests = [unique[index % UNIQUE_POINTS] for index in range(UNIQUE_POINTS * REPEATS)]
+    assert len(requests) >= 50
+    cache = SimulationCache(tmp_path / "cache")
+    faults.deactivate()
+    faults.activate(
+        faults.FaultPlan(
+            seed=13,
+            worker_kill=0.35,
+            point_hang=0.2,
+            cache_corrupt=0.35,
+            hang_seconds=30.0,
+        )
+    )
+    # point_timeout must comfortably exceed a loaded-box simulation
+    # (so only the injected 30s hangs trip it) while staying far below
+    # hang_seconds; generous retries absorb the once-per-key kills.
+    config = ServiceConfig(
+        pool_jobs=4,
+        queue_limit=128,
+        tenant_quota=128,
+        shed_limit=64,
+        point_timeout=8.0,
+        max_retries=8,
+        backoff=0.02,
+        default_deadline=300.0,
+    )
+    served: list[tuple[int, dict]] = []
+    served_lock = threading.Lock()
+    health: list[int] = []
+    stop_polling = threading.Event()
+
+    try:
+        with ServiceThread(tiny_program, config, cache) as handle:
+            client = ServiceClient("127.0.0.1", handle.port, timeout=600)
+
+            def poll_health() -> None:
+                poller = ServiceClient("127.0.0.1", handle.port, timeout=10)
+                while not stop_polling.is_set():
+                    status, _payload = poller.healthz()
+                    health.append(status)
+                    stop_polling.wait(0.1)
+
+            poller_thread = threading.Thread(target=poll_health)
+            poller_thread.start()
+
+            def request(fields: dict) -> None:
+                outcome = client.simulate(fields, deadline=300.0)
+                with served_lock:
+                    served.append(outcome)
+
+            threads = [
+                threading.Thread(target=request, args=(fields,))
+                for fields in requests
+            ]
+            for thread in threads:
+                thread.start()
+            # One past-deadline request rides along with the stampede.
+            deadline_status, deadline_payload = client.simulate(
+                unique[0], deadline=0.0
+            )
+            for thread in threads:
+                thread.join()
+            stats = client.stats()
+            stop_polling.set()
+            poller_thread.join()
+    finally:
+        faults.deactivate()
+
+    # Zero wrong answers: every served checksum equals the clean
+    # uncached reference-engine result for its config.
+    references = {
+        result_key(MachineConfig.from_dict(fields), tiny_program): simulate(
+            MachineConfig.from_dict(fields), tiny_program
+        ).checksum()
+        for fields in unique
+    }
+    assert len(served) == len(requests)
+    for status, payload in served:
+        assert status == 200, payload
+        assert payload["checksum"] == references[payload["key"]]
+
+    # Duplicates provably coalesced: the counter moved, and the number
+    # of actual simulations is bounded by one per unique key plus the
+    # corrupt-heal re-runs (a quarantined entry legitimately costs one
+    # extra simulation).
+    assert stats["coalesce_hits"] > 0
+    quarantined = stats["cache"]["quarantined"]
+    assert UNIQUE_POINTS <= stats["simulations"] <= UNIQUE_POINTS + quarantined
+
+    # The injected faults actually happened and were recovered from.
+    fault_kinds = set(stats["faults"])
+    assert fault_kinds & {"worker_crash", "timeout"}, stats["faults"]
+
+    # The past-deadline request got a structured timeout, not a result.
+    assert deadline_status == 504
+    assert deadline_payload["error"]["type"] == "deadline"
+
+    # /healthz never stopped answering.
+    assert health, "health poller never ran"
+    assert all(status == 200 for status in health)
